@@ -1,0 +1,111 @@
+// Ablation — encode/decode micro-costs of the three wire formats.
+//
+// Separates the mechanisms behind Figs. 7/8: PER pays on both encode and
+// decode and scales with payload size (bit-level processing); FLAT encode
+// is cheap and "decode" is near-constant (header validation + in-place
+// reads); PROTO sits in between. Also measures the double-encoding cost
+// E2 imposes (SM payload wrapped in E2AP).
+#include <benchmark/benchmark.h>
+
+#include "e2ap/codec.hpp"
+#include "e2sm/mac_sm.hpp"
+#include "e2sm/serde.hpp"
+
+using namespace flexric;
+
+namespace {
+
+e2sm::mac::IndicationMsg stats_msg(int ues) {
+  e2sm::mac::IndicationMsg msg;
+  for (int i = 0; i < ues; ++i) {
+    e2sm::mac::UeStats s;
+    s.rnti = static_cast<std::uint16_t>(100 + i);
+    s.cqi = 15;
+    s.mcs_dl = 28;
+    s.prbs_dl = 25;
+    s.bytes_dl = 123456;
+    s.bsr = 999;
+    s.phr_db = 20;
+    msg.ues.push_back(s);
+  }
+  return msg;
+}
+
+WireFormat fmt_of(std::int64_t f) { return static_cast<WireFormat>(f); }
+
+void BM_SmEncode(benchmark::State& state) {
+  auto msg = stats_msg(static_cast<int>(state.range(1)));
+  WireFormat fmt = fmt_of(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(e2sm::sm_encode(msg, fmt));
+  state.SetLabel(std::string(wire_format_name(fmt)) + "/" +
+                 std::to_string(state.range(1)) + "ues");
+}
+
+void BM_SmDecode(benchmark::State& state) {
+  WireFormat fmt = fmt_of(state.range(0));
+  Buffer wire = e2sm::sm_encode(stats_msg(static_cast<int>(state.range(1))),
+                                fmt);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        e2sm::sm_decode<e2sm::mac::IndicationMsg>(wire, fmt));
+  state.SetLabel(std::string(wire_format_name(fmt)) + "/" +
+                 std::to_string(state.range(1)) + "ues");
+}
+
+/// Full E2 double encoding: SM payload + E2AP indication wrap.
+void BM_DoubleEncode(benchmark::State& state) {
+  WireFormat fmt = fmt_of(state.range(0));
+  auto msg = stats_msg(32);
+  const e2ap::Codec& codec = e2ap::codec_for(fmt);
+  for (auto _ : state) {
+    e2ap::Indication ind;
+    ind.request = {1, 1};
+    ind.ran_function_id = 142;
+    ind.message = e2sm::sm_encode(msg, fmt);  // inner encoding
+    benchmark::DoNotOptimize(codec.encode(e2ap::Msg{ind}));  // outer
+  }
+  state.SetLabel(std::string(wire_format_name(fmt)) + "/double");
+}
+
+void BM_DoubleDecode(benchmark::State& state) {
+  WireFormat fmt = fmt_of(state.range(0));
+  const e2ap::Codec& codec = e2ap::codec_for(fmt);
+  e2ap::Indication ind;
+  ind.request = {1, 1};
+  ind.ran_function_id = 142;
+  ind.message = e2sm::sm_encode(stats_msg(32), fmt);
+  Buffer wire = *codec.encode(e2ap::Msg{ind});
+  for (auto _ : state) {
+    auto outer = codec.decode(wire);
+    const auto& inner = std::get<e2ap::Indication>(*outer);
+    benchmark::DoNotOptimize(
+        e2sm::sm_decode<e2sm::mac::IndicationMsg>(inner.message, fmt));
+  }
+  state.SetLabel(std::string(wire_format_name(fmt)) + "/double");
+}
+
+void BM_WireSize(benchmark::State& state) {
+  WireFormat fmt = fmt_of(state.range(0));
+  auto msg = stats_msg(static_cast<int>(state.range(1)));
+  std::size_t size = 0;
+  for (auto _ : state) {
+    Buffer wire = e2sm::sm_encode(msg, fmt);
+    size = wire.size();
+    benchmark::DoNotOptimize(wire);
+  }
+  state.counters["wire_bytes"] = static_cast<double>(size);
+  state.SetLabel(std::string(wire_format_name(fmt)) + "/" +
+                 std::to_string(state.range(1)) + "ues");
+}
+
+}  // namespace
+
+// formats: 0 = ASN.1 (PER), 1 = FB (flat), 2 = PROTO
+BENCHMARK(BM_SmEncode)->ArgsProduct({{0, 1, 2}, {1, 8, 32}});
+BENCHMARK(BM_SmDecode)->ArgsProduct({{0, 1, 2}, {1, 8, 32}});
+BENCHMARK(BM_DoubleEncode)->Args({0})->Args({1});
+BENCHMARK(BM_DoubleDecode)->Args({0})->Args({1});
+BENCHMARK(BM_WireSize)->ArgsProduct({{0, 1, 2}, {32}});
+
+BENCHMARK_MAIN();

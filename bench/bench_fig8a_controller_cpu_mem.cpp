@@ -1,0 +1,47 @@
+// Fig. 8a — Controller CPU and memory: FlexRIC vs FlexRAN.
+//
+// Paper setup: the FlexRIC controller (server library + statistics iApp
+// saving to an in-memory structure, FB encoding) vs FlexRAN (Protobuf +
+// polling RIB) on a 12-core i7, agent-to-controller direction only.
+// Paper result: FlexRIC uses ~1/10 the CPU (0.18 % vs 1.88 %) and about a
+// third of the memory (124 MB vs 375 MB) — the CPU gap from FB-vs-Protobuf
+// decode + event-driven-vs-polling, the memory gap from FlexRAN's less
+// efficient internal data organization (deep report history).
+#include "bench/controller_load.hpp"
+
+using namespace flexric;
+using namespace flexric::bench;
+
+int main() {
+  banner("Fig. 8a: controller CPU and memory, FlexRIC vs FlexRAN",
+         "stats iApp (event-driven, FB) vs FlexRAN RIB (polling, Protobuf)");
+  constexpr int kAgents = 4;
+  constexpr int kUes = 16;
+  constexpr int kVirtualSecs = 10;
+
+  ControllerLoad flexric = run_controller_load(ControllerKind::flexric_fb,
+                                               kAgents, kUes, kVirtualSecs);
+  ControllerLoad flexran = run_controller_load(ControllerKind::flexran,
+                                               kAgents, kUes, kVirtualSecs);
+
+  Table table({"controller", "CPU %", "retained KB", "indications"});
+  table.row("FlexRIC (FB, event-driven)",
+            {fmt("%.2f", flexric.cpu_percent),
+             fmt("%.1f", static_cast<double>(flexric.retained_bytes) / 1024),
+             fmt("%.0f", static_cast<double>(flexric.indications))});
+  table.row("FlexRAN (Protobuf, polling)",
+            {fmt("%.2f", flexran.cpu_percent),
+             fmt("%.1f", static_cast<double>(flexran.retained_bytes) / 1024),
+             fmt("%.0f", static_cast<double>(flexran.indications))});
+
+  std::printf("\n  CPU ratio (FlexRAN / FlexRIC):      %.1fx\n",
+              flexran.cpu_percent / std::max(flexric.cpu_percent, 1e-6));
+  std::printf("  memory ratio (FlexRAN / FlexRIC):   %.1fx\n",
+              static_cast<double>(flexran.retained_bytes) /
+                  std::max<double>(1.0, static_cast<double>(
+                                            flexric.retained_bytes)));
+  note("paper: CPU 1.88 % vs 0.18 % (10x); memory 375 MB vs 124 MB (3x)");
+  note("memory here is the controllers' retained state (latest-value DB vs");
+  note("RIB history); absolute MB differ without the OAI software stack");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Fig. 9b — Controller CPU and memory: FlexRIC vs O-RAN RIC.
+//
+// Paper setup: 10 dummy agents export MAC statistics (no HARQ) for 32 UEs
+// via 1 ms E2AP indications; CPU and memory as per docker stats, platform
+// components + xApp summed for O-RAN. Paper result: FlexRIC uses 83 % less
+// CPU (4.4 % vs 25.9 %) and ~3 orders of magnitude less memory (1.8 MB vs
+// 1024 MB) — O-RAN decodes every indication twice (E2T + xApp) and runs 15
+// platform containers.
+#include "bench/controller_load.hpp"
+
+using namespace flexric;
+using namespace flexric::bench;
+
+int main() {
+  banner("Fig. 9b: controller CPU and memory, FlexRIC vs O-RAN RIC",
+         "10 agents x 32 UEs, MAC stats at 1 ms");
+  constexpr int kAgents = 10;
+  constexpr int kUes = 32;
+  constexpr int kVirtualSecs = 6;
+
+  ControllerLoad flexric = run_controller_load(ControllerKind::flexric_fb,
+                                               kAgents, kUes, kVirtualSecs);
+  ControllerLoad oran = run_controller_load(ControllerKind::oran, kAgents,
+                                            kUes, kVirtualSecs);
+
+  Table table({"system", "CPU %", "indications"});
+  table.row("FlexRIC (server + stats iApp, FB)",
+            {fmt("%.2f", flexric.cpu_percent),
+             fmt("%.0f", static_cast<double>(flexric.indications))});
+  table.row("O-RAN RIC (E2T + RMR + xApp, ASN)",
+            {fmt("%.2f", oran.cpu_percent),
+             fmt("%.0f", static_cast<double>(oran.indications))});
+  std::printf("\n  CPU ratio (O-RAN / FlexRIC): %.1fx  (paper: ~5.9x, i.e. "
+              "83 %% less)\n",
+              oran.cpu_percent / std::max(flexric.cpu_percent, 1e-6));
+  double flexric_per_k = flexric.cpu_percent /
+                         std::max<double>(1.0, flexric.indications / 1e3);
+  double oran_per_k =
+      oran.cpu_percent / std::max<double>(1.0, oran.indications / 1e3);
+  std::printf("  CPU per 1k indications: FlexRIC %.4f %%, O-RAN %.4f %% "
+              "(%.1fx)\n",
+              flexric_per_k, oran_per_k, oran_per_k / flexric_per_k);
+
+  note("FlexRIC receives 3 SM streams (MAC+RLC+PDCP) per agent, the O-RAN");
+  note("xApp subscribes to MAC only — and still burns more CPU, because");
+  note("every ASN.1 indication is decoded at the E2T AND again at the xApp");
+  note("memory: the paper's 1 GB O-RAN footprint is the 15-container");
+  note("platform, out of scope for a native build (see bench_table2)");
+  return 0;
+}

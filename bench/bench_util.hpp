@@ -1,0 +1,78 @@
+// Shared harness utilities for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table/figure of the evaluation and
+// prints the series in paper shape next to the paper's reported values
+// (where absolute numbers are hardware-bound, EXPERIMENTS.md records the
+// expected *shape*). CPU is measured per thread: the component under test
+// runs on its own thread and reports thread-CPU over *virtual* duration,
+// i.e. the CPU share it would consume at real-time pacing.
+#pragma once
+
+#include <pthread.h>
+
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/metrics.hpp"
+
+namespace flexric::bench {
+
+/// Run `body` on a dedicated thread; returns the thread CPU time it burned.
+inline Nanos run_measured_thread(const std::function<void()>& body) {
+  Nanos cpu = 0;
+  std::thread t([&] {
+    Nanos start = thread_cpu_now();
+    body();
+    cpu = thread_cpu_now() - start;
+  });
+  t.join();
+  return cpu;
+}
+
+/// CPU share (%) a component would use at real-time pacing: thread CPU
+/// consumed for `virtual_ns` of simulated time.
+inline double cpu_percent(Nanos cpu_ns, Nanos virtual_ns) {
+  return virtual_ns > 0
+             ? 100.0 * static_cast<double>(cpu_ns) /
+                   static_cast<double>(virtual_ns)
+             : 0.0;
+}
+
+/// Simple aligned table printer for bench output.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 14)
+      : width_(col_width) {
+    std::printf("  %-34s", headers.empty() ? "" : headers[0].c_str());
+    for (std::size_t i = 1; i < headers.size(); ++i)
+      std::printf(" %*s", width_, headers[i].c_str());
+    std::printf("\n");
+  }
+  void row(const std::string& label, const std::vector<std::string>& cells) {
+    std::printf("  %-34s", label.c_str());
+    for (const auto& c : cells) std::printf(" %*s", width_, c.c_str());
+    std::printf("\n");
+  }
+
+ private:
+  int width_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+inline void banner(const char* title, const char* paper_ref) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("reproduces: %s\n\n", paper_ref);
+}
+
+inline void note(const char* text) { std::printf("  note: %s\n", text); }
+
+}  // namespace flexric::bench

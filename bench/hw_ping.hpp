@@ -1,0 +1,96 @@
+// Shared HW-SM ping harness for the encoding benches (Figs. 7a/7b, 9a).
+//
+// Builds agent + controller over framed TCP on loopback with independently
+// selectable E2AP and E2SM encodings, and runs synchronous ping/pong rounds
+// measuring RTT and on-wire bytes.
+#pragma once
+
+#include <optional>
+
+#include "agent/agent.hpp"
+#include "bench/bench_util.hpp"
+#include "e2sm/common.hpp"
+#include "e2sm/hw_sm.hpp"
+#include "ran/functions.hpp"
+#include "server/server.hpp"
+
+namespace flexric::bench {
+
+class HwPingRig {
+ public:
+  HwPingRig(WireFormat e2ap_fmt, WireFormat sm_fmt)
+      : sm_fmt_(sm_fmt),
+        server_(reactor_, {21, e2ap_fmt}),
+        agent_(reactor_, {{1, 10, e2ap::NodeType::gnb}, e2ap_fmt}) {
+    agent_.register_function(std::make_shared<ran::HwFunction>(sm_fmt));
+    FLEXRIC_ASSERT(server_.listen(0).is_ok(), "bench: listen failed");
+    auto conn = TcpTransport::connect(reactor_, "127.0.0.1", server_.port());
+    FLEXRIC_ASSERT(conn.is_ok(), "bench: connect failed");
+    agent_.add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
+    wait([this] { return server_.ran_db().num_agents() == 1; });
+
+    server::SubCallbacks cbs;
+    cbs.on_indication = [this](const e2ap::Indication& ind) {
+      auto pong = e2sm::sm_decode<e2sm::hw::Pong>(ind.message, sm_fmt_);
+      if (pong) last_pong_ = std::move(*pong);
+    };
+    auto h = server_.subscribe(
+        agent_id(), e2sm::hw::Sm::kId,
+        e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
+                        sm_fmt_),
+        {{1, e2ap::ActionType::report, {}}}, cbs);
+    FLEXRIC_ASSERT(h.is_ok(), "bench: subscribe failed");
+    for (int i = 0; i < 100; ++i) reactor_.run_once(1);
+  }
+
+  /// One synchronous ping; returns RTT in microseconds.
+  double ping_us(std::uint32_t seq, std::size_t payload_bytes) {
+    e2sm::hw::Ping ping;
+    ping.seq = seq;
+    ping.payload.assign(payload_bytes, 0x5A);
+    Nanos t0 = mono_now();
+    ping.sent_ns = static_cast<std::uint64_t>(t0);
+    last_pong_.reset();
+    server_.send_control(agent_id(), e2sm::hw::Sm::kId, {},
+                         e2sm::sm_encode(ping, sm_fmt_), {},
+                         /*ack_requested=*/false);
+    while (!last_pong_ || last_pong_->seq != seq) reactor_.run_once(1);
+    return static_cast<double>(mono_now() - t0) / 1e3;
+  }
+
+  /// Run `rounds` pings; returns mean RTT (us) and mean on-wire bytes per
+  /// exchange (both directions, incl. the 6 B transport frame headers).
+  std::pair<double, double> run(int rounds, std::size_t payload_bytes) {
+    Histogram rtt;
+    std::uint64_t bytes0 = agent_.stats().bytes_rx + agent_.stats().bytes_tx;
+    std::uint64_t msgs0 = agent_.stats().msgs_rx + agent_.stats().msgs_tx;
+    for (int i = 0; i < rounds; ++i)
+      rtt.record(ping_us(static_cast<std::uint32_t>(i + 1), payload_bytes));
+    std::uint64_t bytes = agent_.stats().bytes_rx + agent_.stats().bytes_tx -
+                          bytes0;
+    std::uint64_t msgs =
+        agent_.stats().msgs_rx + agent_.stats().msgs_tx - msgs0;
+    double wire_per_exchange =
+        (static_cast<double>(bytes) + 6.0 * static_cast<double>(msgs)) /
+        rounds;
+    return {rtt.quantile(0.5), wire_per_exchange};
+  }
+
+ private:
+  server::AgentId agent_id() {
+    return server_.ran_db().agents().front();
+  }
+  template <typename F>
+  void wait(F&& pred) {
+    for (int i = 0; i < 5000 && !pred(); ++i) reactor_.run_once(1);
+    FLEXRIC_ASSERT(pred(), "bench: condition not reached");
+  }
+
+  Reactor reactor_;
+  WireFormat sm_fmt_;
+  server::E2Server server_;
+  agent::E2Agent agent_;
+  std::optional<e2sm::hw::Pong> last_pong_;
+};
+
+}  // namespace flexric::bench

@@ -1,0 +1,274 @@
+#include "agent/agent.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace flexric::agent {
+
+E2Agent::E2Agent(Reactor& reactor, Config cfg)
+    : reactor_(reactor), cfg_(cfg), codec_(e2ap::codec_for(cfg.e2ap_format)) {}
+
+E2Agent::~E2Agent() {
+  for (auto& [id, conn] : conns_)
+    if (conn.transport) {
+      conn.transport->set_on_message(nullptr);
+      conn.transport->set_on_close(nullptr);
+    }
+}
+
+Status E2Agent::register_function(std::shared_ptr<RanFunction> fn) {
+  const std::uint16_t id = fn->descriptor().id;
+  if (find_function(id) != nullptr)
+    return {Errc::already_exists, "RAN function id in use"};
+  fn->bind(*this);
+  functions_.push_back(std::move(fn));
+  return Status::ok();
+}
+
+Status E2Agent::add_function_live(std::shared_ptr<RanFunction> fn) {
+  e2ap::RanFunctionItem item = fn->descriptor();
+  FLEXRIC_TRY(register_function(std::move(fn)));
+  e2ap::ServiceUpdate update;
+  update.trans_id = next_trans_id_++;
+  update.added.push_back(std::move(item));
+  for (auto& [id, conn] : conns_)
+    if (conn.state == ConnState::established)
+      send(id, e2ap::Msg{update});
+  return Status::ok();
+}
+
+Status E2Agent::remove_function_live(std::uint16_t ran_function_id) {
+  auto it = std::find_if(functions_.begin(), functions_.end(),
+                         [&](const auto& f) {
+                           return f->descriptor().id == ran_function_id;
+                         });
+  if (it == functions_.end())
+    return {Errc::not_found, "no such RAN function"};
+  // Tear down whatever subscriptions the function holds.
+  for (auto& [id, conn] : conns_) (*it)->on_controller_detached(id);
+  functions_.erase(it);
+  e2ap::ServiceUpdate update;
+  update.trans_id = next_trans_id_++;
+  update.removed.push_back(ran_function_id);
+  for (auto& [id, conn] : conns_)
+    if (conn.state == ConnState::established)
+      send(id, e2ap::Msg{update});
+  return Status::ok();
+}
+
+RanFunction* E2Agent::find_function(std::uint16_t ran_function_id) {
+  for (auto& f : functions_)
+    if (f->descriptor().id == ran_function_id) return f.get();
+  return nullptr;
+}
+
+Result<ControllerId> E2Agent::add_controller(
+    std::shared_ptr<MsgTransport> transport) {
+  ControllerId id = next_conn_id_++;
+  transport->set_on_message(
+      [this, id](StreamId, BytesView wire) { on_message(id, wire); });
+  transport->set_on_close([this, id]() {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    it->second.state = ConnState::closed;
+    for (auto& f : functions_) f->on_controller_detached(id);
+  });
+  conns_[id] = Conn{std::move(transport), ConnState::setup_sent};
+
+  e2ap::SetupRequest req;
+  req.trans_id = next_trans_id_++;
+  req.node = cfg_.node_id;
+  for (const auto& f : functions_) req.ran_functions.push_back(f->descriptor());
+  if (Status st = send(id, e2ap::Msg{std::move(req)}); !st.is_ok())
+    return Error{st.code(), st.error().message};
+  return id;
+}
+
+void E2Agent::remove_controller(ControllerId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  for (auto& f : functions_) f->on_controller_detached(id);
+  if (it->second.transport) {
+    it->second.transport->set_on_close(nullptr);
+    it->second.transport->close();
+  }
+  conns_.erase(it);
+  for (auto& [rnti, set] : ue_assoc_) set.erase(id);
+}
+
+ConnState E2Agent::state(ControllerId id) const {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? ConnState::closed : it->second.state;
+}
+
+void E2Agent::associate_ue(std::uint16_t rnti, ControllerId id) {
+  ue_assoc_[rnti].insert(id);
+}
+
+void E2Agent::dissociate_ue(std::uint16_t rnti, ControllerId id) {
+  auto it = ue_assoc_.find(rnti);
+  if (it == ue_assoc_.end()) return;
+  it->second.erase(id);
+  if (it->second.empty()) ue_assoc_.erase(it);
+}
+
+void E2Agent::remove_ue(std::uint16_t rnti) { ue_assoc_.erase(rnti); }
+
+bool E2Agent::ue_visible(std::uint16_t rnti, ControllerId origin) const {
+  // The agent associates every UE with the first controller (§4.1.2);
+  // additional controllers only see explicitly associated UEs.
+  if (origin == 0) return true;
+  auto it = ue_assoc_.find(rnti);
+  return it != ue_assoc_.end() && it->second.count(origin) > 0;
+}
+
+Status E2Agent::send_indication(ControllerId origin,
+                                const e2ap::Indication& ind) {
+  return send(origin, e2ap::Msg{ind});
+}
+
+std::uint64_t E2Agent::start_timer(std::int64_t period_ns,
+                                   std::function<void()> cb) {
+  return reactor_.add_timer(period_ns, std::move(cb), /*periodic=*/true);
+}
+
+void E2Agent::cancel_timer(std::uint64_t token) {
+  reactor_.cancel_timer(token);
+}
+
+Status E2Agent::send(ControllerId id, const e2ap::Msg& m) {
+  auto it = conns_.find(id);
+  if (it == conns_.end() || !it->second.transport ||
+      !it->second.transport->is_open())
+    return {Errc::io, "controller connection not open"};
+  auto wire = codec_.encode(m);
+  if (!wire) return wire.status();
+  stats_.msgs_tx++;
+  stats_.bytes_tx += wire->size();
+  return it->second.transport->send(*wire);
+}
+
+void E2Agent::on_message(ControllerId id, BytesView wire) {
+  stats_.msgs_rx++;
+  stats_.bytes_rx += wire.size();
+  auto msg = codec_.decode(wire);
+  if (!msg) {
+    LOG_WARN("agent", "undecodable E2AP message from controller %u: %s", id,
+             msg.error().to_string().c_str());
+    // E2AP conformance: report the protocol error to the peer.
+    e2ap::ErrorIndication err;
+    err.cause = {e2ap::Cause::Group::protocol, 0 /*transfer-syntax-error*/};
+    send(id, e2ap::Msg{err});
+    return;
+  }
+  std::visit(
+      [this, id](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, e2ap::SetupResponse> ||
+                      std::is_same_v<T, e2ap::SetupFailure> ||
+                      std::is_same_v<T, e2ap::SubscriptionRequest> ||
+                      std::is_same_v<T, e2ap::SubscriptionDeleteRequest> ||
+                      std::is_same_v<T, e2ap::ControlRequest> ||
+                      std::is_same_v<T, e2ap::ResetRequest>) {
+          handle(id, m);
+        } else {
+          LOG_DEBUG("agent", "ignoring %s at agent",
+                    e2ap::msg_type_name(e2ap::msg_type(e2ap::Msg{m})));
+        }
+      },
+      *msg);
+}
+
+void E2Agent::handle(ControllerId id, const e2ap::SetupResponse&) {
+  auto it = conns_.find(id);
+  if (it != conns_.end()) it->second.state = ConnState::established;
+}
+
+void E2Agent::handle(ControllerId id, const e2ap::SetupFailure& m) {
+  LOG_WARN("agent", "E2 setup failed at controller %u (cause %u/%u)", id,
+           static_cast<unsigned>(m.cause.group), m.cause.value);
+  auto it = conns_.find(id);
+  if (it != conns_.end()) it->second.state = ConnState::failed;
+}
+
+void E2Agent::handle(ControllerId id, const e2ap::SubscriptionRequest& m) {
+  RanFunction* fn = find_function(m.ran_function_id);
+  if (fn == nullptr) {
+    e2ap::SubscriptionFailure fail;
+    fail.request = m.request;
+    fail.ran_function_id = m.ran_function_id;
+    fail.cause = {e2ap::Cause::Group::ric, 0 /*ran-function-id-invalid*/};
+    send(id, e2ap::Msg{fail});
+    return;
+  }
+  auto outcome = fn->on_subscription(m, id);
+  if (!outcome || outcome->admitted.empty()) {
+    e2ap::SubscriptionFailure fail;
+    fail.request = m.request;
+    fail.ran_function_id = m.ran_function_id;
+    fail.cause = {e2ap::Cause::Group::ric, 1 /*action-not-supported*/};
+    send(id, e2ap::Msg{fail});
+    return;
+  }
+  e2ap::SubscriptionResponse resp;
+  resp.request = m.request;
+  resp.ran_function_id = m.ran_function_id;
+  resp.admitted = outcome->admitted;
+  resp.not_admitted = outcome->not_admitted;
+  send(id, e2ap::Msg{resp});
+}
+
+void E2Agent::handle(ControllerId id,
+                     const e2ap::SubscriptionDeleteRequest& m) {
+  RanFunction* fn = find_function(m.ran_function_id);
+  if (fn == nullptr || !fn->on_subscription_delete(m, id).is_ok()) {
+    e2ap::SubscriptionDeleteFailure fail;
+    fail.request = m.request;
+    fail.ran_function_id = m.ran_function_id;
+    fail.cause = {e2ap::Cause::Group::ric, 2 /*request-id-unknown*/};
+    send(id, e2ap::Msg{fail});
+    return;
+  }
+  e2ap::SubscriptionDeleteResponse resp;
+  resp.request = m.request;
+  resp.ran_function_id = m.ran_function_id;
+  send(id, e2ap::Msg{resp});
+}
+
+void E2Agent::handle(ControllerId id, const e2ap::ControlRequest& m) {
+  RanFunction* fn = find_function(m.ran_function_id);
+  if (fn == nullptr) {
+    e2ap::ControlFailure fail;
+    fail.request = m.request;
+    fail.ran_function_id = m.ran_function_id;
+    fail.cause = {e2ap::Cause::Group::ric, 0};
+    send(id, e2ap::Msg{fail});
+    return;
+  }
+  auto outcome = fn->on_control(m, id);
+  if (!outcome) {
+    e2ap::ControlFailure fail;
+    fail.request = m.request;
+    fail.ran_function_id = m.ran_function_id;
+    fail.cause = {e2ap::Cause::Group::ric, 3 /*control-failed*/};
+    send(id, e2ap::Msg{fail});
+    return;
+  }
+  if (m.ack_requested) {
+    e2ap::ControlAck ack;
+    ack.request = m.request;
+    ack.ran_function_id = m.ran_function_id;
+    ack.outcome = std::move(*outcome);
+    send(id, e2ap::Msg{ack});
+  }
+}
+
+void E2Agent::handle(ControllerId id, const e2ap::ResetRequest& m) {
+  for (auto& f : functions_) f->on_controller_detached(id);
+  e2ap::ResetResponse resp;
+  resp.trans_id = m.trans_id;
+  send(id, e2ap::Msg{resp});
+}
+
+}  // namespace flexric::agent

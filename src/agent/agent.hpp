@@ -1,0 +1,117 @@
+// FlexRIC agent library (paper §4.1).
+//
+// Embeds into a base station (or CU/DU part): manages connections to one or
+// more controllers, performs the E2 Setup handshake, dispatches functional
+// procedures to registered RAN functions, and maintains the
+// UE-to-controller association for multi-controller deployments.
+//
+// The agent is passive with respect to SM semantics: all SM logic lives in
+// RAN functions (src/ran/functions.hpp provides the bundled ones).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "agent/ran_function.hpp"
+#include "codec/wire.hpp"
+#include "e2ap/codec.hpp"
+#include "transport/transport.hpp"
+
+namespace flexric::agent {
+
+/// Per-connection E2 setup state.
+enum class ConnState { setup_sent, established, failed, closed };
+
+class E2Agent final : public AgentServices {
+ public:
+  struct Config {
+    e2ap::GlobalNodeId node_id;
+    WireFormat e2ap_format = WireFormat::per;  ///< O-RAN default: ASN.1
+  };
+
+  E2Agent(Reactor& reactor, Config cfg);
+  ~E2Agent() override;
+  E2Agent(const E2Agent&) = delete;
+  E2Agent& operator=(const E2Agent&) = delete;
+
+  /// Register a RAN function before connecting (advertised in E2 Setup).
+  Status register_function(std::shared_ptr<RanFunction> fn);
+
+  /// Register a RAN function on a live agent: advertised to every connected
+  /// controller via RICserviceUpdate (forward compatibility — a node can
+  /// grow capabilities without reconnecting).
+  Status add_function_live(std::shared_ptr<RanFunction> fn);
+  /// Withdraw a RAN function; controllers are informed via RICserviceUpdate
+  /// and its subscriptions are torn down locally.
+  Status remove_function_live(std::uint16_t ran_function_id);
+
+  /// Connect to an additional controller over `transport`; sends
+  /// E2SetupRequest immediately. Controller 0 is the primary one.
+  Result<ControllerId> add_controller(std::shared_ptr<MsgTransport> transport);
+  /// Tear down one controller connection.
+  void remove_controller(ControllerId id);
+
+  [[nodiscard]] ConnState state(ControllerId id) const;
+  [[nodiscard]] std::size_t num_controllers() const noexcept {
+    return conns_.size();
+  }
+
+  // -- UE-to-controller association (§4.1.2) --
+  /// Expose `rnti` to controller `id`. No-op for the primary controller,
+  /// which sees all UEs by default.
+  void associate_ue(std::uint16_t rnti, ControllerId id) override;
+  void dissociate_ue(std::uint16_t rnti, ControllerId id) override;
+  /// Remove a UE entirely (detach).
+  void remove_ue(std::uint16_t rnti);
+
+  // -- AgentServices --
+  Status send_indication(ControllerId origin,
+                         const e2ap::Indication& ind) override;
+  std::uint64_t start_timer(std::int64_t period_ns,
+                            std::function<void()> cb) override;
+  void cancel_timer(std::uint64_t token) override;
+  [[nodiscard]] bool ue_visible(std::uint16_t rnti,
+                                ControllerId origin) const override;
+
+  [[nodiscard]] Reactor& reactor() noexcept { return reactor_; }
+  [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+  /// Counters for the evaluation harness.
+  struct Stats {
+    std::uint64_t msgs_rx = 0;
+    std::uint64_t msgs_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t bytes_tx = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Conn {
+    std::shared_ptr<MsgTransport> transport;
+    ConnState state = ConnState::setup_sent;
+  };
+
+  void on_message(ControllerId id, BytesView wire);
+  void handle(ControllerId id, const e2ap::SetupResponse& m);
+  void handle(ControllerId id, const e2ap::SetupFailure& m);
+  void handle(ControllerId id, const e2ap::SubscriptionRequest& m);
+  void handle(ControllerId id, const e2ap::SubscriptionDeleteRequest& m);
+  void handle(ControllerId id, const e2ap::ControlRequest& m);
+  void handle(ControllerId id, const e2ap::ResetRequest& m);
+  Status send(ControllerId id, const e2ap::Msg& m);
+  RanFunction* find_function(std::uint16_t ran_function_id);
+
+  Reactor& reactor_;
+  Config cfg_;
+  const e2ap::Codec& codec_;
+  std::map<ControllerId, Conn> conns_;
+  ControllerId next_conn_id_ = 0;
+  std::vector<std::shared_ptr<RanFunction>> functions_;
+  std::map<std::uint16_t, std::set<ControllerId>> ue_assoc_;
+  std::uint8_t next_trans_id_ = 0;
+  Stats stats_;
+};
+
+}  // namespace flexric::agent

@@ -1,0 +1,84 @@
+// Generic RAN function API (paper §4.1.1).
+//
+// A RAN function is controllable functionality within an E2 node. The agent
+// library dispatches three E2AP callbacks to it — subscription request,
+// subscription delete, and control — and gives it a handle to emit
+// indications. Pre-defined RAN functions for the bundled SMs live in
+// src/ran/functions.hpp; custom ones implement this interface directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "e2ap/messages.hpp"
+
+namespace flexric::agent {
+
+/// Identifies one controller connection at the agent (§4.1.2: an agent can
+/// serve multiple controllers). Id 0 is the first/primary controller.
+using ControllerId = std::uint32_t;
+
+/// Services the agent core offers to RAN functions.
+class AgentServices {
+ public:
+  virtual ~AgentServices() = default;
+
+  /// Send an indication to the controller `origin`. The RAN function fills
+  /// request/ran_function_id/action_id per the owning subscription.
+  virtual Status send_indication(ControllerId origin,
+                                 const e2ap::Indication& ind) = 0;
+
+  /// Start a periodic timer on the agent's reactor; returns a cancel token.
+  virtual std::uint64_t start_timer(std::int64_t period_ns,
+                                    std::function<void()> cb) = 0;
+  virtual void cancel_timer(std::uint64_t token) = 0;
+
+  /// UE-to-controller association (§4.1.2): true if `rnti` must be exposed
+  /// to `origin`. The first controller sees every UE.
+  [[nodiscard]] virtual bool ue_visible(std::uint16_t rnti,
+                                        ControllerId origin) const = 0;
+  /// Configure the association (used by the UE-ASSOC SM, Fig. 4).
+  virtual void associate_ue(std::uint16_t rnti, ControllerId id) = 0;
+  virtual void dissociate_ue(std::uint16_t rnti, ControllerId id) = 0;
+};
+
+/// Outcome of a subscription request handled by a RAN function.
+struct SubscriptionOutcome {
+  std::vector<std::uint8_t> admitted;
+  std::vector<std::pair<std::uint8_t, e2ap::Cause>> not_admitted;
+};
+
+/// Interface every RAN function implements (the paper's generic RAN function
+/// API: subscription / subscription delete / control callbacks).
+class RanFunction {
+ public:
+  virtual ~RanFunction() = default;
+
+  /// Static descriptor advertised in E2 Setup.
+  [[nodiscard]] virtual const e2ap::RanFunctionItem& descriptor() const = 0;
+
+  /// Called once when registered with an agent.
+  virtual void bind(AgentServices& services) { services_ = &services; }
+
+  /// E2AP callbacks. `origin` identifies the requesting controller so the
+  /// function can enforce per-controller admission control (SLAs, §4.1.2).
+  virtual Result<SubscriptionOutcome> on_subscription(
+      const e2ap::SubscriptionRequest& req, ControllerId origin) = 0;
+  virtual Status on_subscription_delete(
+      const e2ap::SubscriptionDeleteRequest& req, ControllerId origin) = 0;
+  /// Returns the control outcome bytes for RICcontrolAcknowledge.
+  virtual Result<Buffer> on_control(const e2ap::ControlRequest& req,
+                                    ControllerId origin) = 0;
+
+  /// Controller connection lifecycle (teardown of its subscriptions).
+  virtual void on_controller_detached(ControllerId /*origin*/) {}
+
+ protected:
+  AgentServices* services_ = nullptr;
+};
+
+}  // namespace flexric::agent

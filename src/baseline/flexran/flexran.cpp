@@ -1,0 +1,193 @@
+#include "baseline/flexran/flexran.hpp"
+
+#include "common/log.hpp"
+
+namespace flexric::baseline::flexran {
+
+Buffer encode_frame(MsgKind kind, BytesView body) {
+  BufWriter w(1 + body.size());
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.bytes(body);
+  return w.take();
+}
+
+Result<Frame> decode_frame(BytesView wire) {
+  if (wire.empty()) return Error{Errc::truncated, "empty frame"};
+  Frame f;
+  f.kind = static_cast<MsgKind>(wire[0]);
+  f.body = wire.subspan(1);
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Agent
+// ---------------------------------------------------------------------------
+
+Agent::Agent(ran::BaseStation& bs, std::shared_ptr<MsgTransport> transport,
+             std::uint32_t bs_id)
+    : bs_(bs), transport_(std::move(transport)), bs_id_(bs_id) {
+  transport_->set_on_message(
+      [this](StreamId, BytesView wire) { on_message(wire); });
+  Hello hello;
+  hello.bs_id = bs_id_;
+  hello.rat = bs_.config().rat == ran::Rat::lte ? "lte" : "nr";
+  hello.num_prbs = bs_.config().num_prbs;
+  transport_->send(encode_msg(MsgKind::hello, hello));
+}
+
+void Agent::on_message(BytesView wire) {
+  auto frame = decode_frame(wire);
+  if (!frame) return;
+  switch (frame->kind) {
+    case MsgKind::stats_request: {
+      auto req = e2sm::sm_decode<StatsRequest>(frame->body, WireFormat::proto);
+      if (req) period_ms_ = req->period_ms;
+      break;
+    }
+    case MsgKind::echo_request: {
+      auto echo = e2sm::sm_decode<Echo>(frame->body, WireFormat::proto);
+      if (!echo) break;
+      stats_.echo_rx++;
+      transport_->send(encode_msg(MsgKind::echo_reply, *echo));
+      break;
+    }
+    case MsgKind::hello_ack:
+    default:
+      break;
+  }
+}
+
+StatsReport Agent::build_report(Nanos now) {
+  StatsReport report;
+  report.bs_id = bs_id_;
+  report.tstamp_ns = static_cast<std::uint64_t>(now);
+  auto mac = bs_.mac_stats(/*include_harq=*/false, {});
+  auto rlc = bs_.rlc_stats({});
+  auto pdcp = bs_.pdcp_stats({});
+  for (const auto& m : mac.ues) {
+    UeStats s;
+    s.rnti = m.rnti;
+    s.cqi = m.cqi;
+    s.mcs_dl = m.mcs_dl;
+    s.prbs_dl = m.prbs_dl;
+    s.mac_bytes_dl = m.bytes_dl;
+    s.bsr = m.bsr;
+    s.slice_id = m.slice_id;
+    for (const auto& r : rlc.bearers)
+      if (r.rnti == m.rnti) {
+        s.rlc_buffer_bytes += r.buffer_bytes;
+        s.rlc_buffer_pkts += r.buffer_pkts;
+        s.rlc_sojourn_avg_ms = r.sojourn_avg_ms;
+      }
+    for (const auto& p : pdcp.bearers)
+      if (p.rnti == m.rnti) {
+        s.pdcp_tx_sdu_bytes += p.tx_sdu_bytes;
+        s.pdcp_tx_sdus += p.tx_sdus;
+      }
+    report.ues.push_back(s);
+  }
+  return report;
+}
+
+void Agent::on_tti(Nanos now) {
+  if (period_ms_ == 0 || now < next_due_) return;
+  next_due_ = now + static_cast<Nanos>(period_ms_) * kMilli;
+  StatsReport report = build_report(now);
+  Buffer wire = encode_msg(MsgKind::stats_report, report);
+  stats_.reports_tx++;
+  stats_.bytes_tx += wire.size();
+  transport_->send(wire);
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+// ---------------------------------------------------------------------------
+
+Controller::Controller(Reactor& reactor) : reactor_(reactor) {}
+
+Controller::~Controller() {
+  // Detach callbacks before the connection map unwinds: a transport's close
+  // handler must not mutate conns_ mid-destruction.
+  for (auto& [id, t] : conns_) {
+    t->set_on_message(nullptr);
+    t->set_on_close(nullptr);
+  }
+}
+
+Status Controller::listen(std::uint16_t port) {
+  listener_ = std::make_unique<TcpListener>(
+      reactor_, [this](std::unique_ptr<TcpTransport> t) {
+        attach(std::shared_ptr<MsgTransport>(std::move(t)));
+      });
+  return listener_->listen(port);
+}
+
+void Controller::attach(std::shared_ptr<MsgTransport> transport) {
+  std::uint64_t id = next_conn_++;
+  transport->set_on_message(
+      [this, id](StreamId, BytesView wire) { on_message(id, wire); });
+  transport->set_on_close([this, id]() { conns_.erase(id); });
+  conns_[id] = std::move(transport);
+}
+
+void Controller::request_stats(std::uint32_t period_ms) {
+  StatsRequest req;
+  req.period_ms = period_ms;
+  Buffer wire = encode_msg(MsgKind::stats_request, req);
+  for (auto& [id, t] : conns_) t->send(wire);
+}
+
+void Controller::add_poller(
+    std::uint32_t period_ms,
+    std::function<void(const std::map<std::uint32_t, Rib>&)> fn) {
+  reactor_.add_timer(static_cast<Nanos>(period_ms) * kMilli,
+                     [this, fn = std::move(fn)]() {
+                       stats_.poll_scans++;
+                       fn(ribs_);
+                     });
+}
+
+Status Controller::send_echo(
+    std::uint32_t seq, BytesView payload,
+    std::function<void(const Echo&, Nanos rx_time)> on_reply) {
+  if (conns_.empty()) return {Errc::not_found, "no agents"};
+  echo_cb_ = std::move(on_reply);
+  Echo echo;
+  echo.seq = seq;
+  echo.sent_ns = static_cast<std::uint64_t>(mono_now());
+  echo.payload.assign(payload.begin(), payload.end());
+  return conns_.begin()->second->send(encode_msg(MsgKind::echo_request, echo));
+}
+
+void Controller::on_message(std::uint64_t, BytesView wire) {
+  stats_.msgs_rx++;
+  stats_.bytes_rx += wire.size();
+  auto frame = decode_frame(wire);
+  if (!frame) return;
+  switch (frame->kind) {
+    case MsgKind::hello: {
+      auto hello = e2sm::sm_decode<Hello>(frame->body, WireFormat::proto);
+      if (hello) ribs_[hello->bs_id];  // create RIB entry
+      break;
+    }
+    case MsgKind::stats_report: {
+      auto report =
+          e2sm::sm_decode<StatsReport>(frame->body, WireFormat::proto);
+      if (!report) break;
+      Rib& rib = ribs_[report->bs_id];
+      rib.reports_rx++;
+      rib.history.push_back(std::move(*report));  // deep copy retained
+      if (rib.history.size() > kHistoryDepth) rib.history.pop_front();
+      break;
+    }
+    case MsgKind::echo_reply: {
+      auto echo = e2sm::sm_decode<Echo>(frame->body, WireFormat::proto);
+      if (echo && echo_cb_) echo_cb_(*echo, mono_now());
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace flexric::baseline::flexran

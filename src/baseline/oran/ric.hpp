@@ -1,0 +1,115 @@
+// O-RAN RIC baseline: "E2 termination" + xApp, two hops, double decode
+// (comparator for Fig. 9 and Table 2).
+//
+// Architecture reproduced from the paper's description of the Cherry
+// release:
+//   agent ──E2AP/SCTP-like──▶ E2Termination ──RMR hop──▶ xApp
+//
+// The E2 termination fully DECODES every E2AP message to route it (first
+// decode), consults a Redis-like string-keyed registry, then forwards the
+// raw bytes over a second transport hop wrapped in an RMR header. The xApp
+// decodes the E2AP message AGAIN (second decode) before touching the SM
+// payload — "indication messages are decoded twice, once in the E2
+// termination, and the xApp" (§5.4). All E2AP traffic uses ASN.1 (PER), as
+// O-RAN mandates.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "e2ap/codec.hpp"
+#include "e2sm/mac_sm.hpp"
+#include "transport/transport.hpp"
+
+namespace flexric::baseline::oran {
+
+/// The E2 termination platform component.
+class E2Termination {
+ public:
+  explicit E2Termination(Reactor& reactor);
+  ~E2Termination();
+
+  /// South-bound: accept agents.
+  Status listen_e2(std::uint16_t port);
+  [[nodiscard]] std::uint16_t e2_port() const noexcept {
+    return e2_listener_ ? e2_listener_->port() : 0;
+  }
+  void attach_agent(std::shared_ptr<MsgTransport> transport);
+
+  /// North-bound: accept xApps over the RMR hop.
+  Status listen_rmr(std::uint16_t port);
+  [[nodiscard]] std::uint16_t rmr_port() const noexcept {
+    return rmr_listener_ ? rmr_listener_->port() : 0;
+  }
+  void attach_xapp(std::shared_ptr<MsgTransport> transport);
+
+  struct Stats {
+    std::uint64_t e2_msgs_rx = 0;
+    std::uint64_t e2_decodes = 0;   ///< first decode of the double decode
+    std::uint64_t rmr_forwards = 0;
+    std::uint64_t registry_lookups = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void on_agent_message(std::uint64_t conn, BytesView wire);
+  void on_xapp_message(std::uint64_t conn, BytesView wire);
+  /// Redis-like registry access: string-keyed lookups, as the platform's
+  /// shared data layer (SDL) performs for routing decisions.
+  std::uint64_t registry_get(const std::string& key);
+  void registry_set(const std::string& key, std::uint64_t value);
+
+  Reactor& reactor_;
+  const e2ap::Codec& codec_;
+  std::unique_ptr<TcpListener> e2_listener_;
+  std::unique_ptr<TcpListener> rmr_listener_;
+  std::map<std::uint64_t, std::shared_ptr<MsgTransport>> agents_;
+  std::map<std::uint64_t, std::shared_ptr<MsgTransport>> xapps_;
+  std::uint64_t next_conn_ = 1;
+  std::map<std::string, std::uint64_t> registry_;  ///< SDL stand-in
+  Stats stats_;
+};
+
+/// A monitoring/ping xApp speaking RMR to the E2 termination.
+class OranXapp {
+ public:
+  OranXapp(Reactor& reactor, std::shared_ptr<MsgTransport> rmr_conn,
+           WireFormat sm_format);
+  ~OranXapp();
+
+  /// Subscribe to a RAN function on the (single) connected E2 node.
+  Status subscribe(std::uint16_t ran_function_id, Buffer event_trigger,
+                   std::vector<e2ap::Action> actions);
+  /// Send a RIC control (e.g. the HW ping).
+  Status send_control(std::uint16_t ran_function_id, Buffer header,
+                      Buffer message);
+
+  using IndicationHandler = std::function<void(const e2ap::Indication&)>;
+  void set_on_indication(IndicationHandler h) { on_ind_ = std::move(h); }
+
+  /// Latest MAC stats per UE (monitoring use case of Fig. 9b).
+  [[nodiscard]] const std::map<std::uint16_t, e2sm::mac::UeStats>& db()
+      const noexcept {
+    return db_;
+  }
+
+  struct Stats {
+    std::uint64_t indications_rx = 0;
+    std::uint64_t e2_decodes = 0;  ///< second decode of the double decode
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  void on_message(BytesView wire);
+
+  const e2ap::Codec& codec_;
+  std::shared_ptr<MsgTransport> conn_;
+  WireFormat sm_fmt_;
+  IndicationHandler on_ind_;
+  std::uint16_t next_instance_ = 1;
+  std::map<std::uint16_t, e2sm::mac::UeStats> db_;
+  Stats stats_;
+};
+
+}  // namespace flexric::baseline::oran

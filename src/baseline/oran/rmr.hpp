@@ -1,0 +1,57 @@
+// RMR-like message routing shim (O-RAN RIC baseline).
+//
+// O-RAN's RIC Message Router (RMR) prefixes every message with a routing
+// header (message type + subscription id) and delivers it over a separate
+// hop between platform components. This shim reproduces that framing and
+// the extra copy it implies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+
+namespace flexric::baseline::oran {
+
+/// RMR message types used by the E2 termination <-> xApp path.
+enum class RmrType : std::uint32_t {
+  e2ap_pdu = 12050,       ///< raw E2AP bytes (indication and responses)
+  sub_request = 12010,    ///< xApp -> E2T subscription
+  control_request = 12040,
+  health_check = 100,
+};
+
+struct RmrMsg {
+  RmrType mtype = RmrType::e2ap_pdu;
+  std::int32_t sub_id = -1;
+  BytesView payload;  ///< view into the wire buffer
+};
+
+inline Buffer rmr_encode(RmrType mtype, std::int32_t sub_id,
+                         BytesView payload) {
+  BufWriter w(12 + payload.size());
+  w.u32(static_cast<std::uint32_t>(mtype));
+  w.u32(static_cast<std::uint32_t>(sub_id));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.bytes(payload);
+  return w.take();
+}
+
+inline Result<RmrMsg> rmr_decode(BytesView wire) {
+  BufReader r(wire);
+  RmrMsg m;
+  auto mtype = r.u32();
+  if (!mtype) return mtype.error();
+  m.mtype = static_cast<RmrType>(*mtype);
+  auto sub = r.u32();
+  if (!sub) return sub.error();
+  m.sub_id = static_cast<std::int32_t>(*sub);
+  auto len = r.u32();
+  if (!len) return len.error();
+  auto payload = r.bytes(*len);
+  if (!payload) return payload.error();
+  m.payload = *payload;
+  return m;
+}
+
+}  // namespace flexric::baseline::oran

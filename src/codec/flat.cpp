@@ -1,0 +1,42 @@
+#include "codec/flat.hpp"
+
+namespace flexric {
+
+Buffer FlatWriter::finish() {
+  // Patch var-field offsets now that the fixed region size is final.
+  // Offsets are relative to the start of the table (after the size prefix).
+  const std::size_t fixed_size = fixed_.size();
+  for (const Slot& s : slots_) {
+    fixed_.patch_u32(s.fixed_off,
+                     static_cast<std::uint32_t>(fixed_size + s.var_off));
+  }
+  BufWriter out(4 + fixed_size + var_.size());
+  out.u32(static_cast<std::uint32_t>(fixed_size));
+  out.bytes(fixed_.view());
+  out.bytes(var_.view());
+  return out.take();
+}
+
+Result<FlatView> FlatView::parse(BytesView wire) {
+  if (wire.size() < 4) return Error{Errc::truncated, "flat: no size prefix"};
+  std::uint32_t fixed_size = 0;
+  for (int i = 0; i < 4; ++i)
+    fixed_size |= static_cast<std::uint32_t>(wire[static_cast<std::size_t>(i)])
+                  << (8 * i);
+  BytesView table = wire.subspan(4);
+  if (fixed_size > table.size())
+    return Error{Errc::malformed, "flat: fixed region exceeds table"};
+  return FlatView(table, fixed_size);
+}
+
+Result<BytesView> FlatView::var_bytes() {
+  auto off = scalar<std::uint32_t>();
+  if (!off) return off.error();
+  auto len = scalar<std::uint32_t>();
+  if (!len) return len.error();
+  if (static_cast<std::size_t>(*off) + *len > table_.size())
+    return Error{Errc::malformed, "flat: var field out of bounds"};
+  return table_.subspan(*off, *len);
+}
+
+}  // namespace flexric

@@ -1,0 +1,147 @@
+// FlatBuffers-style zero-copy codec primitives.
+//
+// Layout of a flat table:
+//
+//   [u32 fixed_size][fixed region][var region]
+//
+// The fixed region holds scalars at known offsets (declaration order) and,
+// for each variable-size field, an (offset, length) pair relative to the
+// start of the whole table. Readers wrap the wire bytes in a FlatView and
+// access fields in place — there is no decode step, only an O(1) bounds
+// validation, reproducing FlatBuffers' cost profile: the paper measures
+// 30–40 B per-message overhead and ~4x lower controller CPU vs ASN.1
+// (Figs. 7, 8b).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+
+namespace flexric {
+
+/// Builds a flat table. Scalars append to the fixed region; var fields
+/// append an 8-byte (offset,len) slot to the fixed region and the payload to
+/// the var region. finish() stitches both together behind a size prefix.
+class FlatWriter {
+ public:
+  FlatWriter() : fixed_(128), var_(1024) {}
+
+  void u8(std::uint8_t v) { fixed_.u8(v); }
+  void u16(std::uint16_t v) { fixed_.u16(v); }
+  void u32(std::uint32_t v) { fixed_.u32(v); }
+  void u64(std::uint64_t v) { fixed_.u64(v); }
+  void i64(std::int64_t v) { fixed_.i64(v); }
+  void f64(double v) { fixed_.f64(v); }
+  void boolean(bool v) { fixed_.u8(v ? 1 : 0); }
+
+  /// Variable-length byte field: writes an (offset,len) slot now, payload at
+  /// finish() time. Offsets are patched in finish().
+  void var_bytes(BytesView b) {
+    slots_.push_back({fixed_.size(), var_.size(), b.size()});
+    fixed_.u32(0);  // offset placeholder
+    fixed_.u32(static_cast<std::uint32_t>(b.size()));
+    var_.bytes(b);
+  }
+  void var_string(std::string_view s) {
+    var_bytes({reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+  /// Zero-copy var field: write the content directly into the var region
+  /// through the returned writer, then call var_end(). Saves the staging
+  /// buffer + copy for composite fields (lists of structs).
+  BufWriter& var_begin() {
+    slots_.push_back({fixed_.size(), var_.size(), 0});
+    fixed_.u32(0);  // offset placeholder
+    fixed_.u32(0);  // length placeholder
+    return var_;
+  }
+  void var_end() {
+    Slot& s = slots_.back();
+    s.len = var_.size() - s.var_off;
+    fixed_.patch_u32(s.fixed_off + 4, static_cast<std::uint32_t>(s.len));
+  }
+
+  /// Assemble the final table.
+  Buffer finish();
+
+ private:
+  struct Slot {
+    std::size_t fixed_off;  // where the offset placeholder lives
+    std::size_t var_off;    // payload position within var region
+    std::size_t len;
+  };
+  BufWriter fixed_;
+  BufWriter var_;
+  std::vector<Slot> slots_;
+};
+
+/// Zero-copy reader over a flat table. Construction validates the size
+/// prefix; field accessors are bounds-checked reads straight from the wire
+/// buffer. Field offsets are maintained by the caller (sequential access via
+/// the cursor API matches how the message codecs use it).
+class FlatView {
+ public:
+  /// Validates the header. On success the view spans exactly one table.
+  static Result<FlatView> parse(BytesView wire);
+
+  Result<std::uint8_t> u8() { return scalar<std::uint8_t>(); }
+  Result<std::uint16_t> u16() { return scalar<std::uint16_t>(); }
+  Result<std::uint32_t> u32() { return scalar<std::uint32_t>(); }
+  Result<std::uint64_t> u64() { return scalar<std::uint64_t>(); }
+  Result<std::int64_t> i64() {
+    auto r = scalar<std::uint64_t>();
+    if (!r) return r.error();
+    return static_cast<std::int64_t>(*r);
+  }
+  Result<double> f64() {
+    auto r = scalar<std::uint64_t>();
+    if (!r) return r.error();
+    double d;
+    std::uint64_t b = *r;
+    std::memcpy(&d, &b, sizeof d);
+    return d;
+  }
+  Result<bool> boolean() {
+    auto r = scalar<std::uint8_t>();
+    if (!r) return r.error();
+    return *r != 0;
+  }
+  /// Resolve a var field slot: view into the wire bytes, no copy.
+  Result<BytesView> var_bytes();
+  Result<std::string_view> var_string() {
+    auto b = var_bytes();
+    if (!b) return b.error();
+    return std::string_view(reinterpret_cast<const char*>(b->data()),
+                            b->size());
+  }
+
+  /// Total size of the table on the wire including the size prefix.
+  [[nodiscard]] std::size_t wire_size() const noexcept {
+    return table_.size() + 4;
+  }
+
+ private:
+  explicit FlatView(BytesView table, std::size_t fixed_size)
+      : table_(table), fixed_size_(fixed_size) {}
+
+  template <typename T>
+  Result<T> scalar() {
+    if (cursor_ + sizeof(T) > fixed_size_)
+      return Error{Errc::truncated, "flat scalar past fixed region"};
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<T>(table_[cursor_ + i]) << (8 * i)));
+    cursor_ += sizeof(T);
+    return v;
+  }
+
+  BytesView table_;         // fixed + var regions (excludes size prefix)
+  std::size_t fixed_size_;  // boundary between fixed and var region
+  std::size_t cursor_ = 0;  // next scalar/slot position in the fixed region
+};
+
+}  // namespace flexric

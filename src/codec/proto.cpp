@@ -1,0 +1,35 @@
+#include "codec/proto.hpp"
+
+namespace flexric {
+
+Result<ProtoReader::Field> ProtoReader::next() {
+  if (r_.at_end()) return Error{Errc::not_found, "end of message"};
+  auto tag = r_.uvarint();
+  if (!tag) return tag.error();
+  Field f{};
+  f.number = static_cast<std::uint32_t>(*tag >> 3);
+  auto wt = static_cast<std::uint8_t>(*tag & 0x7);
+  if (wt == 0) {
+    f.type = ProtoWireType::varint;
+    auto v = r_.uvarint();
+    if (!v) return v.error();
+    f.varint = *v;
+  } else if (wt == 2) {
+    f.type = ProtoWireType::len;
+    auto b = r_.lp_bytes();
+    if (!b) return b.error();
+    f.bytes = *b;
+  } else {
+    return Error{Errc::unsupported, "unknown wire type"};
+  }
+  return f;
+}
+
+Result<double> ProtoReader::as_f64(const Field& f) {
+  if (f.type != ProtoWireType::len || f.bytes.size() != 8)
+    return Error{Errc::malformed, "f64 field must be 8 bytes"};
+  BufReader r(f.bytes);
+  return r.f64();
+}
+
+}  // namespace flexric

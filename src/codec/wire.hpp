@@ -1,0 +1,31 @@
+// Wire-format selection for the E2 protocol abstraction.
+//
+// The paper's E2 abstraction decouples message *semantics* (the intermediate
+// representation in src/e2ap, src/e2sm) from the *encoding*. Three encodings
+// are provided, mirroring the evaluation:
+//
+//   per  — ASN.1 aligned-PER-style bit packing (O-RAN's mandated encoding):
+//          most compact, full parse on decode, CPU-heavy.
+//   flat — FlatBuffers-style zero-copy tables: ~30-40 B fixed overhead,
+//          near-zero decode cost (reads directly from wire bytes).
+//   proto— Protobuf-style varint TLV (the FlexRAN baseline's encoding):
+//          between the two in both size and CPU.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace flexric {
+
+enum class WireFormat : std::uint8_t { per = 0, flat = 1, proto = 2 };
+
+constexpr std::string_view wire_format_name(WireFormat f) {
+  switch (f) {
+    case WireFormat::per: return "ASN";     // paper's figures label it "ASN"
+    case WireFormat::flat: return "FB";
+    case WireFormat::proto: return "PROTO";
+  }
+  return "?";
+}
+
+}  // namespace flexric

@@ -1,0 +1,83 @@
+#include "common/bit_io.hpp"
+
+namespace flexric {
+
+void BitWriter::bits(std::uint64_t v, unsigned nbits) {
+  FLEXRIC_ASSERT(nbits <= 64, "nbits > 64");
+  if (nbits < 64) v &= (nbits == 0) ? 0 : ((std::uint64_t{1} << nbits) - 1);
+  while (nbits > 0) {
+    if (bitpos_ == 0) buf_.push_back(0);
+    unsigned room = 8 - bitpos_;
+    unsigned take = nbits < room ? nbits : room;
+    // take the top `take` bits of the remaining value
+    std::uint64_t chunk = (take == 64) ? v : (v >> (nbits - take));
+    chunk &= (take == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << take) - 1);
+    buf_.back() = static_cast<std::uint8_t>(
+        buf_.back() | (chunk << (room - take)));
+    bitpos_ = (bitpos_ + take) % 8;
+    nbits -= take;
+  }
+}
+
+void BitWriter::align() { bitpos_ = 0; }
+
+void BitWriter::bytes(BytesView b) {
+  FLEXRIC_ASSERT(bitpos_ == 0, "bytes() requires alignment");
+  buf_.insert(buf_.end(), b.begin(), b.end());
+}
+
+Buffer BitWriter::take() {
+  bitpos_ = 0;
+  return std::move(buf_);
+}
+
+Result<std::uint64_t> BitReader::bits(unsigned nbits) {
+  FLEXRIC_ASSERT(nbits <= 64, "nbits > 64");
+  if (bits_remaining() < nbits)
+    return Error{Errc::truncated, "bit read past end"};
+  std::uint64_t v = 0;
+  unsigned left = nbits;
+  while (left > 0) {
+    std::size_t byte = bitpos_ / 8;
+    unsigned off = static_cast<unsigned>(bitpos_ % 8);
+    unsigned room = 8 - off;
+    unsigned take = left < room ? left : room;
+    std::uint8_t cur = data_[byte];
+    std::uint64_t chunk = (cur >> (room - take)) & ((1u << take) - 1);
+    v = (take == 64) ? chunk : ((v << take) | chunk);
+    bitpos_ += take;
+    left -= take;
+  }
+  return v;
+}
+
+Result<bool> BitReader::bit() {
+  auto r = bits(1);
+  if (!r) return r.error();
+  return *r != 0;
+}
+
+void BitReader::align() {
+  if (bitpos_ % 8 != 0) bitpos_ += 8 - (bitpos_ % 8);
+}
+
+Result<BytesView> BitReader::bytes(std::size_t n) {
+  FLEXRIC_ASSERT(aligned(), "bytes() requires alignment");
+  std::size_t byte = bitpos_ / 8;
+  if (byte + n > data_.size()) return Error{Errc::truncated, "bytes past end"};
+  bitpos_ += n * 8;
+  return data_.subspan(byte, n);
+}
+
+unsigned bits_for_range(std::uint64_t range) noexcept {
+  if (range <= 1) return 0;
+  unsigned n = 0;
+  std::uint64_t max = range - 1;
+  while (max > 0) {
+    ++n;
+    max >>= 1;
+  }
+  return n;
+}
+
+}  // namespace flexric

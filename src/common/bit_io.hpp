@@ -1,0 +1,65 @@
+// Bit-level I/O used by the ASN.1-PER-style codec.
+//
+// PER packs constrained integers into the minimal number of bits, so the
+// codec needs sub-byte addressing. Writers pad to a byte boundary only when
+// explicitly asked (aligned-PER alignment points).
+#pragma once
+
+#include <cstdint>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+
+namespace flexric {
+
+/// MSB-first bit writer appending to an owned Buffer.
+class BitWriter {
+ public:
+  /// Write the low `nbits` bits of v, MSB first. nbits in [0, 64].
+  void bits(std::uint64_t v, unsigned nbits);
+  /// Write a single bit.
+  void bit(bool b) { bits(b ? 1 : 0, 1); }
+  /// Pad with zero bits to the next byte boundary (aligned-PER alignment).
+  void align();
+  /// Append whole bytes (requires byte alignment; asserts otherwise).
+  void bytes(BytesView b);
+
+  [[nodiscard]] std::size_t bit_size() const noexcept {
+    return buf_.size() * 8 - (bitpos_ ? 8 - bitpos_ : 0);
+  }
+  [[nodiscard]] bool aligned() const noexcept { return bitpos_ == 0; }
+  /// Finish: pads to byte boundary and returns the buffer.
+  Buffer take();
+
+ private:
+  Buffer buf_;
+  unsigned bitpos_ = 0;  // bits already used in the last byte (0 == aligned)
+};
+
+/// MSB-first bit reader over a byte view.
+class BitReader {
+ public:
+  explicit BitReader(BytesView b) : data_(b) {}
+
+  /// Read `nbits` bits MSB-first into the low bits of the result.
+  Result<std::uint64_t> bits(unsigned nbits);
+  Result<bool> bit();
+  /// Skip to the next byte boundary.
+  void align();
+  /// Read whole bytes (requires byte alignment; asserts otherwise).
+  Result<BytesView> bytes(std::size_t n);
+
+  [[nodiscard]] std::size_t bits_remaining() const noexcept {
+    return data_.size() * 8 - bitpos_;
+  }
+  [[nodiscard]] bool aligned() const noexcept { return bitpos_ % 8 == 0; }
+
+ private:
+  BytesView data_;
+  std::size_t bitpos_ = 0;  // absolute bit position
+};
+
+/// Number of bits needed to represent values in [0, range-1]; 0 for range<=1.
+unsigned bits_for_range(std::uint64_t range) noexcept;
+
+}  // namespace flexric

@@ -1,0 +1,16 @@
+#include "common/buffer.hpp"
+
+namespace flexric {
+
+std::string to_hex(BytesView b) {
+  static const char* digits = "0123456789abcdef";
+  std::string s;
+  s.reserve(b.size() * 2);
+  for (std::uint8_t c : b) {
+    s.push_back(digits[c >> 4]);
+    s.push_back(digits[c & 0xF]);
+  }
+  return s;
+}
+
+}  // namespace flexric

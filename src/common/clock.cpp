@@ -1,0 +1,33 @@
+#include "common/clock.hpp"
+
+#include <cstdio>
+#include <unistd.h>
+
+namespace flexric {
+
+namespace {
+Nanos read_clock(clockid_t id) noexcept {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return static_cast<Nanos>(ts.tv_sec) * kSecond + ts.tv_nsec;
+}
+}  // namespace
+
+Nanos mono_now() noexcept { return read_clock(CLOCK_MONOTONIC); }
+Nanos thread_cpu_now() noexcept { return read_clock(CLOCK_THREAD_CPUTIME_ID); }
+Nanos process_cpu_now() noexcept {
+  return read_clock(CLOCK_PROCESS_CPUTIME_ID);
+}
+
+std::uint64_t rss_bytes() noexcept {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0;
+  unsigned long size = 0, resident = 0;
+  int n = std::fscanf(f, "%lu %lu", &size, &resident);
+  std::fclose(f);
+  if (n != 2) return 0;
+  return static_cast<std::uint64_t>(resident) *
+         static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+}
+
+}  // namespace flexric

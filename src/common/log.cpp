@@ -1,0 +1,34 @@
+#include "common/log.hpp"
+
+#include <atomic>
+
+namespace flexric {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::warn};
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::trace: return "TRACE";
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO";
+    case LogLevel::warn: return "WARN";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel lvl) noexcept { g_level.store(lvl); }
+LogLevel log_level() noexcept { return g_level.load(); }
+
+void log_write(LogLevel lvl, const char* component, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s] %s: ", level_name(lvl), component);
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace flexric

@@ -1,0 +1,37 @@
+// Minimal leveled logging. Disabled below the compile/runtime threshold with
+// negligible cost (zero-overhead principle: monitoring is not on the hot path
+// unless asked for).
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace flexric {
+
+enum class LogLevel { trace = 0, debug, info, warn, error, off };
+
+/// Global runtime log threshold (default: warn, keeps benches quiet).
+void set_log_level(LogLevel lvl) noexcept;
+LogLevel log_level() noexcept;
+
+/// printf-style log entry; no-op when below the threshold.
+void log_write(LogLevel lvl, const char* component, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+
+#define FLEXRIC_LOG(lvl, comp, ...)                           \
+  do {                                                        \
+    if (static_cast<int>(lvl) >=                              \
+        static_cast<int>(::flexric::log_level()))             \
+      ::flexric::log_write((lvl), (comp), __VA_ARGS__);       \
+  } while (0)
+
+#define LOG_TRACE(comp, ...) FLEXRIC_LOG(::flexric::LogLevel::trace, comp, __VA_ARGS__)
+#define LOG_DEBUG(comp, ...) FLEXRIC_LOG(::flexric::LogLevel::debug, comp, __VA_ARGS__)
+#define LOG_INFO(comp, ...) FLEXRIC_LOG(::flexric::LogLevel::info, comp, __VA_ARGS__)
+#define LOG_WARN(comp, ...) FLEXRIC_LOG(::flexric::LogLevel::warn, comp, __VA_ARGS__)
+#define LOG_ERROR(comp, ...) FLEXRIC_LOG(::flexric::LogLevel::error, comp, __VA_ARGS__)
+
+}  // namespace flexric

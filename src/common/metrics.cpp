@@ -1,0 +1,67 @@
+#include "common/metrics.hpp"
+
+#include <cstdio>
+#include <numeric>
+
+namespace flexric {
+
+void Histogram::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::mean() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double Histogram::min() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::max() const noexcept {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Histogram::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0) return samples_.front();
+  if (q >= 1) return samples_.back();
+  auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[idx];
+}
+
+std::vector<std::pair<double, double>> Histogram::cdf(std::size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  ensure_sorted();
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    double frac = static_cast<double>(i + 1) / static_cast<double>(points);
+    std::size_t idx = std::min(
+        samples_.size() - 1,
+        static_cast<std::size_t>(frac * static_cast<double>(samples_.size())));
+    out.emplace_back(samples_[idx], frac);
+  }
+  return out;
+}
+
+std::string format_mbps(double mbps) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f Mbps", mbps);
+  return buf;
+}
+
+std::string format_micros(double micros) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f us", micros);
+  return buf;
+}
+
+}  // namespace flexric

@@ -1,0 +1,74 @@
+// Measurement primitives shared by tests and benches: counters, rate meters,
+// and a sampling histogram with quantile/CDF extraction (used for the RTT
+// CDFs in Fig. 7/9/11 of the paper).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace flexric {
+
+/// Monotonic event/byte counter with a named label.
+struct Counter {
+  std::uint64_t value = 0;
+  void add(std::uint64_t n = 1) noexcept { value += n; }
+};
+
+/// Bytes-per-second meter over a (virtual or real) time interval.
+class RateMeter {
+ public:
+  void record(std::uint64_t nbytes) noexcept { bytes_ += nbytes; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+  /// Megabits per second over `interval` nanoseconds.
+  [[nodiscard]] double mbps(Nanos interval) const noexcept {
+    if (interval <= 0) return 0.0;
+    return static_cast<double>(bytes_) * 8.0 / 1e6 /
+           (static_cast<double>(interval) / static_cast<double>(kSecond));
+  }
+  void reset() noexcept { bytes_ = 0; }
+
+ private:
+  std::uint64_t bytes_ = 0;
+};
+
+/// Stores every sample; supports mean/min/max/quantiles and CDF export.
+/// Sample counts in the reproduced experiments are small enough (≤ a few
+/// million) that exact storage beats a sketch in simplicity and fidelity.
+class Histogram {
+ public:
+  void record(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+  [[nodiscard]] double mean() const noexcept;
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+  /// q in [0,1]; nearest-rank quantile. Returns 0 when empty.
+  [[nodiscard]] double quantile(double q) const;
+  /// (value, cumulative fraction) pairs at `points` evenly spaced ranks.
+  [[nodiscard]] std::vector<std::pair<double, double>> cdf(
+      std::size_t points = 100) const;
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept {
+    return samples_;
+  }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Pretty-print helpers for bench output tables.
+std::string format_mbps(double mbps);
+std::string format_micros(double micros);
+
+}  // namespace flexric

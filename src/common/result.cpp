@@ -1,0 +1,21 @@
+#include "common/result.hpp"
+
+namespace flexric {
+
+const char* errc_name(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::truncated: return "truncated";
+    case Errc::malformed: return "malformed";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::unsupported: return "unsupported";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::rejected: return "rejected";
+    case Errc::io: return "io";
+    case Errc::capacity: return "capacity";
+  }
+  return "unknown";
+}
+
+}  // namespace flexric

@@ -1,0 +1,63 @@
+// In-process publish/subscribe broker — the Redis message-broker stand-in of
+// the traffic-control specialization (Table 3: "Comm. IF: Redis message
+// broker"; an iApp publishes RLC/TC stats, the TC xApp subscribes).
+//
+// Delivery is asynchronous via the reactor task queue, preserving the
+// decoupling a real broker provides, without the external dependency.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "transport/reactor.hpp"
+
+namespace flexric::ctrl {
+
+class Broker {
+ public:
+  using Handler = std::function<void(const std::string& topic, BytesView)>;
+
+  explicit Broker(Reactor& reactor) : reactor_(reactor) {}
+
+  /// Subscribe to an exact topic; returns a token for unsubscribe.
+  std::uint64_t subscribe(const std::string& topic, Handler handler) {
+    std::uint64_t id = next_id_++;
+    subs_[id] = {topic, std::move(handler)};
+    return id;
+  }
+
+  void unsubscribe(std::uint64_t id) { subs_.erase(id); }
+
+  /// Publish: handlers run on the next reactor iteration (broker hop).
+  void publish(const std::string& topic, BytesView payload) {
+    Buffer copy(payload.begin(), payload.end());
+    published_++;
+    reactor_.post([this, topic, copy = std::move(copy)]() {
+      for (auto& [id, sub] : subs_)
+        if (sub.topic == topic) sub.handler(topic, copy);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t published() const noexcept {
+    return published_;
+  }
+  [[nodiscard]] std::size_t num_subscribers() const noexcept {
+    return subs_.size();
+  }
+
+ private:
+  struct Sub {
+    std::string topic;
+    Handler handler;
+  };
+  Reactor& reactor_;
+  std::map<std::uint64_t, Sub> subs_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace flexric::ctrl

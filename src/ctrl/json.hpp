@@ -1,0 +1,78 @@
+// Minimal JSON support for the REST northbound interfaces (Table 3/4 of the
+// paper use REST + curl as the xApp communication interface).
+//
+// Supports the JSON subset the controllers exchange: objects, arrays,
+// strings (with \" \\ \n escapes), numbers, booleans, null. No comments, no
+// \uXXXX escapes.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace flexric::ctrl {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  using Value =
+      std::variant<std::nullptr_t, bool, double, std::string, JsonArray,
+                   JsonObject>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(unsigned u) : v_(static_cast<double>(u)) {}
+  Json(std::int64_t i) : v_(static_cast<double>(i)) {}
+  Json(std::uint64_t u) : v_(static_cast<double>(u)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(JsonArray a) : v_(std::move(a)) {}
+  Json(JsonObject o) : v_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  [[nodiscard]] bool is_number() const { return std::holds_alternative<double>(v_); }
+  [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+  [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+  [[nodiscard]] bool as_bool(bool def = false) const {
+    return is_bool() ? std::get<bool>(v_) : def;
+  }
+  [[nodiscard]] double as_number(double def = 0.0) const {
+    return is_number() ? std::get<double>(v_) : def;
+  }
+  [[nodiscard]] std::string as_string(const std::string& def = {}) const {
+    return is_string() ? std::get<std::string>(v_) : def;
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    static const JsonArray empty;
+    return is_array() ? std::get<JsonArray>(v_) : empty;
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    static const JsonObject empty;
+    return is_object() ? std::get<JsonObject>(v_) : empty;
+  }
+  /// Object member access; null Json for missing keys.
+  [[nodiscard]] const Json& operator[](const std::string& key) const;
+
+  /// Serialize (compact).
+  [[nodiscard]] std::string dump() const;
+  /// Parse; reports malformed input as an error, never throws.
+  static Result<Json> parse(std::string_view text);
+
+ private:
+  Value v_;
+};
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,67 @@
+#include "ctrl/monitor.hpp"
+
+#include "e2sm/common.hpp"
+
+namespace flexric::ctrl {
+
+void MonitorIApp::on_agent_connected(const server::AgentInfo& info) {
+  db_[info.id];  // create entry
+  for (const auto& f : info.functions) {
+    bool want = (cfg_.want_mac && f.id == e2sm::mac::Sm::kId) ||
+                (cfg_.want_rlc && f.id == e2sm::rlc::Sm::kId) ||
+                (cfg_.want_pdcp && f.id == e2sm::pdcp::Sm::kId);
+    if (want) subscribe_stats(info.id, f.id);
+  }
+}
+
+void MonitorIApp::on_agent_disconnected(server::AgentId id) {
+  if (!cfg_.retain_on_disconnect) db_.erase(id);
+}
+
+void MonitorIApp::subscribe_stats(server::AgentId agent, std::uint16_t fn_id) {
+  e2sm::EventTrigger trigger;
+  trigger.kind = e2sm::TriggerKind::periodic;
+  trigger.period_ms = cfg_.period_ms;
+  e2ap::Action action;
+  action.id = 1;
+  action.type = e2ap::ActionType::report;
+
+  server::SubCallbacks cbs;
+  cbs.on_indication = [this, agent, fn_id](const e2ap::Indication& ind) {
+    AgentDb& db = db_[agent];
+    db.indications++;
+    total_indications_++;
+    if (!cfg_.decode_payloads) {
+      // FlatBuffers mode: saving the raw message IS the in-memory data
+      // structure; fields are read in place when queried.
+      db.raw[fn_id].assign(ind.message.begin(), ind.message.end());
+      return;
+    }
+    if (fn_id == e2sm::mac::Sm::kId) {
+      auto msg = e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message,
+                                                           cfg_.sm_format);
+      if (msg)
+        for (const auto& ue : msg->ues) db.mac[ue.rnti] = ue;
+      if (cfg_.broker != nullptr)
+        cfg_.broker->publish("stats/mac", ind.message);
+    } else if (fn_id == e2sm::rlc::Sm::kId) {
+      auto msg = e2sm::sm_decode<e2sm::rlc::IndicationMsg>(ind.message,
+                                                           cfg_.sm_format);
+      if (msg)
+        for (const auto& b : msg->bearers) db.rlc[{b.rnti, b.drb_id}] = b;
+      if (cfg_.broker != nullptr)
+        cfg_.broker->publish("stats/rlc", ind.message);
+    } else if (fn_id == e2sm::pdcp::Sm::kId) {
+      auto msg = e2sm::sm_decode<e2sm::pdcp::IndicationMsg>(ind.message,
+                                                            cfg_.sm_format);
+      if (msg)
+        for (const auto& b : msg->bearers) db.pdcp[{b.rnti, b.drb_id}] = b;
+      if (cfg_.broker != nullptr)
+        cfg_.broker->publish("stats/pdcp", ind.message);
+    }
+  };
+  server_->subscribe(agent, fn_id, e2sm::sm_encode(trigger, cfg_.sm_format),
+                     {action}, std::move(cbs));
+}
+
+}  // namespace flexric::ctrl

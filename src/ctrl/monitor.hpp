@@ -1,0 +1,67 @@
+// Monitoring controller specialization: a statistics iApp that subscribes
+// to the stats SMs of every connecting agent and saves incoming messages to
+// an in-memory data structure (the workload of §5.3 / Fig. 8 — "the FlexRIC
+// controller consists of the server library and a statistics iApp that
+// saves incoming messages to an in-memory data structure").
+#pragma once
+
+#include <map>
+
+#include "ctrl/broker.hpp"
+#include "e2sm/mac_sm.hpp"
+#include "e2sm/pdcp_sm.hpp"
+#include "e2sm/rlc_sm.hpp"
+#include "server/server.hpp"
+
+namespace flexric::ctrl {
+
+class MonitorIApp final : public server::IApp {
+ public:
+  struct Config {
+    WireFormat sm_format = WireFormat::flat;
+    std::uint32_t period_ms = 1;
+    bool want_mac = true;
+    bool want_rlc = true;
+    bool want_pdcp = true;
+    /// true: parse payloads into typed maps (mandatory for ASN.1, which is
+    /// unusable unparsed). false: keep the latest raw message per SM — the
+    /// FlatBuffers mode of operation, where the stored bytes ARE the
+    /// queryable object and no decode step exists (§5.3's FB advantage).
+    bool decode_payloads = true;
+    bool retain_on_disconnect = false;  ///< keep DBs after agents leave
+    Broker* broker = nullptr;  ///< optional: republish stats northbound
+  };
+
+  explicit MonitorIApp(Config cfg) : cfg_(cfg) {}
+  [[nodiscard]] const char* name() const override { return "monitor"; }
+
+  void on_agent_connected(const server::AgentInfo& info) override;
+  void on_agent_disconnected(server::AgentId id) override;
+
+  /// In-memory DB: latest stats per agent per UE/bearer.
+  struct AgentDb {
+    std::map<std::uint16_t, e2sm::mac::UeStats> mac;
+    std::map<std::pair<std::uint16_t, std::uint8_t>, e2sm::rlc::BearerStats>
+        rlc;
+    std::map<std::pair<std::uint16_t, std::uint8_t>, e2sm::pdcp::BearerStats>
+        pdcp;
+    /// Zero-copy mode: latest raw SM message per RAN function id.
+    std::map<std::uint16_t, Buffer> raw;
+    std::uint64_t indications = 0;
+  };
+  [[nodiscard]] const std::map<server::AgentId, AgentDb>& db() const noexcept {
+    return db_;
+  }
+  [[nodiscard]] std::uint64_t total_indications() const noexcept {
+    return total_indications_;
+  }
+
+ private:
+  void subscribe_stats(server::AgentId agent, std::uint16_t fn_id);
+
+  Config cfg_;
+  std::map<server::AgentId, AgentDb> db_;
+  std::uint64_t total_indications_ = 0;
+};
+
+}  // namespace flexric::ctrl

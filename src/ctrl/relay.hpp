@@ -1,0 +1,75 @@
+// Relaying controller: re-exposes connected E2 nodes' RAN functions at a
+// northbound E2 interface by reusing the agent library (paper §3: "it is
+// even possible to recursively expose an agent interface at the northbound
+// by reusing the agent library").
+//
+// Besides emulating the O-RAN RIC's two hops (Fig. 9a), the relay realizes
+// the topology abstraction of Fig. 14b: each *RAN entity* of the southbound
+// RAN DB gets one northbound virtual node — a disaggregated CU + DU pair is
+// exposed as a single monolithic base station whose function set is the
+// union of both agents', and "more complicated deployments ... might be
+// exposed as multiple base stations".
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "agent/agent.hpp"
+#include "server/server.hpp"
+
+namespace flexric::ctrl {
+
+class RelayController {
+ public:
+  struct Config {
+    WireFormat e2ap_format = WireFormat::flat;
+    /// Node identity fallback; per-entity northbound nodes use the entity's
+    /// own (plmn, nb_id) with a monolithic node type.
+    e2ap::GlobalNodeId node_id;
+  };
+
+  RelayController(Reactor& reactor, Config cfg);
+
+  /// South-bound server: the real agents connect here.
+  server::E2Server& southbound() noexcept { return *server_; }
+  Status listen(std::uint16_t port) { return server_->listen(port); }
+
+  /// Connect the northbound virtual node of the first mirrored RAN entity
+  /// to an upper controller. Requires at least one southbound agent.
+  Result<agent::ControllerId> connect_northbound(
+      std::shared_ptr<MsgTransport> transport);
+  /// Connect the virtual node of a specific RAN entity (Fig. 14b: one
+  /// northbound base station per southbound entity).
+  Result<agent::ControllerId> connect_northbound_entity(
+      std::uint32_t plmn, std::uint32_t nb_id,
+      std::shared_ptr<MsgTransport> transport);
+
+  [[nodiscard]] bool southbound_ready() const noexcept {
+    return !entities_.empty();
+  }
+  /// Number of northbound virtual nodes (= mirrored RAN entities).
+  [[nodiscard]] std::size_t num_entities() const noexcept {
+    return entities_.size();
+  }
+
+ private:
+  class MirrorIApp;
+  class RelayFunction;
+
+  struct Entity {
+    std::unique_ptr<agent::E2Agent> north_agent;
+  };
+
+  static std::uint64_t key(std::uint32_t plmn, std::uint32_t nb_id) {
+    return (static_cast<std::uint64_t>(plmn) << 32) | nb_id;
+  }
+  Entity& entity_for(const e2ap::GlobalNodeId& node);
+
+  Reactor& reactor_;
+  Config cfg_;
+  std::unique_ptr<server::E2Server> server_;
+  std::shared_ptr<MirrorIApp> mirror_;
+  std::map<std::uint64_t, Entity> entities_;  // insertion keyed by (plmn,nb)
+};
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,278 @@
+#include "ctrl/rest.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace flexric::ctrl {
+
+namespace {
+
+const char* reason_phrase(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 201: return "Created";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+/// Parse "METHOD /path HTTP/1.1\r\nheaders\r\n\r\nbody". Returns false when
+/// more data is needed; sets `error` for malformed requests.
+bool parse_request(const std::string& raw, HttpRequest* out, bool* error) {
+  *error = false;
+  std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return false;
+  std::size_t line_end = raw.find("\r\n");
+  std::string request_line = raw.substr(0, line_end);
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 = request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    *error = true;
+    return false;
+  }
+  out->method = request_line.substr(0, sp1);
+  out->path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+  std::size_t content_length = 0;
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    std::size_t eol = raw.find("\r\n", pos);
+    std::string line = raw.substr(pos, eol - pos);
+    pos = eol + 2;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string name = line.substr(0, colon);
+    for (auto& c : name) c = static_cast<char>(std::tolower(c));
+    if (name == "content-length")
+      content_length = static_cast<std::size_t>(
+          std::strtoul(line.c_str() + colon + 1, nullptr, 10));
+  }
+  std::size_t body_start = header_end + 4;
+  if (raw.size() - body_start < content_length) return false;
+  out->body = raw.substr(body_start, content_length);
+  return true;
+}
+
+std::string serialize_response(const HttpResponse& resp) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.code) + " " +
+                    reason_phrase(resp.code) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+}  // namespace
+
+struct HttpServer::ConnState {
+  int fd;
+  std::string rx;
+};
+
+HttpServer::HttpServer(Reactor& reactor) : reactor_(reactor) {}
+
+HttpServer::~HttpServer() { close(); }
+
+void HttpServer::route(const std::string& method, const std::string& path,
+                       Handler handler) {
+  routes_[{method, path}] = std::move(handler);
+}
+
+Status HttpServer::listen(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return {Errc::io, std::strerror(errno)};
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    Status st{Errc::io, std::strerror(errno)};
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  int flags = fcntl(listen_fd_, F_GETFL, 0);
+  fcntl(listen_fd_, F_SETFL, flags | O_NONBLOCK);
+  return reactor_.add_fd(listen_fd_, EPOLLIN,
+                         [this](std::uint32_t) { accept_ready(); });
+}
+
+void HttpServer::close() {
+  if (listen_fd_ >= 0) {
+    reactor_.del_fd(listen_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& [fd, conn] : conns_) {
+    reactor_.del_fd(fd);
+    ::close(fd);
+  }
+  conns_.clear();
+}
+
+void HttpServer::accept_ready() {
+  while (true) {
+    int cfd = ::accept4(listen_fd_, nullptr, nullptr,
+                        SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (cfd < 0) return;
+    auto conn = std::make_unique<ConnState>();
+    conn->fd = cfd;
+    Status st = reactor_.add_fd(cfd, EPOLLIN,
+                                [this, cfd](std::uint32_t) { conn_ready(cfd); });
+    if (!st.is_ok()) {
+      ::close(cfd);
+      continue;
+    }
+    conns_[cfd] = std::move(conn);
+  }
+}
+
+const HttpServer::Handler* HttpServer::find_route(
+    const std::string& method, const std::string& path) const {
+  auto it = routes_.find({method, path});
+  if (it != routes_.end()) return &it->second;
+  // Prefix routes: longest registered prefix ending in '/' wins.
+  const Handler* best = nullptr;
+  std::size_t best_len = 0;
+  for (const auto& [key, handler] : routes_) {
+    const auto& [m, p] = key;
+    if (m != method || p.empty() || p.back() != '/') continue;
+    if (path.compare(0, p.size(), p) == 0 && p.size() > best_len) {
+      best = &handler;
+      best_len = p.size();
+    }
+  }
+  return best;
+}
+
+void HttpServer::conn_ready(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ConnState& conn = *it->second;
+  char chunk[16384];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      conn.rx.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    // closed or error
+    reactor_.del_fd(fd);
+    ::close(fd);
+    conns_.erase(fd);
+    return;
+  }
+  HttpRequest req;
+  bool error = false;
+  if (!parse_request(conn.rx, &req, &error)) {
+    if (error) {
+      respond(conn, HttpResponse{400, R"({"error":"bad request"})", "application/json"});
+      reactor_.del_fd(fd);
+      ::close(fd);
+      conns_.erase(fd);
+    }
+    return;  // need more data
+  }
+  HttpResponse resp;
+  if (const Handler* handler = find_route(req.method, req.path)) {
+    (*handler)(req, resp);
+  } else {
+    resp.code = 404;
+    resp.body = R"({"error":"not found"})";
+  }
+  respond(conn, resp);
+  reactor_.del_fd(fd);
+  ::close(fd);
+  conns_.erase(fd);
+}
+
+void HttpServer::respond(ConnState& conn, const HttpResponse& resp) {
+  std::string wire = serialize_response(resp);
+  std::size_t off = 0;
+  while (off < wire.size()) {
+    ssize_t n = ::send(conn.fd, wire.data() + off, wire.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) break;  // best-effort: connection is closed right after
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// HttpClient
+// ---------------------------------------------------------------------------
+
+Result<HttpResponse> HttpClient::request(const std::string& host,
+                                         std::uint16_t port,
+                                         const std::string& method,
+                                         const std::string& path,
+                                         const std::string& body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Error{Errc::io, std::strerror(errno)};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    Error e{Errc::io, std::strerror(errno)};
+    ::close(fd);
+    return e;
+  }
+  std::string req = method + " " + path + " HTTP/1.1\r\n";
+  req += "Host: " + host + "\r\n";
+  req += "Content-Type: application/json\r\n";
+  req += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  req += "Connection: close\r\n\r\n";
+  req += body;
+  std::size_t off = 0;
+  while (off < req.size()) {
+    ssize_t n = ::send(fd, req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Error{Errc::io, "send failed"};
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char chunk[16384];
+  while (true) {
+    ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      raw.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    break;  // peer closes after the response
+  }
+  ::close(fd);
+  // Parse status line + body.
+  std::size_t sp = raw.find(' ');
+  if (sp == std::string::npos) return Error{Errc::malformed, "bad response"};
+  HttpResponse resp;
+  resp.code = std::atoi(raw.c_str() + sp + 1);
+  std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) resp.body = raw.substr(header_end + 4);
+  return resp;
+}
+
+}  // namespace flexric::ctrl

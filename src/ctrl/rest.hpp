@@ -1,0 +1,73 @@
+// Minimal HTTP/1.1 REST server + client — the northbound communication
+// interface of the slicing controller (Table 4: "Comm. IF: REST
+// (GET/POST)"; the xApp side is "command line: curl").
+//
+// Server: runs on the controller's reactor, routes (method, path-prefix) to
+// handlers, one request per connection (Connection: close semantics).
+// Client: blocking one-shot request, intended for xApps running on their
+// own thread/process (like curl).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "transport/reactor.hpp"
+
+namespace flexric::ctrl {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/slice"
+  std::string body;
+};
+
+struct HttpResponse {
+  int code = 200;
+  std::string body;
+  std::string content_type = "application/json";
+};
+
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpResponse&)>;
+
+  explicit HttpServer(Reactor& reactor);
+  ~HttpServer();
+
+  /// Register a handler for (method, exact path or prefix ending in '/').
+  void route(const std::string& method, const std::string& path,
+             Handler handler);
+
+  Status listen(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  void close();
+
+ private:
+  struct ConnState;
+  void accept_ready();
+  void conn_ready(int fd);
+  void respond(ConnState& conn, const HttpResponse& resp);
+  [[nodiscard]] const Handler* find_route(const std::string& method,
+                                          const std::string& path) const;
+
+  Reactor& reactor_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::map<std::pair<std::string, std::string>, Handler> routes_;
+  std::map<int, std::unique_ptr<ConnState>> conns_;
+};
+
+/// Blocking HTTP client (curl stand-in). Not for use on a reactor thread
+/// that also serves the request.
+class HttpClient {
+ public:
+  static Result<HttpResponse> request(const std::string& host,
+                                      std::uint16_t port,
+                                      const std::string& method,
+                                      const std::string& path,
+                                      const std::string& body = {});
+};
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,85 @@
+// RAT-unaware slicing controller specialization (paper §6.1.2, Table 4).
+//
+// Components, as in the paper:
+//   * internal DB for RAN stats (cf. FlexRAN RIB)       — latest SC status
+//   * SC SM manager iApp (REST command relay)            — this class
+//   * Comm. IF: REST (GET/POST)                          — mount_rest()
+//   * xApp: command line curl                            — HttpClient/tests
+//
+// The iApp discovers UEs through RRC notifications (selected PLMN /
+// S-NSSAI), exposes the slice configuration northbound, and relays commands
+// as SC SM controls. The xApp is oblivious of the RAT: the same JSON works
+// against the 4G and 5G simulator cells (Fig. 13 runs 5G/NR, Fig. 15 the
+// same controller over 4G/LTE).
+#pragma once
+
+#include <map>
+
+#include "ctrl/json.hpp"
+#include "ctrl/rest.hpp"
+#include "e2sm/rrc_sm.hpp"
+#include "e2sm/slice_sm.hpp"
+#include "server/server.hpp"
+
+namespace flexric::ctrl {
+
+class SlicingIApp final : public server::IApp {
+ public:
+  struct Config {
+    WireFormat sm_format = WireFormat::flat;
+    std::uint32_t status_period_ms = 100;  ///< SC status report period
+  };
+
+  explicit SlicingIApp(Config cfg) : cfg_(cfg) {}
+  [[nodiscard]] const char* name() const override { return "slicing"; }
+
+  void on_agent_connected(const server::AgentInfo& info) override;
+  void on_agent_disconnected(server::AgentId id) override;
+
+  // -- programmatic API (what the REST routes call) --
+  /// Send an SC SM control; on_done runs with the decoded outcome.
+  Status configure(server::AgentId agent, const e2sm::slice::CtrlMsg& msg,
+                   std::function<void(const e2sm::slice::CtrlOutcome&)>
+                       on_done = nullptr);
+  /// First agent offering the SC SM (single-cell experiments).
+  [[nodiscard]] std::optional<server::AgentId> first_agent() const;
+
+  /// Latest slice status per agent (from the periodic SC subscription).
+  [[nodiscard]] const std::map<server::AgentId, e2sm::slice::IndicationMsg>&
+  status() const noexcept {
+    return status_;
+  }
+  /// UE discovery: rnti -> (plmn, s_nssai) learned via RRC events.
+  struct UeInfo {
+    std::uint32_t plmn = 0;
+    std::uint32_t s_nssai = 0;
+  };
+  [[nodiscard]] const std::map<std::uint16_t, UeInfo>& ues() const noexcept {
+    return ues_;
+  }
+  using UeEventHandler =
+      std::function<void(const e2sm::rrc::IndicationMsg&, server::AgentId)>;
+  void set_on_ue_event(UeEventHandler h) { on_ue_event_ = std::move(h); }
+
+  /// Mount the REST northbound:
+  ///   GET  /ran            RAN composition + slice status
+  ///   POST /slice          {"agent":1,"algo":"nvs","slices":[...]}
+  ///   POST /slice/assoc    {"agent":1,"assoc":[{"rnti":1,"slice":2}]}
+  void mount_rest(HttpServer& http);
+
+  /// JSON <-> SC SM translation (public: reused by tests and the virt demo).
+  static Result<e2sm::slice::CtrlMsg> ctrl_from_json(const Json& j);
+  static Json status_to_json(const e2sm::slice::IndicationMsg& msg);
+
+ private:
+  void subscribe_status(server::AgentId agent);
+  void subscribe_rrc(server::AgentId agent);
+
+  Config cfg_;
+  std::map<server::AgentId, e2sm::slice::IndicationMsg> status_;
+  std::map<std::uint16_t, UeInfo> ues_;
+  std::vector<server::AgentId> slice_agents_;
+  UeEventHandler on_ue_event_;
+};
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,203 @@
+#include "ctrl/tc_xapp.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "e2sm/common.hpp"
+
+namespace flexric::ctrl {
+
+using e2sm::tc::CtrlKind;
+using e2sm::tc::CtrlMsg;
+using e2sm::tc::PacerKind;
+using e2sm::tc::QueueKind;
+using e2sm::tc::SchedKind;
+
+// ---------------------------------------------------------------------------
+// TcSmManagerIApp
+// ---------------------------------------------------------------------------
+
+void TcSmManagerIApp::on_agent_connected(const server::AgentInfo& info) {
+  for (const auto& f : info.functions)
+    if (f.id == e2sm::tc::Sm::kId) {
+      tc_agents_.push_back(info.id);
+      break;
+    }
+}
+
+void TcSmManagerIApp::on_agent_disconnected(server::AgentId id) {
+  std::erase(tc_agents_, id);
+}
+
+std::optional<server::AgentId> TcSmManagerIApp::first_agent() const {
+  if (tc_agents_.empty()) return std::nullopt;
+  return tc_agents_.front();
+}
+
+Status TcSmManagerIApp::send_ctrl(
+    server::AgentId agent, const CtrlMsg& msg,
+    std::function<void(const e2sm::tc::CtrlOutcome&)> on_done) {
+  server::CtrlCallbacks cbs;
+  cbs.on_ack = [this, on_done](const e2ap::ControlAck& ack) {
+    if (!on_done) return;
+    auto outcome =
+        e2sm::sm_decode<e2sm::tc::CtrlOutcome>(ack.outcome, fmt_);
+    on_done(outcome ? *outcome
+                    : e2sm::tc::CtrlOutcome{false, "undecodable outcome"});
+  };
+  cbs.on_failure = [on_done](const e2ap::ControlFailure&) {
+    if (on_done) on_done({false, "control failure"});
+  };
+  return server_->send_control(agent, e2sm::tc::Sm::kId, Buffer{},
+                               e2sm::sm_encode(msg, fmt_), std::move(cbs));
+}
+
+Result<CtrlMsg> TcSmManagerIApp::ctrl_from_json(const Json& j) {
+  CtrlMsg msg;
+  msg.rnti = static_cast<std::uint16_t>(j["rnti"].as_number());
+  msg.drb_id = static_cast<std::uint8_t>(j["drb"].as_number(1));
+  std::string kind = j["cmd"].as_string();
+  if (kind == "add_queue") {
+    msg.kind = CtrlKind::add_queue;
+    msg.queue.qid = static_cast<std::uint32_t>(j["qid"].as_number());
+    msg.queue.kind =
+        j["codel"].as_bool() ? QueueKind::codel : QueueKind::fifo;
+    if (!j["limit_bytes"].is_null())
+      msg.queue.limit_bytes =
+          static_cast<std::uint32_t>(j["limit_bytes"].as_number());
+  } else if (kind == "del_queue") {
+    msg.kind = CtrlKind::del_queue;
+    msg.del_id = static_cast<std::uint32_t>(j["qid"].as_number());
+  } else if (kind == "add_filter") {
+    msg.kind = CtrlKind::add_filter;
+    msg.filter.filter_id =
+        static_cast<std::uint32_t>(j["filter_id"].as_number());
+    msg.filter.dst_qid = static_cast<std::uint32_t>(j["qid"].as_number());
+    const Json& m = j["match"];
+    msg.filter.match.src_ip = static_cast<std::uint32_t>(m["src_ip"].as_number());
+    msg.filter.match.dst_ip = static_cast<std::uint32_t>(m["dst_ip"].as_number());
+    msg.filter.match.src_port =
+        static_cast<std::uint16_t>(m["src_port"].as_number());
+    msg.filter.match.dst_port =
+        static_cast<std::uint16_t>(m["dst_port"].as_number());
+    msg.filter.match.proto = static_cast<std::uint8_t>(m["proto"].as_number());
+  } else if (kind == "del_filter") {
+    msg.kind = CtrlKind::del_filter;
+    msg.del_id = static_cast<std::uint32_t>(j["filter_id"].as_number());
+  } else if (kind == "sched") {
+    msg.kind = CtrlKind::sched_conf;
+    std::string s = j["sched"].as_string("rr");
+    msg.sched.kind = s == "prio"  ? SchedKind::prio
+                     : s == "wrr" ? SchedKind::wrr
+                                  : SchedKind::rr;
+    for (const auto& w : j["weights"].as_array())
+      msg.sched.weights.push_back(
+          static_cast<std::uint32_t>(w.as_number()));
+  } else if (kind == "pacer") {
+    msg.kind = CtrlKind::pacer_conf;
+    msg.pacer.kind =
+        j["mode"].as_string("bdp") == "none" ? PacerKind::none : PacerKind::bdp;
+    msg.pacer.target_ms = j["target_ms"].as_number(5.0);
+  } else {
+    return Error{Errc::malformed, "unknown tc cmd: " + kind};
+  }
+  return msg;
+}
+
+void TcSmManagerIApp::mount_rest(HttpServer& http) {
+  http.route("POST", "/tc", [this](const HttpRequest& req,
+                                   HttpResponse& resp) {
+    auto j = Json::parse(req.body);
+    if (!j) {
+      resp.code = 400;
+      resp.body = R"({"error":"invalid json"})";
+      return;
+    }
+    auto msg = ctrl_from_json(*j);
+    if (!msg) {
+      resp.code = 400;
+      resp.body = "{\"error\":\"" + msg.error().to_string() + "\"}";
+      return;
+    }
+    server::AgentId agent =
+        (*j)["agent"].is_null()
+            ? first_agent().value_or(0)
+            : static_cast<server::AgentId>((*j)["agent"].as_number());
+    Status st = send_ctrl(agent, *msg);
+    resp.code = st.is_ok() ? 200 : 500;
+    resp.body = st.is_ok() ? R"({"status":"submitted"})"
+                           : "{\"error\":\"" + st.to_string() + "\"}";
+  });
+}
+
+// ---------------------------------------------------------------------------
+// TcXapp
+// ---------------------------------------------------------------------------
+
+TcXapp::TcXapp(Broker& broker, TcSmManagerIApp& manager, Config cfg)
+    : broker_(broker), manager_(manager), cfg_(cfg) {
+  sub_token_ = broker_.subscribe(
+      "stats/rlc",
+      [this](const std::string&, BytesView payload) { on_rlc_stats(payload); });
+}
+
+void TcXapp::on_rlc_stats(BytesView payload) {
+  stats_seen_++;
+  if (applied_) return;
+  auto msg =
+      e2sm::sm_decode<e2sm::rlc::IndicationMsg>(payload, cfg_.sm_format);
+  if (!msg) return;
+  for (const auto& b : msg->bearers) {
+    if (b.rnti != cfg_.rnti || b.drb_id != cfg_.drb_id) continue;
+    // The low-latency flow shares the bloated DRB buffer, so its packets'
+    // sojourn is the bearer's sojourn.
+    if (std::max(b.sojourn_avg_ms, b.sojourn_max_ms) >
+        cfg_.sojourn_limit_ms) {
+      LOG_INFO("tc-xapp",
+               "sojourn %.1f ms beyond limit %.1f ms: applying segregation",
+               b.sojourn_max_ms, cfg_.sojourn_limit_ms);
+      apply_policy();
+      break;
+    }
+  }
+}
+
+void TcXapp::apply_policy() {
+  applied_ = true;
+  auto agent = manager_.first_agent();
+  if (!agent) return;
+  // Action 1: a second FIFO queue.
+  CtrlMsg add_q;
+  add_q.kind = CtrlKind::add_queue;
+  add_q.rnti = cfg_.rnti;
+  add_q.drb_id = cfg_.drb_id;
+  add_q.queue.qid = cfg_.new_qid;
+  add_q.queue.kind = QueueKind::fifo;
+  manager_.send_ctrl(*agent, add_q);
+  // Action 2: segregate the low-latency flow by its 5-tuple.
+  CtrlMsg add_f;
+  add_f.kind = CtrlKind::add_filter;
+  add_f.rnti = cfg_.rnti;
+  add_f.drb_id = cfg_.drb_id;
+  add_f.filter.filter_id = 1;
+  add_f.filter.match = cfg_.low_latency_flow;
+  add_f.filter.dst_qid = cfg_.new_qid;
+  manager_.send_ctrl(*agent, add_f);
+  // Round-robin scheduler across the queues.
+  CtrlMsg sched;
+  sched.kind = CtrlKind::sched_conf;
+  sched.rnti = cfg_.rnti;
+  sched.drb_id = cfg_.drb_id;
+  sched.sched.kind = SchedKind::rr;
+  manager_.send_ctrl(*agent, sched);
+  // Action 3: the 5G-BDP pacer keeps the DRB buffer uncongested.
+  CtrlMsg pacer;
+  pacer.kind = CtrlKind::pacer_conf;
+  pacer.rnti = cfg_.rnti;
+  pacer.drb_id = cfg_.drb_id;
+  pacer.pacer.kind = PacerKind::bdp;
+  pacer.pacer.target_ms = cfg_.pacer_target_ms;
+  manager_.send_ctrl(*agent, pacer);
+}
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,80 @@
+// Flow-based traffic controller specialization (paper §6.1.1, Table 3).
+//
+// Components, as in the paper:
+//   * iApp: RLC/TC stats forwarder (via the broker)      — MonitorIApp+Broker
+//   * iApp: TC SM manager (command relay)                — TcSmManagerIApp
+//   * Comm. IF: broker (Redis stand-in) + REST (POST)    — Broker/mount_rest
+//   * xApp: the bufferbloat policy                       — TcXapp
+//
+// TcXapp's policy is the paper's three actions: once the low-latency flow's
+// sojourn time exceeds a limit it (1) creates a second FIFO queue,
+// (2) installs a 5-tuple filter segregating the flow, and (3) loads the
+// 5G-BDP pacer (plus a round-robin queue scheduler).
+#pragma once
+
+#include "ctrl/broker.hpp"
+#include "ctrl/json.hpp"
+#include "ctrl/rest.hpp"
+#include "e2sm/rlc_sm.hpp"
+#include "e2sm/tc_sm.hpp"
+#include "server/server.hpp"
+
+namespace flexric::ctrl {
+
+/// iApp relaying TC SM control commands (Table 3's "TC SM manager").
+class TcSmManagerIApp final : public server::IApp {
+ public:
+  explicit TcSmManagerIApp(WireFormat sm_format) : fmt_(sm_format) {}
+  [[nodiscard]] const char* name() const override { return "tc-manager"; }
+
+  void on_agent_connected(const server::AgentInfo& info) override;
+  void on_agent_disconnected(server::AgentId id) override;
+
+  Status send_ctrl(server::AgentId agent, const e2sm::tc::CtrlMsg& msg,
+                   std::function<void(const e2sm::tc::CtrlOutcome&)>
+                       on_done = nullptr);
+  [[nodiscard]] std::optional<server::AgentId> first_agent() const;
+
+  /// REST command relay: POST /tc with a JSON TC command.
+  void mount_rest(HttpServer& http);
+  static Result<e2sm::tc::CtrlMsg> ctrl_from_json(const Json& j);
+
+ private:
+  WireFormat fmt_;
+  std::vector<server::AgentId> tc_agents_;
+};
+
+/// The traffic-control xApp: consumes RLC stats from the broker and applies
+/// the anti-bufferbloat actions through the TC SM manager.
+class TcXapp {
+ public:
+  struct Config {
+    WireFormat sm_format = WireFormat::flat;
+    double sojourn_limit_ms = 20.0;  ///< trigger threshold
+    e2sm::tc::FiveTuple low_latency_flow;  ///< the VoIP 5-tuple to protect
+    std::uint16_t rnti = 0;
+    std::uint8_t drb_id = 1;
+    std::uint32_t new_qid = 1;
+    double pacer_target_ms = 5.0;
+  };
+
+  TcXapp(Broker& broker, TcSmManagerIApp& manager, Config cfg);
+
+  [[nodiscard]] bool applied() const noexcept { return applied_; }
+  [[nodiscard]] std::uint64_t stats_seen() const noexcept {
+    return stats_seen_;
+  }
+
+ private:
+  void on_rlc_stats(BytesView payload);
+  void apply_policy();
+
+  Broker& broker_;
+  TcSmManagerIApp& manager_;
+  Config cfg_;
+  bool applied_ = false;
+  std::uint64_t stats_seen_ = 0;
+  std::uint64_t sub_token_ = 0;
+};
+
+}  // namespace flexric::ctrl

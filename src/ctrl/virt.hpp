@@ -1,0 +1,103 @@
+// SD-RAN virtualization controller (paper §6.2, Fig. 14, Appendix B).
+//
+// Multiplexes virtual RANs of multiple tenants (operators) onto one shared
+// infrastructure. Southbound it is a FlexRIC controller towards the shared
+// base station's agent; northbound it reuses the agent library, exposing one
+// virtual E2 node per tenant to that tenant's own (unmodified) slicing
+// controller.
+//
+// The virtualization layer is SM-specific:
+//  * SC SM — NVS parameter rescaling (Appendix B): a tenant with SLA share
+//    q configures virtual capacity shares c_virt that map to physical
+//    c_phys = c_virt * q; rate slices keep their reserved rate and scale
+//    the reference rate r_ref_phys = r_ref_virt / q. Virtual slice ids 0-9
+//    map into disjoint physical ranges per tenant, avoiding id conflicts.
+//    Admission control Σ(virtual load) ≤ 1 guarantees no tenant can exceed
+//    its SLA — conflict-freedom by construction.
+//  * MAC stats SM — partitioned: a tenant only sees UEs whose selected
+//    PLMN matches its own; physical slice ids are mapped back to virtual.
+//  * RRC SM — UE events filtered by tenant PLMN (UE-to-tenant discovery).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "agent/agent.hpp"
+#include "e2sm/mac_sm.hpp"
+#include "e2sm/rrc_sm.hpp"
+#include "e2sm/slice_sm.hpp"
+#include "server/server.hpp"
+
+namespace flexric::ctrl {
+
+struct TenantConfig {
+  std::string name;
+  std::uint32_t plmn = 0;        ///< subscribers are identified by PLMN
+  double sla_share = 0.5;        ///< q: fraction of physical resources
+  std::uint32_t phys_slice_base = 10;  ///< virtual ids 0-9 map to base+id
+};
+
+class VirtController {
+ public:
+  struct Config {
+    WireFormat e2ap_format = WireFormat::flat;
+    WireFormat sm_format = WireFormat::flat;
+    std::uint32_t virt_nb_id_base = 1000;  ///< virtual node ids northbound
+  };
+
+  VirtController(Reactor& reactor, Config cfg,
+                 std::vector<TenantConfig> tenants);
+
+  /// South-bound server (the shared BS agent connects here).
+  server::E2Server& southbound() noexcept { return *server_; }
+  Status listen(std::uint16_t port) { return server_->listen(port); }
+
+  /// Connect tenant `idx`'s virtual E2 node to the tenant's controller.
+  /// Requires the southbound agent to be connected (so the virtual node can
+  /// mirror its capabilities).
+  Result<agent::ControllerId> connect_tenant(
+      std::size_t idx, std::shared_ptr<MsgTransport> transport);
+
+  [[nodiscard]] bool southbound_ready() const noexcept {
+    return south_agent_.has_value();
+  }
+  /// UEs currently attributed to tenant `idx` (PLMN match via RRC events).
+  [[nodiscard]] std::set<std::uint16_t> tenant_ues(std::size_t idx) const;
+
+  /// Appendix B: map one tenant's virtual slice configuration to physical.
+  static e2sm::slice::SliceConf virtualize_conf(
+      const e2sm::slice::SliceConf& virt, const TenantConfig& tenant);
+  /// Total virtual NVS load of a config (admission: must stay ≤ 1).
+  static double virtual_load(const std::vector<e2sm::slice::SliceConf>& confs);
+
+ private:
+  class SouthIApp;
+  class VirtSliceFunction;
+  class VirtMacFunction;
+  class VirtRrcFunction;
+
+  struct Tenant {
+    TenantConfig cfg;
+    std::unique_ptr<agent::E2Agent> north_agent;
+    std::shared_ptr<VirtSliceFunction> slice_fn;
+    std::shared_ptr<VirtMacFunction> mac_fn;
+    std::shared_ptr<VirtRrcFunction> rrc_fn;
+    std::set<std::uint16_t> ues;
+  };
+
+  void on_south_agent(const server::AgentInfo& info);
+  void on_rrc_event(const e2sm::rrc::IndicationMsg& ev);
+  Tenant* tenant_of_plmn(std::uint32_t plmn);
+
+  Reactor& reactor_;
+  Config cfg_;
+  std::unique_ptr<server::E2Server> server_;
+  std::shared_ptr<SouthIApp> south_iapp_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::optional<server::AgentId> south_agent_;
+};
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,103 @@
+#include "ctrl/xapp_host.hpp"
+
+#include "common/log.hpp"
+
+namespace flexric::ctrl {
+
+XappHostIApp::XappId XappHostIApp::register_xapp(std::string xapp_name) {
+  XappId id = next_xapp_++;
+  xapps_[id] = std::move(xapp_name);
+  return id;
+}
+
+void XappHostIApp::unregister_xapp(XappId id) {
+  xapps_.erase(id);
+  // Detach the xApp from every merged subscription; delete E2 subscriptions
+  // left with no consumers.
+  for (auto it = e2_subs_.begin(); it != e2_subs_.end();) {
+    for (auto ait = it->second.attached.begin();
+         ait != it->second.attached.end();) {
+      if (ait->second.first == id) {
+        tokens_.erase(ait->first);
+        ait = it->second.attached.erase(ait);
+      } else {
+        ++ait;
+      }
+    }
+    if (it->second.attached.empty()) {
+      server_->unsubscribe(it->second.handle);
+      it = e2_subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<std::uint64_t> XappHostIApp::subscribe_xapp(
+    XappId xapp, server::AgentId agent, std::uint16_t ran_function_id,
+    Buffer event_trigger, std::vector<e2ap::Action> actions,
+    IndicationHandler on_indication) {
+  if (xapps_.count(xapp) == 0)
+    return Error{Errc::not_found, "unknown xApp"};
+  MergeKey key{agent, ran_function_id, event_trigger, actions};
+  auto it = e2_subs_.find(key);
+  if (it == e2_subs_.end()) {
+    // First subscriber: open the one E2 subscription toward the agent.
+    server::SubCallbacks cbs;
+    MergeKey cb_key = key;
+    cbs.on_indication = [this, cb_key, agent,
+                         ran_function_id](const e2ap::Indication& ind) {
+      db_[{agent, ran_function_id}] = ind;  // platform database
+      auto sit = e2_subs_.find(cb_key);
+      if (sit == e2_subs_.end()) return;
+      for (auto& [token, entry] : sit->second.attached)
+        entry.second(ind);  // fan out to every attached xApp
+    };
+    auto handle = server_->subscribe(agent, ran_function_id,
+                                     std::move(event_trigger),
+                                     std::move(actions), std::move(cbs));
+    if (!handle) return handle.error();
+    it = e2_subs_.emplace(std::move(key), E2Sub{*handle, {}}).first;
+  }
+  std::uint64_t token = next_token_++;
+  it->second.attached[token] = {xapp, std::move(on_indication)};
+  tokens_[token] = it->first;
+  return token;
+}
+
+Status XappHostIApp::unsubscribe_xapp(std::uint64_t token) {
+  auto tit = tokens_.find(token);
+  if (tit == tokens_.end())
+    return {Errc::not_found, "unknown subscription token"};
+  auto sit = e2_subs_.find(tit->second);
+  tokens_.erase(tit);
+  if (sit == e2_subs_.end()) return Status::ok();
+  sit->second.attached.erase(token);
+  if (sit->second.attached.empty()) {
+    // Last consumer gone: tear the E2 subscription down.
+    server_->unsubscribe(sit->second.handle);
+    e2_subs_.erase(sit);
+  }
+  return Status::ok();
+}
+
+void XappHostIApp::on_agent_disconnected(server::AgentId id) {
+  for (auto it = e2_subs_.begin(); it != e2_subs_.end();) {
+    if (it->first.agent == id) {
+      for (auto& [token, entry] : it->second.attached) tokens_.erase(token);
+      it = e2_subs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = db_.begin(); it != db_.end();)
+    it = (it->first.first == id) ? db_.erase(it) : std::next(it);
+}
+
+const e2ap::Indication* XappHostIApp::latest(
+    server::AgentId agent, std::uint16_t ran_function_id) const {
+  auto it = db_.find({agent, ran_function_id});
+  return it == db_.end() ? nullptr : &it->second;
+}
+
+}  // namespace flexric::ctrl

@@ -1,0 +1,31 @@
+// E2AP wire codec interface: IR <-> bytes.
+//
+// Two concrete codecs exist (PER and FLAT); the transport layer and all SDK
+// users only see this interface, so the encoding can be swapped per
+// connection — the flexibility the paper evaluates in §5.2.
+#pragma once
+
+#include <memory>
+
+#include "codec/wire.hpp"
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "e2ap/messages.hpp"
+
+namespace flexric::e2ap {
+
+class Codec {
+ public:
+  virtual ~Codec() = default;
+  [[nodiscard]] virtual WireFormat format() const noexcept = 0;
+  [[nodiscard]] virtual Result<Buffer> encode(const Msg& m) const = 0;
+  [[nodiscard]] virtual Result<Msg> decode(BytesView wire) const = 0;
+};
+
+/// Shared stateless codec singletons. `proto` is not a valid E2AP encoding —
+/// it exists only for the FlexRAN baseline's custom protocol.
+const Codec& per_codec();
+const Codec& flat_codec();
+const Codec& codec_for(WireFormat f);
+
+}  // namespace flexric::e2ap

@@ -1,0 +1,303 @@
+// E2AP intermediate representation (IR).
+//
+// The paper's E2 abstraction (§4.3) models E2AP procedures "without loss of
+// information and independent of any particular encoding/decoding
+// algorithms". These structs are that IR: agents, the server library, iApps
+// and xApps all exchange them; the wire codecs in per_codec.cpp /
+// flat_codec.cpp translate them to bytes. 21 procedures are implemented
+// (the paper implements 20/26 in ASN.1 and 12/26 in FlatBuffers; here both
+// codecs cover all 21).
+//
+// SM payloads (event triggers, action definitions, indication header/message,
+// control header/message) are opaque byte strings at this layer — E2 double-
+// encodes: the E2SM payload is encoded first, then embedded in the E2AP
+// message (§5.2 measures the cost of exactly this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/buffer.hpp"
+
+namespace flexric::e2ap {
+
+/// Discriminator for the IR variant; also the on-wire message type tag.
+enum class MsgType : std::uint8_t {
+  // -- Global procedures (connection management) --
+  setup_request = 0,
+  setup_response,
+  setup_failure,
+  reset_request,
+  reset_response,
+  error_indication,
+  service_update,
+  service_update_ack,
+  service_update_failure,
+  node_config_update,
+  node_config_update_ack,
+  // -- Functional procedures (RIC <-> RAN function) --
+  subscription_request,
+  subscription_response,
+  subscription_failure,
+  subscription_delete_request,
+  subscription_delete_response,
+  subscription_delete_failure,
+  indication,
+  control_request,
+  control_ack,
+  control_failure,
+};
+constexpr std::size_t kNumMsgTypes = 21;
+const char* msg_type_name(MsgType t) noexcept;
+
+/// E2 node kind: monolithic eNB/gNB or a disaggregated part (CU/DU). The RAN
+/// management in the server merges CU+DU agents of the same base station.
+enum class NodeType : std::uint8_t { enb = 0, gnb, cu, du };
+
+/// Globally unique E2 node identity (simplified GlobalE2node-ID).
+struct GlobalNodeId {
+  std::uint32_t plmn = 0;    ///< packed MCC/MNC
+  std::uint32_t nb_id = 0;   ///< base station id; CU/DU of one BS share it
+  NodeType type = NodeType::enb;
+  bool operator==(const GlobalNodeId&) const = default;
+};
+
+/// A RAN function advertised by an E2 node at setup time.
+struct RanFunctionItem {
+  std::uint16_t id = 0;
+  std::uint16_t revision = 0;
+  std::string name;        ///< OID-like SM name, e.g. "ORAN-E2SM-MAC-STATS"
+  Buffer definition;       ///< SM-specific capability blob
+  bool operator==(const RanFunctionItem&) const = default;
+};
+
+/// Failure cause (simplified E2AP Cause IE).
+struct Cause {
+  enum class Group : std::uint8_t { ric = 0, transport, protocol, misc };
+  Group group = Group::misc;
+  std::uint8_t value = 0;
+  bool operator==(const Cause&) const = default;
+};
+
+/// Identifies one subscription/control transaction of one requestor (xApp or
+/// iApp) — the E2AP RICrequestID.
+struct RicRequestId {
+  std::uint16_t requestor = 0;
+  std::uint16_t instance = 0;
+  bool operator==(const RicRequestId&) const = default;
+  auto operator<=>(const RicRequestId&) const = default;
+};
+
+/// Subscription action kind (E2SM services; see Appendix A of the paper).
+enum class ActionType : std::uint8_t { report = 0, insert, policy };
+
+struct Action {
+  std::uint8_t id = 0;
+  ActionType type = ActionType::report;
+  Buffer definition;  ///< SM-encoded action definition
+  bool operator==(const Action&) const = default;
+  auto operator<=>(const Action&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Global procedures
+// ---------------------------------------------------------------------------
+
+struct SetupRequest {
+  static constexpr MsgType kType = MsgType::setup_request;
+  std::uint8_t trans_id = 0;
+  GlobalNodeId node;
+  std::vector<RanFunctionItem> ran_functions;
+  bool operator==(const SetupRequest&) const = default;
+};
+
+struct SetupResponse {
+  static constexpr MsgType kType = MsgType::setup_response;
+  std::uint8_t trans_id = 0;
+  std::uint32_t ric_id = 0;
+  std::vector<std::uint16_t> accepted;                 ///< RAN function ids
+  std::vector<std::pair<std::uint16_t, Cause>> rejected;
+  bool operator==(const SetupResponse&) const = default;
+};
+
+struct SetupFailure {
+  static constexpr MsgType kType = MsgType::setup_failure;
+  std::uint8_t trans_id = 0;
+  Cause cause;
+  bool operator==(const SetupFailure&) const = default;
+};
+
+struct ResetRequest {
+  static constexpr MsgType kType = MsgType::reset_request;
+  std::uint8_t trans_id = 0;
+  Cause cause;
+  bool operator==(const ResetRequest&) const = default;
+};
+
+struct ResetResponse {
+  static constexpr MsgType kType = MsgType::reset_response;
+  std::uint8_t trans_id = 0;
+  bool operator==(const ResetResponse&) const = default;
+};
+
+struct ErrorIndication {
+  static constexpr MsgType kType = MsgType::error_indication;
+  std::optional<RicRequestId> request;  ///< present for functional errors
+  std::optional<std::uint16_t> ran_function_id;
+  Cause cause;
+  bool operator==(const ErrorIndication&) const = default;
+};
+
+/// RAN function add/modify/remove after setup (RIC Service Update).
+struct ServiceUpdate {
+  static constexpr MsgType kType = MsgType::service_update;
+  std::uint8_t trans_id = 0;
+  std::vector<RanFunctionItem> added;
+  std::vector<RanFunctionItem> modified;
+  std::vector<std::uint16_t> removed;
+  bool operator==(const ServiceUpdate&) const = default;
+};
+
+struct ServiceUpdateAck {
+  static constexpr MsgType kType = MsgType::service_update_ack;
+  std::uint8_t trans_id = 0;
+  std::vector<std::uint16_t> accepted;
+  std::vector<std::pair<std::uint16_t, Cause>> rejected;
+  bool operator==(const ServiceUpdateAck&) const = default;
+};
+
+struct ServiceUpdateFailure {
+  static constexpr MsgType kType = MsgType::service_update_failure;
+  std::uint8_t trans_id = 0;
+  Cause cause;
+  bool operator==(const ServiceUpdateFailure&) const = default;
+};
+
+/// E2 node configuration update (simplified: opaque component configs).
+struct NodeConfigUpdate {
+  static constexpr MsgType kType = MsgType::node_config_update;
+  std::uint8_t trans_id = 0;
+  std::vector<std::pair<std::string, Buffer>> components;
+  bool operator==(const NodeConfigUpdate&) const = default;
+};
+
+struct NodeConfigUpdateAck {
+  static constexpr MsgType kType = MsgType::node_config_update_ack;
+  std::uint8_t trans_id = 0;
+  std::vector<std::string> accepted_components;
+  bool operator==(const NodeConfigUpdateAck&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Functional procedures
+// ---------------------------------------------------------------------------
+
+struct SubscriptionRequest {
+  static constexpr MsgType kType = MsgType::subscription_request;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  Buffer event_trigger;  ///< SM-encoded trigger (e.g. periodic timer)
+  std::vector<Action> actions;
+  bool operator==(const SubscriptionRequest&) const = default;
+};
+
+struct SubscriptionResponse {
+  static constexpr MsgType kType = MsgType::subscription_response;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  std::vector<std::uint8_t> admitted;  ///< action ids
+  std::vector<std::pair<std::uint8_t, Cause>> not_admitted;
+  bool operator==(const SubscriptionResponse&) const = default;
+};
+
+struct SubscriptionFailure {
+  static constexpr MsgType kType = MsgType::subscription_failure;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  Cause cause;
+  bool operator==(const SubscriptionFailure&) const = default;
+};
+
+struct SubscriptionDeleteRequest {
+  static constexpr MsgType kType = MsgType::subscription_delete_request;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  bool operator==(const SubscriptionDeleteRequest&) const = default;
+};
+
+struct SubscriptionDeleteResponse {
+  static constexpr MsgType kType = MsgType::subscription_delete_response;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  bool operator==(const SubscriptionDeleteResponse&) const = default;
+};
+
+struct SubscriptionDeleteFailure {
+  static constexpr MsgType kType = MsgType::subscription_delete_failure;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  Cause cause;
+  bool operator==(const SubscriptionDeleteFailure&) const = default;
+};
+
+/// RIC Indication: RAN function -> RIC. Carries the (already SM-encoded)
+/// indication header + message — the "inner" encoding of E2's double
+/// encoding.
+struct Indication {
+  static constexpr MsgType kType = MsgType::indication;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  std::uint8_t action_id = 0;
+  std::uint32_t sn = 0;  ///< sequence number
+  ActionType type = ActionType::report;  ///< report or insert
+  Buffer header;
+  Buffer message;
+  std::optional<Buffer> call_process_id;
+  bool operator==(const Indication&) const = default;
+};
+
+/// RIC Control: RIC -> RAN function.
+struct ControlRequest {
+  static constexpr MsgType kType = MsgType::control_request;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  Buffer header;
+  Buffer message;
+  bool ack_requested = true;
+  std::optional<Buffer> call_process_id;
+  bool operator==(const ControlRequest&) const = default;
+};
+
+struct ControlAck {
+  static constexpr MsgType kType = MsgType::control_ack;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  Buffer outcome;
+  bool operator==(const ControlAck&) const = default;
+};
+
+struct ControlFailure {
+  static constexpr MsgType kType = MsgType::control_failure;
+  RicRequestId request;
+  std::uint16_t ran_function_id = 0;
+  Cause cause;
+  Buffer outcome;
+  bool operator==(const ControlFailure&) const = default;
+};
+
+/// The E2AP IR: exactly one procedure message.
+using Msg = std::variant<
+    SetupRequest, SetupResponse, SetupFailure, ResetRequest, ResetResponse,
+    ErrorIndication, ServiceUpdate, ServiceUpdateAck, ServiceUpdateFailure,
+    NodeConfigUpdate, NodeConfigUpdateAck, SubscriptionRequest,
+    SubscriptionResponse, SubscriptionFailure, SubscriptionDeleteRequest,
+    SubscriptionDeleteResponse, SubscriptionDeleteFailure, Indication,
+    ControlRequest, ControlAck, ControlFailure>;
+
+/// Runtime type tag of an IR message.
+MsgType msg_type(const Msg& m) noexcept;
+
+}  // namespace flexric::e2ap

@@ -1,0 +1,70 @@
+// "Hello World" service model — the E2SM-HW ping used by the paper's RTT and
+// signaling-rate experiments (§5.2, §5.4).
+//
+// The controller sends a RIC Control (ping) with an arbitrary payload; the
+// RAN function answers with a RIC Indication (pong) echoing the payload.
+#pragma once
+
+#include <cstdint>
+
+#include "e2sm/common.hpp"
+
+namespace flexric::e2sm::hw {
+
+struct Sm {
+  static constexpr std::uint16_t kId = 150;
+  static constexpr std::uint16_t kRevision = 1;
+  static constexpr const char* kName = "ORAN-E2SM-HELLOWORLD";
+};
+
+struct ActionDef {  // subscription installs the pong reporting path
+  bool operator==(const ActionDef&) const = default;
+  std::uint8_t reserved = 0;
+};
+
+template <typename A>
+void serde(A& a, ActionDef& d) {
+  a.u8(d.reserved);
+}
+
+/// Control message: ping.
+struct Ping {
+  std::uint32_t seq = 0;
+  std::uint64_t sent_ns = 0;  ///< sender timestamp for RTT computation
+  Buffer payload;
+  bool operator==(const Ping&) const = default;
+};
+
+template <typename A>
+void serde(A& a, Ping& p) {
+  a.u32(p.seq);
+  a.u64(p.sent_ns);
+  a.bytes(p.payload);
+}
+
+/// Indication message: pong (echo).
+struct Pong {
+  std::uint32_t seq = 0;
+  std::uint64_t ping_sent_ns = 0;  ///< echoed sender timestamp
+  Buffer payload;
+  bool operator==(const Pong&) const = default;
+};
+
+template <typename A>
+void serde(A& a, Pong& p) {
+  a.u32(p.seq);
+  a.u64(p.ping_sent_ns);
+  a.bytes(p.payload);
+}
+
+struct IndicationHdr {
+  std::uint64_t tstamp_ns = 0;
+  bool operator==(const IndicationHdr&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationHdr& h) {
+  a.u64(h.tstamp_ns);
+}
+
+}  // namespace flexric::e2sm::hw

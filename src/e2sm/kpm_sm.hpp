@@ -1,0 +1,72 @@
+// Key Performance Metrics service model — the E2SM-KPM-style periodic cell
+// report (Appendix A.4 of the paper). Aggregated per-cell KPIs, coarser than
+// the per-UE MAC SM.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "e2sm/common.hpp"
+
+namespace flexric::e2sm::kpm {
+
+struct Sm {
+  static constexpr std::uint16_t kId = 148;
+  static constexpr std::uint16_t kRevision = 1;
+  static constexpr const char* kName = "ORAN-E2SM-KPM";
+};
+
+struct ActionDef {
+  std::vector<std::string> metric_names;  ///< empty = all supported metrics
+  bool operator==(const ActionDef&) const = default;
+};
+
+template <typename A>
+void serde(A& a, ActionDef& d) {
+  a.vec(d.metric_names);
+}
+
+struct Metric {
+  std::string name;
+  double value = 0.0;
+  bool operator==(const Metric&) const = default;
+};
+
+template <typename A>
+void serde(A& a, Metric& m) {
+  a.str(m.name);
+  a.f64(m.value);
+}
+
+struct IndicationHdr {
+  std::uint64_t tstamp_ns = 0;
+  std::uint32_t cell_id = 0;
+  std::uint32_t granularity_ms = 0;
+  bool operator==(const IndicationHdr&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationHdr& h) {
+  a.u64(h.tstamp_ns);
+  a.u32(h.cell_id);
+  a.u32(h.granularity_ms);
+}
+
+struct IndicationMsg {
+  std::vector<Metric> metrics;
+  bool operator==(const IndicationMsg&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationMsg& m) {
+  a.vec(m.metrics);
+}
+
+/// Metric names produced by the RAN simulator's KPM RAN function.
+inline constexpr const char* kThroughputDlMbps = "DRB.UEThpDl";
+inline constexpr const char* kThroughputUlMbps = "DRB.UEThpUl";
+inline constexpr const char* kPrbUtilizationDl = "RRU.PrbUsedDl";
+inline constexpr const char* kActiveUes = "RRC.ConnMean";
+
+}  // namespace flexric::e2sm::kpm

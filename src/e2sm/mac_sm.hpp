@@ -1,0 +1,92 @@
+// MAC statistics service model (monitoring).
+//
+// Exposes per-UE MAC-layer statistics at a configurable period (the paper
+// exports them at 1 ms — 4G's TTI). The action definition can exclude HARQ
+// (the evaluation's "MAC stats excluding HARQ") and filter UEs, which the
+// virtualization controller uses to partition statistics per tenant (§6.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "e2sm/common.hpp"
+
+namespace flexric::e2sm::mac {
+
+struct Sm {
+  static constexpr std::uint16_t kId = 142;
+  static constexpr std::uint16_t kRevision = 1;
+  static constexpr const char* kName = "FLEXRIC-E2SM-MAC-STATS";
+};
+
+/// What to report and for whom. Empty rnti_filter means "all UEs".
+struct ActionDef {
+  bool include_harq = false;
+  std::vector<std::uint16_t> rnti_filter;
+  bool operator==(const ActionDef&) const = default;
+};
+
+template <typename A>
+void serde(A& a, ActionDef& d) {
+  a.boolean(d.include_harq);
+  a.vec(d.rnti_filter);
+}
+
+/// Per-UE MAC statistics for one reporting period.
+struct UeStats {
+  std::uint16_t rnti = 0;
+  std::uint8_t cqi = 0;
+  std::uint8_t mcs_dl = 0;
+  std::uint8_t mcs_ul = 0;
+  std::uint32_t prbs_dl = 0;      ///< PRBs granted this period
+  std::uint32_t prbs_ul = 0;
+  std::uint64_t bytes_dl = 0;     ///< MAC SDU bytes served
+  std::uint64_t bytes_ul = 0;
+  std::uint32_t bsr = 0;          ///< buffer status report (bytes)
+  std::int64_t phr_db = 0;        ///< power headroom
+  std::uint32_t slice_id = 0;
+  std::uint32_t harq_retx = 0;    ///< only populated when include_harq
+  bool operator==(const UeStats&) const = default;
+};
+
+template <typename A>
+void serde(A& a, UeStats& s) {
+  a.u16(s.rnti);
+  a.u8(s.cqi);
+  a.u8(s.mcs_dl);
+  a.u8(s.mcs_ul);
+  a.u32(s.prbs_dl);
+  a.u32(s.prbs_ul);
+  a.u64(s.bytes_dl);
+  a.u64(s.bytes_ul);
+  a.u32(s.bsr);
+  a.i64(s.phr_db);
+  a.u32(s.slice_id);
+  a.u32(s.harq_retx);
+}
+
+/// Indication header: where and when the report was produced.
+struct IndicationHdr {
+  std::uint64_t tstamp_ns = 0;
+  std::uint32_t cell_id = 0;
+  bool operator==(const IndicationHdr&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationHdr& h) {
+  a.u64(h.tstamp_ns);
+  a.u32(h.cell_id);
+}
+
+/// Indication message: one entry per (filtered) UE.
+struct IndicationMsg {
+  std::vector<UeStats> ues;
+  bool operator==(const IndicationMsg&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationMsg& m) {
+  a.vec(m.ues);
+}
+
+}  // namespace flexric::e2sm::mac

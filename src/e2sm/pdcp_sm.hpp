@@ -1,0 +1,80 @@
+// PDCP statistics service model (monitoring).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "e2sm/common.hpp"
+
+namespace flexric::e2sm::pdcp {
+
+struct Sm {
+  static constexpr std::uint16_t kId = 144;
+  static constexpr std::uint16_t kRevision = 1;
+  static constexpr const char* kName = "FLEXRIC-E2SM-PDCP-STATS";
+};
+
+struct ActionDef {
+  std::vector<std::uint16_t> rnti_filter;  ///< empty = all UEs
+  bool operator==(const ActionDef&) const = default;
+};
+
+template <typename A>
+void serde(A& a, ActionDef& d) {
+  a.vec(d.rnti_filter);
+}
+
+/// Per-DRB PDCP packet/byte counters.
+struct BearerStats {
+  std::uint16_t rnti = 0;
+  std::uint8_t drb_id = 0;
+  std::uint64_t tx_sdu_bytes = 0;
+  std::uint64_t tx_pdu_bytes = 0;  ///< includes PDCP header overhead
+  std::uint64_t rx_sdu_bytes = 0;
+  std::uint64_t rx_pdu_bytes = 0;
+  std::uint32_t tx_sdus = 0;
+  std::uint32_t tx_pdus = 0;
+  std::uint32_t rx_sdus = 0;
+  std::uint32_t rx_pdus = 0;
+  std::uint32_t discarded_sdus = 0;
+  bool operator==(const BearerStats&) const = default;
+};
+
+template <typename A>
+void serde(A& a, BearerStats& s) {
+  a.u16(s.rnti);
+  a.u8(s.drb_id);
+  a.u64(s.tx_sdu_bytes);
+  a.u64(s.tx_pdu_bytes);
+  a.u64(s.rx_sdu_bytes);
+  a.u64(s.rx_pdu_bytes);
+  a.u32(s.tx_sdus);
+  a.u32(s.tx_pdus);
+  a.u32(s.rx_sdus);
+  a.u32(s.rx_pdus);
+  a.u32(s.discarded_sdus);
+}
+
+struct IndicationHdr {
+  std::uint64_t tstamp_ns = 0;
+  std::uint32_t cell_id = 0;
+  bool operator==(const IndicationHdr&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationHdr& h) {
+  a.u64(h.tstamp_ns);
+  a.u32(h.cell_id);
+}
+
+struct IndicationMsg {
+  std::vector<BearerStats> bearers;
+  bool operator==(const IndicationMsg&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationMsg& m) {
+  a.vec(m.bearers);
+}
+
+}  // namespace flexric::e2sm::pdcp

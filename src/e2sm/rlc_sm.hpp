@@ -1,0 +1,85 @@
+// RLC statistics service model (monitoring).
+//
+// Per-bearer queue statistics, including the sojourn times that the traffic
+// control xApp (§6.1.1) watches to detect bufferbloat in the RLC DRB buffer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "e2sm/common.hpp"
+
+namespace flexric::e2sm::rlc {
+
+struct Sm {
+  static constexpr std::uint16_t kId = 143;
+  static constexpr std::uint16_t kRevision = 1;
+  static constexpr const char* kName = "FLEXRIC-E2SM-RLC-STATS";
+};
+
+struct ActionDef {
+  std::vector<std::uint16_t> rnti_filter;  ///< empty = all UEs
+  bool operator==(const ActionDef&) const = default;
+};
+
+template <typename A>
+void serde(A& a, ActionDef& d) {
+  a.vec(d.rnti_filter);
+}
+
+/// Per-DRB RLC statistics for one reporting period.
+struct BearerStats {
+  std::uint16_t rnti = 0;
+  std::uint8_t drb_id = 0;
+  std::uint64_t tx_bytes = 0;       ///< cumulative PDU bytes to MAC
+  std::uint64_t rx_bytes = 0;       ///< cumulative SDU bytes from PDCP
+  std::uint32_t tx_pdus = 0;
+  std::uint32_t rx_sdus = 0;
+  std::uint32_t buffer_bytes = 0;   ///< current DRB queue occupancy
+  std::uint32_t buffer_pkts = 0;
+  double sojourn_avg_ms = 0.0;      ///< over packets dequeued this period
+  double sojourn_max_ms = 0.0;
+  std::uint32_t retx_pdus = 0;
+  std::uint32_t dropped_sdus = 0;
+  bool operator==(const BearerStats&) const = default;
+};
+
+template <typename A>
+void serde(A& a, BearerStats& s) {
+  a.u16(s.rnti);
+  a.u8(s.drb_id);
+  a.u64(s.tx_bytes);
+  a.u64(s.rx_bytes);
+  a.u32(s.tx_pdus);
+  a.u32(s.rx_sdus);
+  a.u32(s.buffer_bytes);
+  a.u32(s.buffer_pkts);
+  a.f64(s.sojourn_avg_ms);
+  a.f64(s.sojourn_max_ms);
+  a.u32(s.retx_pdus);
+  a.u32(s.dropped_sdus);
+}
+
+struct IndicationHdr {
+  std::uint64_t tstamp_ns = 0;
+  std::uint32_t cell_id = 0;
+  bool operator==(const IndicationHdr&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationHdr& h) {
+  a.u64(h.tstamp_ns);
+  a.u32(h.cell_id);
+}
+
+struct IndicationMsg {
+  std::vector<BearerStats> bearers;
+  bool operator==(const IndicationMsg&) const = default;
+};
+
+template <typename A>
+void serde(A& a, IndicationMsg& m) {
+  a.vec(m.bearers);
+}
+
+}  // namespace flexric::e2sm::rlc

@@ -1,0 +1,115 @@
+// Greedy TCP-Cubic-like flow (the iperf3 workload of §6.1.1).
+//
+// A window-based sender over the simulated path: slow start, cubic window
+// growth (RFC 8312 shape), multiplicative decrease on loss, one reaction per
+// congestion epoch. Being loss-based, it fills the deepest buffer before the
+// bottleneck — the RLC DRB queue — producing exactly the bufferbloat
+// phenomenon Fig. 11 studies ("the algorithm cannot differentiate between
+// the propagation time and the large sojourn time ... in a bloated buffer").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "flows/flow.hpp"
+
+namespace flexric::flows {
+
+class CubicSource final : public FlowSource {
+ public:
+  CubicSource(std::uint64_t flow_id, e2sm::tc::FiveTuple tuple,
+              Nanos start_time = 0, std::uint32_t mss = 1448)
+      : id_(flow_id), tuple_(tuple), start_(start_time), mss_(mss) {
+    cwnd_ = 10.0 * mss_;  // RFC 6928 initial window
+    ssthresh_ = 1e12;
+  }
+
+  void tick(Nanos now, const EmitFn& emit) override {
+    if (now < start_) return;
+    // ACK-clocked: emit while the window has room. Cap the per-tick burst
+    // to keep the 1 ms discretization from dumping the whole window at once.
+    std::uint32_t burst = 0;
+    while (static_cast<double>(inflight_ + mss_) <= cwnd_ &&
+           burst < kMaxBurstPerTick) {
+      ran::Packet p;
+      p.size_bytes = mss_;
+      p.tuple = tuple_;
+      p.flow_id = id_;
+      p.seq = seq_++;
+      p.created = now;
+      inflight_ += mss_;
+      ++burst;
+      emit(p);
+    }
+  }
+
+  void on_ack(const ran::Packet& p, Nanos ack_time) override {
+    inflight_ -= std::min<std::uint64_t>(inflight_, mss_);
+    delivered_bytes_ += p.size_bytes;
+    double rtt_s = static_cast<double>(ack_time - p.created) /
+                   static_cast<double>(kSecond);
+    srtt_s_ = srtt_s_ <= 0 ? rtt_s : 0.875 * srtt_s_ + 0.125 * rtt_s;
+    if (cwnd_ < ssthresh_) {
+      cwnd_ += mss_;  // slow start
+      return;
+    }
+    // Cubic congestion avoidance: W(t) = C (t-K)^3 + Wmax.
+    double t = static_cast<double>(ack_time - epoch_start_) /
+               static_cast<double>(kSecond);
+    double target =
+        kC * std::pow(t - k_, 3.0) * mss_ + w_max_;
+    if (target > cwnd_)
+      cwnd_ += (target - cwnd_) / std::max(cwnd_ / mss_, 1.0);
+    else
+      cwnd_ += 0.01 * mss_;  // TCP-friendly minimum growth
+  }
+
+  void on_drop(const ran::Packet& p, Nanos now) override {
+    drops_++;
+    inflight_ -= std::min<std::uint64_t>(inflight_, mss_);
+    // One multiplicative decrease per congestion epoch (fast-recovery
+    // analogue): ignore further losses of packets sent before the event.
+    if (p.seq < recovery_seq_) return;
+    recovery_seq_ = seq_;
+    w_max_ = cwnd_;
+    cwnd_ = std::max(cwnd_ * kBeta, 2.0 * mss_);
+    ssthresh_ = cwnd_;
+    epoch_start_ = now;
+    k_ = std::cbrt(w_max_ * (1.0 - kBeta) / (kC * mss_));
+  }
+
+  [[nodiscard]] std::uint64_t flow_id() const noexcept override { return id_; }
+  [[nodiscard]] const e2sm::tc::FiveTuple& tuple() const noexcept override {
+    return tuple_;
+  }
+
+  [[nodiscard]] double cwnd_bytes() const noexcept { return cwnd_; }
+  [[nodiscard]] std::uint64_t delivered_bytes() const noexcept {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] double srtt_ms() const noexcept { return srtt_s_ * 1e3; }
+
+ private:
+  static constexpr double kC = 0.4;     // cubic scaling constant
+  static constexpr double kBeta = 0.7;  // multiplicative decrease
+  static constexpr std::uint32_t kMaxBurstPerTick = 64;
+
+  std::uint64_t id_;
+  e2sm::tc::FiveTuple tuple_;
+  Nanos start_;
+  std::uint32_t mss_;
+  double cwnd_;
+  double ssthresh_;
+  double w_max_ = 0.0;
+  double k_ = 0.0;
+  Nanos epoch_start_ = 0;
+  std::uint64_t inflight_ = 0;
+  std::uint32_t seq_ = 0;
+  std::uint32_t recovery_seq_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  double srtt_s_ = 0.0;
+};
+
+}  // namespace flexric::flows

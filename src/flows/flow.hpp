@@ -1,0 +1,35 @@
+// Traffic source interface for the simulated end-to-end path.
+//
+// Sources run in virtual time: TrafficManager ticks them every TTI and they
+// emit downlink IP packets; deliveries and drops are reported back so
+// window-based sources (Cubic) can react. See DESIGN.md: these replace the
+// paper's iperf3 (greedy TCP) and irtt (VoIP) tools.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/clock.hpp"
+#include "ran/packet.hpp"
+
+namespace flexric::flows {
+
+using EmitFn = std::function<void(ran::Packet)>;
+
+class FlowSource {
+ public:
+  virtual ~FlowSource() = default;
+
+  /// Called once per TTI; emit any packets due at `now`.
+  virtual void tick(Nanos now, const EmitFn& emit) = 0;
+  /// The packet was delivered to the UE and its ack/echo arrived back at
+  /// the sender at `ack_time`.
+  virtual void on_ack(const ran::Packet& p, Nanos ack_time) = 0;
+  /// The packet was dropped in the RAN (queue overflow).
+  virtual void on_drop(const ran::Packet& p, Nanos now) = 0;
+
+  [[nodiscard]] virtual std::uint64_t flow_id() const noexcept = 0;
+  [[nodiscard]] virtual const e2sm::tc::FiveTuple& tuple() const noexcept = 0;
+};
+
+}  // namespace flexric::flows

@@ -1,0 +1,64 @@
+#include "flows/manager.hpp"
+
+namespace flexric::flows {
+
+TrafficManager::TrafficManager(ran::BaseStation& bs, Config cfg)
+    : bs_(bs), cfg_(cfg), rng_(cfg.seed) {
+  bs_.set_on_delivery(
+      [this](std::uint16_t rnti, const ran::Packet& p, Nanos now) {
+        on_radio_delivery(rnti, p, now);
+      });
+  bs_.set_on_drop([this](std::uint16_t, const ran::Packet& p) {
+    on_radio_drop(p, bs_.now());
+  });
+}
+
+void TrafficManager::attach(FlowSource* src, std::uint16_t rnti,
+                            std::uint8_t drb) {
+  flows_[src->flow_id()] = Attachment{src, rnti, drb};
+}
+
+void TrafficManager::detach(std::uint64_t flow_id) { flows_.erase(flow_id); }
+
+FlowSource* TrafficManager::find_source(std::uint64_t flow_id) {
+  auto it = flows_.find(flow_id);
+  return it == flows_.end() ? nullptr : it->second.src;
+}
+
+void TrafficManager::tick(Nanos now) {
+  // 1. Sources emit; their packets enter the downlink delay line.
+  for (auto& [id, att] : flows_) {
+    att.src->tick(now, [this, now](ran::Packet p) {
+      line_.push(Pending{now + cfg_.dl_owd, std::move(p), false});
+    });
+  }
+  // 2. Due events: inject into the BS / ack back to the source.
+  while (!line_.empty() && line_.top().due <= now) {
+    Pending ev = line_.top();
+    line_.pop();
+    auto it = flows_.find(ev.pkt.flow_id);
+    if (it == flows_.end()) continue;
+    if (ev.is_ack) {
+      it->second.src->on_ack(ev.pkt, ev.due);
+    } else {
+      bool ok = bs_.deliver_downlink(it->second.rnti, it->second.drb, ev.pkt);
+      if (!ok) on_radio_drop(ev.pkt, now);
+    }
+  }
+}
+
+void TrafficManager::on_radio_delivery(std::uint16_t, const ran::Packet& p,
+                                       Nanos now) {
+  Nanos jitter = cfg_.ul_jitter > 0
+                     ? static_cast<Nanos>(rng_.bounded(
+                           static_cast<std::uint64_t>(cfg_.ul_jitter)))
+                     : 0;
+  line_.push(Pending{now + cfg_.ul_owd + jitter, p, true});
+}
+
+void TrafficManager::on_radio_drop(const ran::Packet& p, Nanos now) {
+  drops_++;
+  if (FlowSource* src = find_source(p.flow_id)) src->on_drop(p, now);
+}
+
+}  // namespace flexric::flows

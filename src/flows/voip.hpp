@@ -1,0 +1,110 @@
+// VoIP flow: G.711 over UDP — 172-byte frames every 20 ms (64 kbps), the
+// irtt workload of §6.1.1. Measures per-packet RTT (send → radio delivery →
+// return path) into a histogram, from which Fig. 11c's CDF is produced.
+#pragma once
+
+#include "common/metrics.hpp"
+#include "flows/flow.hpp"
+
+namespace flexric::flows {
+
+class VoipSource final : public FlowSource {
+ public:
+  VoipSource(std::uint64_t flow_id, e2sm::tc::FiveTuple tuple,
+             Nanos start_time = 0, std::uint32_t frame_bytes = 172,
+             Nanos interval = 20 * kMilli)
+      : id_(flow_id),
+        tuple_(tuple),
+        next_send_(start_time),
+        frame_bytes_(frame_bytes),
+        interval_(interval) {}
+
+  void tick(Nanos now, const EmitFn& emit) override {
+    while (now >= next_send_) {
+      ran::Packet p;
+      p.size_bytes = frame_bytes_;
+      p.tuple = tuple_;
+      p.flow_id = id_;
+      p.seq = seq_++;
+      p.created = next_send_;
+      emit(p);
+      next_send_ += interval_;
+    }
+  }
+
+  void on_ack(const ran::Packet& p, Nanos ack_time) override {
+    double rtt_ms = static_cast<double>(ack_time - p.created) /
+                    static_cast<double>(kMilli);
+    rtt_ms_.record(rtt_ms);
+  }
+  void on_drop(const ran::Packet&, Nanos) override { drops_++; }
+
+  [[nodiscard]] std::uint64_t flow_id() const noexcept override { return id_; }
+  [[nodiscard]] const e2sm::tc::FiveTuple& tuple() const noexcept override {
+    return tuple_;
+  }
+
+  [[nodiscard]] const Histogram& rtt_ms() const noexcept { return rtt_ms_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  std::uint64_t id_;
+  e2sm::tc::FiveTuple tuple_;
+  Nanos next_send_;
+  std::uint32_t frame_bytes_;
+  Nanos interval_;
+  std::uint32_t seq_ = 0;
+  Histogram rtt_ms_;
+  std::uint64_t drops_ = 0;
+};
+
+/// Constant-bit-rate UDP flow (building block for load experiments).
+class CbrSource final : public FlowSource {
+ public:
+  CbrSource(std::uint64_t flow_id, e2sm::tc::FiveTuple tuple, double mbps,
+            std::uint32_t packet_bytes = 1400, Nanos start_time = 0)
+      : id_(flow_id), tuple_(tuple), packet_bytes_(packet_bytes) {
+    double pps = mbps * 1e6 / 8.0 / packet_bytes;
+    interval_ = pps > 0 ? static_cast<Nanos>(1e9 / pps) : kSecond;
+    next_send_ = start_time;
+  }
+
+  void tick(Nanos now, const EmitFn& emit) override {
+    while (now >= next_send_) {
+      ran::Packet p;
+      p.size_bytes = packet_bytes_;
+      p.tuple = tuple_;
+      p.flow_id = id_;
+      p.seq = seq_++;
+      p.created = next_send_;
+      emit(p);
+      next_send_ += interval_;
+    }
+  }
+  void on_ack(const ran::Packet& p, Nanos ack_time) override {
+    delivered_bytes_ += p.size_bytes;
+    last_ack_ = ack_time;
+  }
+  void on_drop(const ran::Packet&, Nanos) override { drops_++; }
+  [[nodiscard]] std::uint64_t flow_id() const noexcept override { return id_; }
+  [[nodiscard]] const e2sm::tc::FiveTuple& tuple() const noexcept override {
+    return tuple_;
+  }
+  [[nodiscard]] std::uint64_t delivered_bytes() const noexcept {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  std::uint64_t id_;
+  e2sm::tc::FiveTuple tuple_;
+  std::uint32_t packet_bytes_;
+  Nanos interval_ = kMilli;
+  Nanos next_send_ = 0;
+  std::uint32_t seq_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  Nanos last_ack_ = 0;
+};
+
+}  // namespace flexric::flows

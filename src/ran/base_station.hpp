@@ -1,0 +1,139 @@
+// Base-station user-plane simulator.
+//
+// Replaces the paper's OAI eNB/gNB (see DESIGN.md substitutions): a
+// TTI-accurate downlink L2 with the sublayer chain the agent SMs hook into:
+//
+//   ingress → SDAP (DRB routing) → PDCP → TC chain → RLC → MAC → UE
+//
+// The MAC runs the SC-SM-driven MacScheduler (slice scheduler + UE
+// schedulers); each DRB has a TC chain the TC SM reconfigures. Statistics
+// are produced in exactly the shapes the monitoring SMs export.
+//
+// Time is virtual: the owner calls tick(now) once per TTI (1 ms), so
+// experiments run deterministic and faster than real time.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "common/rng.hpp"
+#include "e2sm/kpm_sm.hpp"
+#include "e2sm/mac_sm.hpp"
+#include "e2sm/pdcp_sm.hpp"
+#include "e2sm/rlc_sm.hpp"
+#include "e2sm/rrc_sm.hpp"
+#include "ran/channel.hpp"
+#include "ran/config.hpp"
+#include "ran/pdcp.hpp"
+#include "ran/rlc.hpp"
+#include "ran/sched.hpp"
+#include "tc/chain.hpp"
+
+namespace flexric::ran {
+
+class BaseStation {
+ public:
+  struct UeConfig {
+    std::uint16_t rnti = 0;
+    std::uint32_t plmn = 0;
+    std::uint32_t s_nssai = 0;
+    std::uint8_t initial_cqi = 15;
+    std::optional<std::uint8_t> fixed_mcs;  ///< pin MCS (paper's setup)
+  };
+
+  BaseStation(CellConfig cfg, std::uint64_t seed = 1);
+
+  // -- UE lifecycle (drives RRC events) --
+  Status attach_ue(const UeConfig& cfg);
+  Status detach_ue(std::uint16_t rnti);
+  [[nodiscard]] std::vector<std::uint16_t> ues() const;
+  [[nodiscard]] bool has_ue(std::uint16_t rnti) const {
+    return ues_.count(rnti) > 0;
+  }
+
+  /// RRC connection events (consumed by the RRC SM RAN function).
+  using RrcHandler = std::function<void(const e2sm::rrc::IndicationMsg&)>;
+  void set_on_rrc_event(RrcHandler h) { on_rrc_ = std::move(h); }
+
+  // -- downlink datapath --
+  /// Inject a downlink IP packet for (rnti, drb). Returns false if the UE
+  /// is unknown or the TC queue dropped it.
+  bool deliver_downlink(std::uint16_t rnti, std::uint8_t drb, Packet p);
+
+  /// Packets that finished transmission over the air this TTI.
+  using DeliveryHandler =
+      std::function<void(std::uint16_t rnti, const Packet& p, Nanos now)>;
+  void set_on_delivery(DeliveryHandler h) { on_delivery_ = std::move(h); }
+
+  /// Packets lost inside the RAN (RLC buffer overflow during TC drain).
+  using DropHandler = std::function<void(std::uint16_t rnti, const Packet&)>;
+  void set_on_drop(DropHandler h) { on_drop_ = std::move(h); }
+
+  /// Advance one TTI ending at virtual time `now`.
+  void tick(Nanos now);
+
+  // -- control-plane access for RAN functions --
+  MacScheduler& mac() noexcept { return mac_; }
+  /// TC chain of a bearer (nullptr if absent).
+  tc::TcChain* tc_chain(std::uint16_t rnti, std::uint8_t drb);
+  /// Sojourn of the oldest packet waiting in a bearer's RLC buffer, in ms
+  /// (0 if empty/absent). Side-effect-free, usable by policy enforcement.
+  [[nodiscard]] double rlc_head_sojourn_ms(std::uint16_t rnti,
+                                           std::uint8_t drb) const;
+
+  // -- statistics in SM shape --
+  e2sm::mac::IndicationMsg mac_stats(bool include_harq,
+                                     const std::vector<std::uint16_t>& filter);
+  e2sm::rlc::IndicationMsg rlc_stats(const std::vector<std::uint16_t>& filter);
+  e2sm::pdcp::IndicationMsg pdcp_stats(
+      const std::vector<std::uint16_t>& filter);
+  e2sm::kpm::IndicationMsg kpm_stats();
+
+  /// Downlink MAC throughput (Mbps) of one UE since the last call with
+  /// reset; used by the figure benches.
+  double ue_throughput_mbps(std::uint16_t rnti, Nanos window, bool reset);
+
+  [[nodiscard]] const CellConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] Nanos now() const noexcept { return now_; }
+
+ private:
+  struct Bearer {
+    PdcpEntity pdcp;
+    tc::TcChain tc;
+    RlcEntity rlc;
+    double service_rate_mbps = 0.0;  ///< EWMA of MAC service, feeds the pacer
+    std::uint64_t period_bytes = 0;
+  };
+
+  struct UeCtx {
+    UeConfig cfg;
+    ChannelModel channel;
+    std::map<std::uint8_t, Bearer> bearers;
+    // period accounting for MAC stats / throughput probes
+    std::uint32_t period_prbs = 0;
+    std::uint64_t period_bytes = 0;
+    std::uint64_t probe_bytes = 0;  ///< window for ue_throughput_mbps
+    std::uint32_t period_harq_retx = 0;
+    std::uint8_t last_mcs = 0;
+  };
+
+  [[nodiscard]] std::uint8_t current_mcs(const UeCtx& ue) const;
+  Bearer& get_or_create_bearer(UeCtx& ue, std::uint16_t rnti,
+                               std::uint8_t drb);
+
+  CellConfig cfg_;
+  MacScheduler mac_;
+  std::map<std::uint16_t, UeCtx> ues_;
+  RrcHandler on_rrc_;
+  DeliveryHandler on_delivery_;
+  DropHandler on_drop_;
+  Rng rng_;
+  Nanos now_ = 0;
+  // cell-level period accounting for KPM
+  std::uint64_t cell_period_bytes_ = 0;
+  std::uint64_t cell_period_prbs_ = 0;
+  std::uint64_t cell_period_ttis_ = 0;
+};
+
+}  // namespace flexric::ran

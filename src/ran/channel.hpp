@@ -1,0 +1,41 @@
+// Per-UE radio channel model.
+//
+// A bounded random walk over CQI (a first-order Markov chain), the standard
+// lightweight stand-in for fading when no RF hardware is present. The
+// evaluation mostly pins the MCS (as the paper does: "MCS is fixed to 20/28
+// for all UEs"), but the model is exercised by the channel-variation tests
+// and available to experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace flexric::ran {
+
+class ChannelModel {
+ public:
+  ChannelModel(std::uint8_t initial_cqi, std::uint64_t seed)
+      : cqi_(initial_cqi), rng_(seed) {}
+
+  /// Advance one TTI; CQI takes a +-1 step with probability `p_step`.
+  std::uint8_t step(double p_step = 0.05) noexcept {
+    if (rng_.chance(p_step)) {
+      int delta = rng_.chance(0.5) ? 1 : -1;
+      int next = static_cast<int>(cqi_) + delta;
+      if (next < 1) next = 1;
+      if (next > 15) next = 15;
+      cqi_ = static_cast<std::uint8_t>(next);
+    }
+    return cqi_;
+  }
+
+  [[nodiscard]] std::uint8_t cqi() const noexcept { return cqi_; }
+  void set_cqi(std::uint8_t cqi) noexcept { cqi_ = cqi; }
+
+ private:
+  std::uint8_t cqi_;
+  Rng rng_;
+};
+
+}  // namespace flexric::ran

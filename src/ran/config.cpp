@@ -1,0 +1,45 @@
+#include "ran/config.hpp"
+
+#include <algorithm>
+
+namespace flexric::ran {
+
+double mcs_efficiency(std::uint8_t mcs) noexcept {
+  // 29 entries, QPSK (0-9), 16QAM (10-16), 64QAM (17-28); bits per RE.
+  static constexpr double kEff[29] = {
+      0.2344, 0.3066, 0.3770, 0.4902, 0.6016, 0.7402, 0.8770, 1.0273,
+      1.1758, 1.3262, 1.3281, 1.4766, 1.6953, 1.9141, 2.1602, 2.4063,
+      2.5703, 2.5664, 2.7305, 3.0293, 3.3223, 3.6094, 3.9023, 4.2129,
+      4.5234, 4.8164, 5.1152, 5.3320, 5.5547};
+  if (mcs > 28) mcs = 28;
+  return kEff[mcs];
+}
+
+std::uint32_t transport_block_bits(std::uint8_t mcs,
+                                   std::uint32_t prbs) noexcept {
+  // 12 subcarriers x 14 OFDM symbols per PRB per ms; 15 % control/reference
+  // overhead (places the simulated cells in the paper's throughput range:
+  // ~17-20 Mbps at 25 PRB/MCS 28, ~50+ Mbps at 106 PRB/MCS 20).
+  constexpr double kRePerPrb = 12.0 * 14.0;
+  constexpr double kOverhead = 0.85;
+  double bits = static_cast<double>(prbs) * kRePerPrb * kOverhead *
+                mcs_efficiency(mcs);
+  return static_cast<std::uint32_t>(bits);
+}
+
+double cell_capacity_mbps(const CellConfig& cfg) noexcept {
+  double bits_per_tti =
+      transport_block_bits(cfg.default_mcs, cfg.num_prbs);
+  double ttis_per_s =
+      static_cast<double>(kSecond) / static_cast<double>(cfg.tti);
+  return bits_per_tti * ttis_per_s / 1e6;
+}
+
+std::uint8_t cqi_to_mcs(std::uint8_t cqi) noexcept {
+  // Conservative linear-ish mapping CQI 1..15 -> MCS 0..28.
+  static constexpr std::uint8_t kMap[16] = {0,  0,  2,  4,  6,  8,  11, 13,
+                                            15, 18, 20, 22, 24, 26, 28, 28};
+  return kMap[std::min<std::uint8_t>(cqi, 15)];
+}
+
+}  // namespace flexric::ran

@@ -1,0 +1,46 @@
+// Cell configuration and link-level tables for the base-station simulator.
+//
+// The evaluation's cells are reproduced as configurations:
+//   LTE  5 MHz:  25 PRBs (Figs. 6a, 15 dedicated)
+//   LTE 10 MHz:  50 PRBs (Fig. 15 shared)
+//   NR  20 MHz: 106 PRBs (Figs. 6a, 13)
+//
+// Throughput per PRB follows a 3GPP-style spectral-efficiency table:
+// TBS(mcs, prbs) ≈ prbs * 12 subcarriers * 14 symbols * eff(mcs) * 0.8
+// (20 % control/reference-signal overhead), which matches the paper's
+// observed rates (e.g. ~17 Mbps per 25-PRB eNB at MCS 28; ~55-60 Mbps cell
+// throughput at 106 PRBs, MCS 20).
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+
+namespace flexric::ran {
+
+enum class Rat : std::uint8_t { lte = 0, nr };
+
+struct CellConfig {
+  Rat rat = Rat::lte;
+  std::uint32_t cell_id = 0;
+  std::uint32_t num_prbs = 25;      ///< 25 = 5 MHz LTE, 106 = 20 MHz NR
+  Nanos tti = kMilli;               ///< scheduling interval (1 ms)
+  std::uint8_t default_mcs = 28;    ///< fixed MCS unless channel model used
+  bool vary_channel = false;        ///< enable the CQI random-walk model
+};
+
+/// Approximate spectral efficiency (bits per resource element) per MCS,
+/// following 3GPP TS 38.214 table 5.1.3.1-1 (QPSK..64QAM).
+double mcs_efficiency(std::uint8_t mcs) noexcept;
+
+/// Transport block size in BITS for an allocation of `prbs` PRBs at `mcs`.
+std::uint32_t transport_block_bits(std::uint8_t mcs,
+                                   std::uint32_t prbs) noexcept;
+
+/// Peak cell rate in Mbps for sizing buffers and pacers.
+double cell_capacity_mbps(const CellConfig& cfg) noexcept;
+
+/// CQI (1..15) to MCS (0..28) mapping.
+std::uint8_t cqi_to_mcs(std::uint8_t cqi) noexcept;
+
+}  // namespace flexric::ran

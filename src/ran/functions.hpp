@@ -1,0 +1,350 @@
+// Bundled RAN functions: the pre-defined SMs shipped with the agent library
+// (paper §4.1.1), wired to the base-station simulator.
+//
+// Monitoring functions (MAC/RLC/PDCP/KPM) follow the periodic-report
+// pattern; RRC is on-event; SC and TC are control SMs with optional status
+// reports; HW is the ping SM for the RTT experiments.
+//
+// Periodic reports are clocked by *virtual* time: the experiment harness
+// calls on_tti(now) after every simulator tick, so reporting keeps the 1 ms
+// cadence of the paper while the simulation runs as fast as the CPU allows.
+// Per-controller UE visibility (§4.1.2) is enforced here by intersecting
+// each report with AgentServices::ue_visible().
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "agent/agent.hpp"
+#include "agent/ran_function.hpp"
+#include "e2sm/assoc_sm.hpp"
+#include "e2sm/hw_sm.hpp"
+#include "e2sm/kpm_sm.hpp"
+#include "e2sm/mac_sm.hpp"
+#include "e2sm/pdcp_sm.hpp"
+#include "e2sm/rlc_sm.hpp"
+#include "e2sm/rrc_sm.hpp"
+#include "e2sm/slice_sm.hpp"
+#include "e2sm/tc_sm.hpp"
+#include "ran/base_station.hpp"
+
+namespace flexric::ran {
+
+/// Base for RAN functions that emit periodic reports in virtual time.
+class PeriodicReportBase : public agent::RanFunction {
+ public:
+  explicit PeriodicReportBase(WireFormat sm_format) : fmt_(sm_format) {}
+
+  Result<agent::SubscriptionOutcome> on_subscription(
+      const e2ap::SubscriptionRequest& req,
+      agent::ControllerId origin) override;
+  Status on_subscription_delete(const e2ap::SubscriptionDeleteRequest& req,
+                                agent::ControllerId origin) override;
+  void on_controller_detached(agent::ControllerId origin) override;
+
+  /// Drive reporting from the simulation clock.
+  virtual void on_tti(Nanos now);
+
+  [[nodiscard]] WireFormat sm_format() const noexcept { return fmt_; }
+  [[nodiscard]] std::size_t num_subscriptions() const noexcept {
+    return subs_.size();
+  }
+
+ protected:
+  struct SubState {
+    agent::ControllerId origin = 0;
+    e2ap::RicRequestId request;
+    std::uint8_t action_id = 0;
+    Buffer action_def;
+    std::uint32_t period_ms = 1000;
+    Nanos next_due = 0;
+    std::uint32_t sn = 0;
+  };
+
+  /// Produce (header, message) SM payloads for one subscription, or nullopt
+  /// to skip this period.
+  virtual std::optional<std::pair<Buffer, Buffer>> produce(
+      const SubState& sub, Nanos now) = 0;
+
+  WireFormat fmt_;
+
+ private:
+  using Key = std::pair<agent::ControllerId, e2ap::RicRequestId>;
+  std::map<Key, SubState> subs_;
+};
+
+// ---------------------------------------------------------------------------
+// Monitoring SMs
+// ---------------------------------------------------------------------------
+
+class MacStatsFunction final : public PeriodicReportBase {
+ public:
+  MacStatsFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest&,
+                            agent::ControllerId) override {
+    return Error{Errc::unsupported, "MAC stats SM has no control service"};
+  }
+
+ protected:
+  std::optional<std::pair<Buffer, Buffer>> produce(const SubState& sub,
+                                                   Nanos now) override;
+
+ private:
+  BaseStation& bs_;
+  e2ap::RanFunctionItem desc_;
+};
+
+class RlcStatsFunction final : public PeriodicReportBase {
+ public:
+  RlcStatsFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest&,
+                            agent::ControllerId) override {
+    return Error{Errc::unsupported, "RLC stats SM has no control service"};
+  }
+
+ protected:
+  std::optional<std::pair<Buffer, Buffer>> produce(const SubState& sub,
+                                                   Nanos now) override;
+
+ private:
+  BaseStation& bs_;
+  e2ap::RanFunctionItem desc_;
+};
+
+class PdcpStatsFunction final : public PeriodicReportBase {
+ public:
+  PdcpStatsFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest&,
+                            agent::ControllerId) override {
+    return Error{Errc::unsupported, "PDCP stats SM has no control service"};
+  }
+
+ protected:
+  std::optional<std::pair<Buffer, Buffer>> produce(const SubState& sub,
+                                                   Nanos now) override;
+
+ private:
+  BaseStation& bs_;
+  e2ap::RanFunctionItem desc_;
+};
+
+class KpmFunction final : public PeriodicReportBase {
+ public:
+  KpmFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest&,
+                            agent::ControllerId) override {
+    return Error{Errc::unsupported, "KPM SM has no control service"};
+  }
+
+ protected:
+  std::optional<std::pair<Buffer, Buffer>> produce(const SubState& sub,
+                                                   Nanos now) override;
+
+ private:
+  BaseStation& bs_;
+  e2ap::RanFunctionItem desc_;
+};
+
+// ---------------------------------------------------------------------------
+// RRC events (on-event SM)
+// ---------------------------------------------------------------------------
+
+class RrcFunction final : public agent::RanFunction {
+ public:
+  RrcFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<agent::SubscriptionOutcome> on_subscription(
+      const e2ap::SubscriptionRequest& req,
+      agent::ControllerId origin) override;
+  Status on_subscription_delete(const e2ap::SubscriptionDeleteRequest& req,
+                                agent::ControllerId origin) override;
+  Result<Buffer> on_control(const e2ap::ControlRequest&,
+                            agent::ControllerId) override {
+    return Error{Errc::unsupported, "RRC SM has no control service"};
+  }
+  void on_controller_detached(agent::ControllerId origin) override;
+
+ private:
+  void emit(const e2sm::rrc::IndicationMsg& ev);
+
+  struct SubState {
+    agent::ControllerId origin;
+    e2ap::RicRequestId request;
+    std::uint8_t action_id;
+    e2sm::rrc::ActionDef def;
+    std::uint32_t sn = 0;
+  };
+  BaseStation& bs_;
+  WireFormat fmt_;
+  e2ap::RanFunctionItem desc_;
+  std::vector<SubState> subs_;
+};
+
+// ---------------------------------------------------------------------------
+// Slice control SM
+// ---------------------------------------------------------------------------
+
+class SliceCtrlFunction final : public PeriodicReportBase {
+ public:
+  SliceCtrlFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest& req,
+                            agent::ControllerId origin) override;
+
+ protected:
+  std::optional<std::pair<Buffer, Buffer>> produce(const SubState& sub,
+                                                   Nanos now) override;
+
+ private:
+  BaseStation& bs_;
+  e2ap::RanFunctionItem desc_;
+};
+
+// ---------------------------------------------------------------------------
+// Traffic control SM
+// ---------------------------------------------------------------------------
+
+class TcCtrlFunction final : public PeriodicReportBase {
+ public:
+  TcCtrlFunction(BaseStation& bs, WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest& req,
+                            agent::ControllerId origin) override;
+  /// Supports POLICY actions (e2sm::tc::PolicyDef) in addition to reports:
+  /// the RAN function applies the anti-bufferbloat pacer itself when a
+  /// bearer's sojourn crosses the installed limit (Appendix A.3 service).
+  Result<agent::SubscriptionOutcome> on_subscription(
+      const e2ap::SubscriptionRequest& req,
+      agent::ControllerId origin) override;
+  Status on_subscription_delete(const e2ap::SubscriptionDeleteRequest& req,
+                                agent::ControllerId origin) override;
+  void on_controller_detached(agent::ControllerId origin) override;
+  /// Reports + policy enforcement.
+  void on_tti(Nanos now) override;
+
+  [[nodiscard]] std::size_t num_policies() const noexcept {
+    return policies_.size();
+  }
+
+ protected:
+  std::optional<std::pair<Buffer, Buffer>> produce(const SubState& sub,
+                                                   Nanos now) override;
+
+ private:
+  struct PolicyState {
+    agent::ControllerId origin;
+    e2ap::RicRequestId request;
+    e2sm::tc::PolicyDef def;
+  };
+  void enforce_policies(Nanos now);
+
+  BaseStation& bs_;
+  e2ap::RanFunctionItem desc_;
+  std::vector<PolicyState> policies_;
+};
+
+// ---------------------------------------------------------------------------
+// Hello-World SM (ping / pong, no base station needed)
+// ---------------------------------------------------------------------------
+
+class HwFunction final : public agent::RanFunction {
+ public:
+  explicit HwFunction(WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<agent::SubscriptionOutcome> on_subscription(
+      const e2ap::SubscriptionRequest& req,
+      agent::ControllerId origin) override;
+  Status on_subscription_delete(const e2ap::SubscriptionDeleteRequest& req,
+                                agent::ControllerId origin) override;
+  /// Ping arrives as RIC Control; pong leaves as RIC Indication on the
+  /// origin's subscription (the paper's modified HW SM, §5.2).
+  Result<Buffer> on_control(const e2ap::ControlRequest& req,
+                            agent::ControllerId origin) override;
+  void on_controller_detached(agent::ControllerId origin) override;
+
+ private:
+  struct SubState {
+    e2ap::RicRequestId request;
+    std::uint8_t action_id = 0;
+    std::uint32_t sn = 0;
+  };
+  WireFormat fmt_;
+  e2ap::RanFunctionItem desc_;
+  std::map<agent::ControllerId, SubState> subs_;
+};
+
+// ---------------------------------------------------------------------------
+// UE-to-controller association SM (Fig. 4, disaggregated deployments)
+// ---------------------------------------------------------------------------
+
+/// Lets a (typically infrastructure) controller configure which UEs the
+/// agent exposes to which of its other controllers. Needs no base station:
+/// it manipulates the agent's own association table.
+class AssocFunction final : public agent::RanFunction {
+ public:
+  explicit AssocFunction(WireFormat fmt);
+  [[nodiscard]] const e2ap::RanFunctionItem& descriptor() const override {
+    return desc_;
+  }
+  Result<agent::SubscriptionOutcome> on_subscription(
+      const e2ap::SubscriptionRequest&, agent::ControllerId) override {
+    return Error{Errc::unsupported, "UE-ASSOC SM has no report service"};
+  }
+  Status on_subscription_delete(const e2ap::SubscriptionDeleteRequest&,
+                                agent::ControllerId) override {
+    return {Errc::not_found, "no subscriptions"};
+  }
+  Result<Buffer> on_control(const e2ap::ControlRequest& req,
+                            agent::ControllerId origin) override;
+
+ private:
+  WireFormat fmt_;
+  e2ap::RanFunctionItem desc_;
+};
+
+/// Bundle: create + register every BS-coupled RAN function on an agent and
+/// forward simulator ticks. This is the glue a base-station wrapper uses.
+class BsFunctionBundle {
+ public:
+  BsFunctionBundle(BaseStation& bs, agent::E2Agent& agent, WireFormat sm_fmt);
+  /// Call after every BaseStation::tick.
+  void on_tti(Nanos now);
+
+  MacStatsFunction& mac() { return *mac_; }
+  RlcStatsFunction& rlc() { return *rlc_; }
+  PdcpStatsFunction& pdcp() { return *pdcp_; }
+  KpmFunction& kpm() { return *kpm_; }
+  SliceCtrlFunction& slice() { return *slice_; }
+  TcCtrlFunction& tc() { return *tc_; }
+
+ private:
+  std::shared_ptr<MacStatsFunction> mac_;
+  std::shared_ptr<RlcStatsFunction> rlc_;
+  std::shared_ptr<PdcpStatsFunction> pdcp_;
+  std::shared_ptr<KpmFunction> kpm_;
+  std::shared_ptr<RrcFunction> rrc_;
+  std::shared_ptr<SliceCtrlFunction> slice_;
+  std::shared_ptr<TcCtrlFunction> tc_;
+};
+
+}  // namespace flexric::ran

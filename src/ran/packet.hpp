@@ -1,0 +1,24 @@
+// The simulated IP packet flowing through SDAP → TC → PDCP → RLC → MAC.
+//
+// Payload bytes are not materialized (only sizes matter for the evaluation);
+// per-packet metadata carries the 5-tuple for TC classification and the
+// timestamps from which sojourn times and RTTs are computed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "e2sm/tc_sm.hpp"
+
+namespace flexric::ran {
+
+struct Packet {
+  std::uint32_t size_bytes = 0;
+  e2sm::tc::FiveTuple tuple;     ///< for the TC classifier
+  std::uint64_t flow_id = 0;     ///< traffic generator bookkeeping
+  std::uint32_t seq = 0;         ///< per-flow sequence number
+  Nanos created = 0;             ///< when the source emitted it (virtual time)
+  Nanos enqueued = 0;            ///< when it entered the current queue
+};
+
+}  // namespace flexric::ran

@@ -1,0 +1,67 @@
+#include "ran/rlc.hpp"
+
+#include <algorithm>
+
+namespace flexric::ran {
+
+bool RlcEntity::enqueue(Packet p, Nanos now) {
+  if (buffer_bytes_ + p.size_bytes > limit_bytes_) {
+    stats_.dropped_sdus++;
+    return false;
+  }
+  p.enqueued = now;
+  buffer_bytes_ += p.size_bytes;
+  stats_.rx_bytes += p.size_bytes;
+  stats_.rx_sdus++;
+  q_.push_back(p);
+  return true;
+}
+
+std::vector<Packet> RlcEntity::pull(std::uint32_t grant_bytes, Nanos now,
+                                    std::uint32_t* used_bytes) {
+  std::vector<Packet> out;
+  std::uint32_t used = 0;
+  while (grant_bytes > used && !q_.empty()) {
+    Packet& head = q_.front();
+    std::uint32_t remaining = head.size_bytes - head_sent_;
+    std::uint32_t take = std::min(remaining, grant_bytes - used);
+    used += take;
+    head_sent_ += take;
+    buffer_bytes_ -= take;  // occupancy shrinks as segments are transmitted
+    if (head_sent_ == head.size_bytes) {
+      // Last byte served: the packet leaves the DRB buffer now.
+      stats_.tx_bytes += head.size_bytes;
+      stats_.tx_pdus++;
+      double sojourn_ms = static_cast<double>(now - head.enqueued) /
+                          static_cast<double>(kMilli);
+      stats_.sojourn_sum_ms += sojourn_ms;
+      stats_.sojourn_max_ms = std::max(stats_.sojourn_max_ms, sojourn_ms);
+      stats_.sojourn_count++;
+      out.push_back(head);
+      q_.pop_front();
+      head_sent_ = 0;
+    }
+  }
+  if (used_bytes != nullptr) *used_bytes = used;
+  return out;
+}
+
+double RlcEntity::head_sojourn_ms(Nanos now) const noexcept {
+  if (q_.empty()) return 0.0;
+  return static_cast<double>(now - q_.front().enqueued) /
+         static_cast<double>(kMilli);
+}
+
+void RlcEntity::snapshot_period(double* avg_ms, double* max_ms) {
+  if (avg_ms != nullptr)
+    *avg_ms = stats_.sojourn_count > 0
+                  ? stats_.sojourn_sum_ms /
+                        static_cast<double>(stats_.sojourn_count)
+                  : 0.0;
+  if (max_ms != nullptr) *max_ms = stats_.sojourn_max_ms;
+  stats_.sojourn_sum_ms = 0.0;
+  stats_.sojourn_max_ms = 0.0;
+  stats_.sojourn_count = 0;
+}
+
+}  // namespace flexric::ran

@@ -1,0 +1,76 @@
+// RLC entity (one per DRB): the large downlink buffer in front of the radio
+// link where bufferbloat happens (§6.1.1: "the RLC sublayer is provided with
+// large buffers to absorb the brusque changes that the radio channel may
+// suffer").
+//
+// Models an AM-mode byte queue with segmentation (the MAC pulls arbitrary
+// byte grants; a packet leaves when its last byte is served) and per-packet
+// sojourn tracking, which feeds the RLC stats SM.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "ran/packet.hpp"
+
+namespace flexric::ran {
+
+class RlcEntity {
+ public:
+  /// Default limit mirrors OAI's generous DRB buffers (enough to bloat).
+  explicit RlcEntity(std::uint32_t limit_bytes = 2 * 1024 * 1024)
+      : limit_bytes_(limit_bytes) {}
+
+  /// Enqueue an SDU; returns false (tail drop) when the buffer is full —
+  /// the loss signal a Cubic-like sender reacts to.
+  bool enqueue(Packet p, Nanos now);
+
+  /// Serve up to `grant_bytes` towards the UE. Packets whose last byte was
+  /// transmitted this TTI are returned (their sojourn ends now);
+  /// `used_bytes` reports the grant actually consumed.
+  std::vector<Packet> pull(std::uint32_t grant_bytes, Nanos now,
+                           std::uint32_t* used_bytes);
+
+  [[nodiscard]] std::uint32_t buffer_bytes() const noexcept {
+    return buffer_bytes_;
+  }
+  [[nodiscard]] std::uint32_t buffer_pkts() const noexcept {
+    return static_cast<std::uint32_t>(q_.size());
+  }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::uint32_t limit_bytes() const noexcept {
+    return limit_bytes_;
+  }
+  void set_limit_bytes(std::uint32_t limit) noexcept { limit_bytes_ = limit; }
+
+  /// Sojourn time of the oldest queued packet (0 when empty) — the "head
+  /// of line delay" a controller watches for bloat.
+  [[nodiscard]] double head_sojourn_ms(Nanos now) const noexcept;
+
+  /// Cumulative + per-period statistics for the RLC stats SM.
+  struct Stats {
+    std::uint64_t tx_bytes = 0;    // cumulative, towards MAC
+    std::uint64_t rx_bytes = 0;    // cumulative, from PDCP
+    std::uint32_t tx_pdus = 0;
+    std::uint32_t rx_sdus = 0;
+    std::uint32_t dropped_sdus = 0;
+    // period (since last snapshot):
+    double sojourn_sum_ms = 0.0;
+    double sojourn_max_ms = 0.0;
+    std::uint32_t sojourn_count = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  /// Average/max sojourn over the period, then reset the period window.
+  void snapshot_period(double* avg_ms, double* max_ms);
+
+ private:
+  std::uint32_t limit_bytes_;
+  std::uint32_t buffer_bytes_ = 0;
+  std::uint32_t head_sent_ = 0;  ///< bytes of the head packet already served
+  std::deque<Packet> q_;
+  Stats stats_;
+};
+
+}  // namespace flexric::ran

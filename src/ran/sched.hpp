@@ -1,0 +1,116 @@
+// MAC scheduling: slice scheduler + per-slice UE schedulers (paper Fig. 12).
+//
+// "Upon the MAC scheduling phase, first the slice scheduler distributes
+// resources among slices, and for each selected slice, the corresponding UE
+// scheduler distributes resources among the UEs."
+//
+// Implemented slice algorithms (SC SM `Algo`):
+//   none      — no slicing; one implicit slice holding every UE.
+//   static_rb — fixed PRB partition per slice (RadioVisor-style sub-grids).
+//   nvs       — NVS [Kokku et al., IEEE/ACM ToN 2012]: each TTI the slice
+//               with the largest (target share / attained share) ratio wins
+//               the whole subframe; an EWMA tracks attainment. Capacity
+//               slices target a resource fraction, rate slices a reserved
+//               rate over a reference rate; both are admitted while
+//               Σ c_s + Σ r_rsv/r_ref ≤ 1 (the NVS admission condition the
+//               virtualization layer of §6.2 relies on).
+//
+// UE schedulers: round robin, proportional fair, max throughput.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "common/result.hpp"
+#include "e2sm/slice_sm.hpp"
+#include "ran/config.hpp"
+
+namespace flexric::ran {
+
+/// Scheduling input for one UE in one TTI.
+struct UeInput {
+  std::uint16_t rnti = 0;
+  std::uint8_t mcs = 28;
+  std::uint32_t backlog_bytes = 0;  ///< RLC occupancy (0 = nothing to send)
+};
+
+/// One UE's downlink grant for this TTI.
+struct Alloc {
+  std::uint16_t rnti = 0;
+  std::uint32_t prbs = 0;
+  std::uint32_t tb_bytes = 0;  ///< grant in bytes at the UE's MCS
+  std::uint32_t slice_id = 0;
+};
+
+/// Per-slice UE scheduler interface.
+class UeScheduler {
+ public:
+  virtual ~UeScheduler() = default;
+  /// Distribute `prbs` among `ues` (all with backlog > 0), appending to
+  /// `out`. Implementations must be work-conserving within the slice.
+  virtual void allocate(const std::vector<UeInput>& ues, std::uint32_t prbs,
+                        std::uint32_t slice_id, std::vector<Alloc>& out) = 0;
+};
+
+std::unique_ptr<UeScheduler> make_ue_scheduler(e2sm::slice::UeSched kind);
+
+/// The MAC scheduler driven by the SC SM.
+class MacScheduler {
+ public:
+  explicit MacScheduler(const CellConfig& cfg);
+
+  // -- control plane (SC SM) --
+  /// Apply a slice control message (add/mod, delete, UE association).
+  /// Enforces NVS admission control; rejected configs leave state unchanged.
+  Status apply(const e2sm::slice::CtrlMsg& msg);
+  /// Current configuration + attained shares for the SC SM indication.
+  e2sm::slice::IndicationMsg status_report(bool reset_period);
+
+  // -- UE management --
+  void add_ue(std::uint16_t rnti);
+  void remove_ue(std::uint16_t rnti);
+  /// Slice a UE currently belongs to (slice 0 = default).
+  [[nodiscard]] std::uint32_t slice_of(std::uint16_t rnti) const;
+
+  // -- data plane --
+  /// Compute this TTI's grants. Only UEs with backlog receive PRBs.
+  std::vector<Alloc> schedule(const std::vector<UeInput>& ues);
+
+  [[nodiscard]] e2sm::slice::Algo algo() const noexcept { return algo_; }
+  [[nodiscard]] std::size_t num_slices() const noexcept {
+    return slices_.size();
+  }
+
+ private:
+  struct SliceRuntime {
+    e2sm::slice::SliceConf conf;
+    std::unique_ptr<UeScheduler> ue_sched;
+    std::set<std::uint16_t> ues;
+    double attained = 0.0;        ///< EWMA of per-TTI resource fraction
+    double attained_rate = 0.0;   ///< EWMA of delivered Mbps (rate slices)
+    std::uint64_t period_prbs = 0;
+    std::uint32_t period_ttis_scheduled = 0;
+  };
+
+  /// NVS weight of a slice given its target and attainment.
+  static double nvs_weight(const SliceRuntime& s);
+  [[nodiscard]] double admission_load(
+      const std::vector<e2sm::slice::SliceConf>& upserts,
+      const std::vector<std::uint32_t>& removals) const;
+  SliceRuntime& default_slice();
+  void schedule_slice(SliceRuntime& s, const std::vector<UeInput>& ues,
+                      std::uint32_t prbs, std::vector<Alloc>& out);
+
+  CellConfig cfg_;
+  e2sm::slice::Algo algo_ = e2sm::slice::Algo::none;
+  std::map<std::uint32_t, SliceRuntime> slices_;  // includes slice 0
+  std::map<std::uint16_t, std::uint32_t> ue_slice_;
+  std::uint32_t period_total_prbs_ = 0;
+  static constexpr double kEwma = 0.01;  ///< NVS attainment smoothing
+};
+
+}  // namespace flexric::ran

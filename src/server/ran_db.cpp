@@ -1,0 +1,77 @@
+#include "server/ran_db.hpp"
+
+namespace flexric::server {
+
+bool RanDb::add_agent(const AgentInfo& info) {
+  agents_[info.id] = info;
+  auto key = entity_key(info.node.plmn, info.node.nb_id);
+  RanEntity& e = entities_[key];
+  e.plmn = info.node.plmn;
+  e.nb_id = info.node.nb_id;
+  bool was_complete = e.complete();
+  switch (info.node.type) {
+    case e2ap::NodeType::enb:
+    case e2ap::NodeType::gnb:
+      e.monolithic = info.id;
+      break;
+    case e2ap::NodeType::cu:
+      e.cu = info.id;
+      break;
+    case e2ap::NodeType::du:
+      e.du = info.id;
+      break;
+  }
+  return !was_complete && e.complete();
+}
+
+void RanDb::remove_agent(AgentId id) {
+  auto it = agents_.find(id);
+  if (it == agents_.end()) return;
+  auto key = entity_key(it->second.node.plmn, it->second.node.nb_id);
+  auto eit = entities_.find(key);
+  if (eit != entities_.end()) {
+    RanEntity& e = eit->second;
+    if (e.monolithic == id) e.monolithic.reset();
+    if (e.cu == id) e.cu.reset();
+    if (e.du == id) e.du.reset();
+    if (!e.monolithic && !e.cu && !e.du) entities_.erase(eit);
+  }
+  agents_.erase(it);
+}
+
+const AgentInfo* RanDb::agent(AgentId id) const {
+  auto it = agents_.find(id);
+  return it == agents_.end() ? nullptr : &it->second;
+}
+
+std::vector<AgentId> RanDb::agents() const {
+  std::vector<AgentId> out;
+  out.reserve(agents_.size());
+  for (const auto& [id, info] : agents_) out.push_back(id);
+  return out;
+}
+
+const RanEntity* RanDb::entity(std::uint32_t plmn, std::uint32_t nb_id) const {
+  auto it = entities_.find(entity_key(plmn, nb_id));
+  return it == entities_.end() ? nullptr : &it->second;
+}
+
+std::vector<const RanEntity*> RanDb::entities() const {
+  std::vector<const RanEntity*> out;
+  out.reserve(entities_.size());
+  for (const auto& [key, e] : entities_) out.push_back(&e);
+  return out;
+}
+
+std::vector<AgentId> RanDb::agents_with_function(std::uint16_t fn_id) const {
+  std::vector<AgentId> out;
+  for (const auto& [id, info] : agents_)
+    for (const auto& f : info.functions)
+      if (f.id == fn_id) {
+        out.push_back(id);
+        break;
+      }
+  return out;
+}
+
+}  // namespace flexric::server

@@ -1,0 +1,79 @@
+// RAN database (paper §4.2.2).
+//
+// Stores what the RAN management learns from agent connections and answers
+// queries about the composition of the RAN. Handles disaggregated
+// deployments: agents that belong to the same base station (same PLMN and
+// nb_id — e.g. a CU agent and a DU agent) are merged into one RAN entity,
+// and an event fires when a complete RAN is formed from its parts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "e2ap/messages.hpp"
+
+namespace flexric::server {
+
+using AgentId = std::uint32_t;
+
+/// What the server knows about one connected agent.
+struct AgentInfo {
+  AgentId id = 0;
+  e2ap::GlobalNodeId node;
+  std::vector<e2ap::RanFunctionItem> functions;
+  bool connected = false;
+};
+
+/// One logical base station, possibly assembled from CU + DU agents.
+struct RanEntity {
+  std::uint32_t plmn = 0;
+  std::uint32_t nb_id = 0;
+  std::optional<AgentId> monolithic;  ///< eNB/gNB agent
+  std::optional<AgentId> cu;
+  std::optional<AgentId> du;
+  /// Complete = a monolithic node, or both CU and DU present.
+  [[nodiscard]] bool complete() const noexcept {
+    return monolithic.has_value() || (cu.has_value() && du.has_value());
+  }
+  [[nodiscard]] std::vector<AgentId> agents() const {
+    std::vector<AgentId> out;
+    if (monolithic) out.push_back(*monolithic);
+    if (cu) out.push_back(*cu);
+    if (du) out.push_back(*du);
+    return out;
+  }
+};
+
+class RanDb {
+ public:
+  /// Record a connected agent; returns true if this completed a RAN entity.
+  bool add_agent(const AgentInfo& info);
+  void remove_agent(AgentId id);
+
+  [[nodiscard]] const AgentInfo* agent(AgentId id) const;
+  [[nodiscard]] std::vector<AgentId> agents() const;
+  [[nodiscard]] std::size_t num_agents() const noexcept {
+    return agents_.size();
+  }
+
+  /// RAN entity lookup by (plmn, nb_id).
+  [[nodiscard]] const RanEntity* entity(std::uint32_t plmn,
+                                        std::uint32_t nb_id) const;
+  [[nodiscard]] std::vector<const RanEntity*> entities() const;
+
+  /// Agents of `entity-or-all` offering RAN function `fn_id`.
+  [[nodiscard]] std::vector<AgentId> agents_with_function(
+      std::uint16_t fn_id) const;
+
+ private:
+  static std::uint64_t entity_key(std::uint32_t plmn, std::uint32_t nb_id) {
+    return (static_cast<std::uint64_t>(plmn) << 32) | nb_id;
+  }
+  std::map<AgentId, AgentInfo> agents_;
+  std::map<std::uint64_t, RanEntity> entities_;
+};
+
+}  // namespace flexric::server

@@ -1,0 +1,250 @@
+#include "server/server.hpp"
+
+#include "common/log.hpp"
+
+namespace flexric::server {
+
+E2Server::E2Server(Reactor& reactor, Config cfg)
+    : reactor_(reactor), cfg_(cfg), codec_(e2ap::codec_for(cfg.e2ap_format)) {}
+
+E2Server::~E2Server() {
+  for (auto& [id, conn] : conns_)
+    if (conn.transport) {
+      conn.transport->set_on_message(nullptr);
+      conn.transport->set_on_close(nullptr);
+    }
+}
+
+Status E2Server::listen(std::uint16_t port) {
+  listener_ = std::make_unique<TcpListener>(
+      reactor_, [this](std::unique_ptr<TcpTransport> t) {
+        attach(std::shared_ptr<MsgTransport>(std::move(t)));
+      });
+  return listener_->listen(port);
+}
+
+std::uint16_t E2Server::port() const noexcept {
+  return listener_ ? listener_->port() : 0;
+}
+
+void E2Server::attach(std::shared_ptr<MsgTransport> transport) {
+  AgentId id = next_agent_id_++;
+  transport->set_on_message(
+      [this, id](StreamId, BytesView wire) { on_message(id, wire); });
+  transport->set_on_close([this, id]() { on_close(id); });
+  conns_[id] = Conn{std::move(transport), false};
+}
+
+void E2Server::add_iapp(std::shared_ptr<IApp> app) {
+  app->on_start(*this);
+  // Replay already-connected agents so late-added iApps see the full RAN.
+  for (AgentId id : db_.agents())
+    if (const AgentInfo* info = db_.agent(id)) app->on_agent_connected(*info);
+  iapps_.push_back(std::move(app));
+}
+
+Result<SubHandle> E2Server::subscribe(AgentId agent,
+                                      std::uint16_t ran_function_id,
+                                      Buffer event_trigger,
+                                      std::vector<e2ap::Action> actions,
+                                      SubCallbacks cbs) {
+  auto it = conns_.find(agent);
+  if (it == conns_.end()) return Error{Errc::not_found, "unknown agent"};
+  e2ap::SubscriptionRequest req;
+  req.request.requestor = cfg_.ric_id & 0xFFFF;
+  req.request.instance = next_instance_++;
+  req.ran_function_id = ran_function_id;
+  req.event_trigger = std::move(event_trigger);
+  req.actions = std::move(actions);
+  SubHandle h{agent, req.request};
+  subs_[h] = SubEntry{std::move(cbs), ran_function_id};
+  Status st = send(agent, e2ap::Msg{std::move(req)});
+  if (!st.is_ok()) {
+    subs_.erase(h);
+    return st.error();
+  }
+  return h;
+}
+
+Status E2Server::unsubscribe(const SubHandle& h) {
+  auto it = subs_.find(h);
+  if (it == subs_.end()) return {Errc::not_found, "unknown subscription"};
+  e2ap::SubscriptionDeleteRequest req;
+  req.request = h.request;
+  req.ran_function_id = it->second.ran_function_id;
+  // Drop the callbacks now: no further messages are delivered to the iApp
+  // after it asked for deletion.
+  subs_.erase(it);
+  return send(h.agent, e2ap::Msg{std::move(req)});
+}
+
+Status E2Server::send_control(AgentId agent, std::uint16_t ran_function_id,
+                              Buffer header, Buffer message,
+                              CtrlCallbacks cbs, bool ack_requested) {
+  auto it = conns_.find(agent);
+  if (it == conns_.end()) return {Errc::not_found, "unknown agent"};
+  e2ap::ControlRequest req;
+  req.request.requestor = cfg_.ric_id & 0xFFFF;
+  req.request.instance = next_instance_++;
+  req.ran_function_id = ran_function_id;
+  req.header = std::move(header);
+  req.message = std::move(message);
+  req.ack_requested = ack_requested;
+  if (ack_requested) ctrls_[SubHandle{agent, req.request}] = std::move(cbs);
+  return send(agent, e2ap::Msg{std::move(req)});
+}
+
+Status E2Server::send(AgentId id, const e2ap::Msg& m) {
+  auto it = conns_.find(id);
+  if (it == conns_.end() || !it->second.transport->is_open())
+    return {Errc::io, "agent connection not open"};
+  auto wire = codec_.encode(m);
+  if (!wire) return wire.status();
+  stats_.msgs_tx++;
+  stats_.bytes_tx += wire->size();
+  return it->second.transport->send(*wire);
+}
+
+void E2Server::on_close(AgentId id) {
+  conns_.erase(id);
+  if (db_.agent(id) != nullptr) {
+    db_.remove_agent(id);
+    for (auto& app : iapps_) app->on_agent_disconnected(id);
+  }
+  // Drop dangling subscriptions/control transactions of this agent.
+  for (auto it = subs_.begin(); it != subs_.end();)
+    it = (it->first.agent == id) ? subs_.erase(it) : std::next(it);
+  for (auto it = ctrls_.begin(); it != ctrls_.end();)
+    it = (it->first.agent == id) ? ctrls_.erase(it) : std::next(it);
+}
+
+void E2Server::on_message(AgentId id, BytesView wire) {
+  stats_.msgs_rx++;
+  stats_.bytes_rx += wire.size();
+  auto msg = codec_.decode(wire);
+  if (!msg) {
+    LOG_WARN("server", "undecodable E2AP message from agent %u: %s", id,
+             msg.error().to_string().c_str());
+    // E2AP conformance: report the protocol error to the peer.
+    e2ap::ErrorIndication err;
+    err.cause = {e2ap::Cause::Group::protocol, 0 /*transfer-syntax-error*/};
+    send(id, e2ap::Msg{err});
+    return;
+  }
+  std::visit(
+      [this, id](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, e2ap::SetupRequest> ||
+                      std::is_same_v<T, e2ap::SubscriptionResponse> ||
+                      std::is_same_v<T, e2ap::SubscriptionFailure> ||
+                      std::is_same_v<T, e2ap::SubscriptionDeleteResponse> ||
+                      std::is_same_v<T, e2ap::Indication> ||
+                      std::is_same_v<T, e2ap::ControlAck> ||
+                      std::is_same_v<T, e2ap::ControlFailure> ||
+                      std::is_same_v<T, e2ap::ServiceUpdate>) {
+          handle(id, m);
+        } else {
+          LOG_DEBUG("server", "ignoring %s at server",
+                    e2ap::msg_type_name(e2ap::msg_type(e2ap::Msg{m})));
+        }
+      },
+      *msg);
+}
+
+void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second.established = true;
+
+  AgentInfo info;
+  info.id = id;
+  info.node = m.node;
+  info.functions = m.ran_functions;
+  info.connected = true;
+  bool formed = db_.add_agent(info);
+
+  e2ap::SetupResponse resp;
+  resp.trans_id = m.trans_id;
+  resp.ric_id = cfg_.ric_id;
+  for (const auto& f : m.ran_functions) resp.accepted.push_back(f.id);
+  send(id, e2ap::Msg{std::move(resp)});
+
+  for (auto& app : iapps_) app->on_agent_connected(info);
+  if (formed) {
+    const RanEntity* e = db_.entity(m.node.plmn, m.node.nb_id);
+    if (e != nullptr)
+      for (auto& app : iapps_) app->on_ran_formed(*e);
+  }
+}
+
+void E2Server::handle(AgentId id, const e2ap::SubscriptionResponse& m) {
+  auto it = subs_.find(SubHandle{id, m.request});
+  if (it != subs_.end() && it->second.cbs.on_response)
+    it->second.cbs.on_response(m);
+}
+
+void E2Server::handle(AgentId id, const e2ap::SubscriptionFailure& m) {
+  SubHandle h{id, m.request};
+  auto it = subs_.find(h);
+  if (it != subs_.end()) {
+    if (it->second.cbs.on_failure) it->second.cbs.on_failure(m);
+    subs_.erase(h);
+  }
+}
+
+void E2Server::handle(AgentId, const e2ap::SubscriptionDeleteResponse&) {
+  // Callbacks were already dropped in unsubscribe(); nothing to do.
+}
+
+void E2Server::handle(AgentId id, const e2ap::Indication& m) {
+  stats_.indications_rx++;
+  // The subscription management selects the iApp for which the message is
+  // destined and forwards it through the provided callback (§4.2.2).
+  auto it = subs_.find(SubHandle{id, m.request});
+  if (it == subs_.end()) {
+    LOG_DEBUG("server", "indication for unknown subscription (agent %u)", id);
+    return;
+  }
+  if (it->second.cbs.on_indication) it->second.cbs.on_indication(m);
+}
+
+void E2Server::handle(AgentId id, const e2ap::ControlAck& m) {
+  SubHandle h{id, m.request};
+  auto it = ctrls_.find(h);
+  if (it == ctrls_.end()) return;
+  auto cbs = std::move(it->second);
+  ctrls_.erase(it);
+  if (cbs.on_ack) cbs.on_ack(m);
+}
+
+void E2Server::handle(AgentId id, const e2ap::ControlFailure& m) {
+  SubHandle h{id, m.request};
+  auto it = ctrls_.find(h);
+  if (it == ctrls_.end()) return;
+  auto cbs = std::move(it->second);
+  ctrls_.erase(it);
+  if (cbs.on_failure) cbs.on_failure(m);
+}
+
+void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
+  // Update the RAN DB and acknowledge everything (no policy at the server).
+  if (const AgentInfo* old = db_.agent(id)) {
+    AgentInfo info = *old;
+    for (const auto& f : m.added) info.functions.push_back(f);
+    for (const auto& f : m.modified)
+      for (auto& existing : info.functions)
+        if (existing.id == f.id) existing = f;
+    for (std::uint16_t rem : m.removed)
+      std::erase_if(info.functions,
+                    [rem](const auto& f) { return f.id == rem; });
+    db_.add_agent(info);
+    for (auto& app : iapps_) app->on_agent_updated(info);
+  }
+  e2ap::ServiceUpdateAck ack;
+  ack.trans_id = m.trans_id;
+  for (const auto& f : m.added) ack.accepted.push_back(f.id);
+  for (const auto& f : m.modified) ack.accepted.push_back(f.id);
+  send(id, e2ap::Msg{std::move(ack)});
+}
+
+}  // namespace flexric::server

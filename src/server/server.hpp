@@ -1,0 +1,154 @@
+// FlexRIC server library (paper §4.2.2).
+//
+// Multiplexes agent connections and dispatches E2AP messages to iApps:
+//
+//   * RAN management — handles connection events (E2 Setup), fills the RAN
+//     DB, merges disaggregated agents, and notifies subscribed iApps.
+//   * Subscription management — tracks subscriptions per (agent, request id)
+//     and delivers subscription outcomes and indications to the requesting
+//     iApp via callbacks.
+//
+// The library implements no SM itself and never requests information on its
+// own — iApps trigger all SM communication (zero-overhead principle).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "codec/wire.hpp"
+#include "e2ap/codec.hpp"
+#include "server/ran_db.hpp"
+#include "transport/transport.hpp"
+
+namespace flexric::server {
+
+class E2Server;
+
+/// Callbacks delivered for one subscription. All run on the reactor thread.
+struct SubCallbacks {
+  std::function<void(const e2ap::SubscriptionResponse&)> on_response;
+  std::function<void(const e2ap::SubscriptionFailure&)> on_failure;
+  std::function<void(const e2ap::Indication&)> on_indication;
+};
+
+/// Callbacks for one control transaction.
+struct CtrlCallbacks {
+  std::function<void(const e2ap::ControlAck&)> on_ack;
+  std::function<void(const e2ap::ControlFailure&)> on_failure;
+};
+
+/// Internal application base (paper Fig. 5): specializes a controller by
+/// implementing SMs directly or exposing them northbound to xApps.
+class IApp {
+ public:
+  virtual ~IApp() = default;
+  /// Called when the iApp is added; keep the server pointer to subscribe.
+  virtual void on_start(E2Server& server) { server_ = &server; }
+  virtual void on_agent_connected(const AgentInfo& info) { (void)info; }
+  virtual void on_agent_disconnected(AgentId id) { (void)id; }
+  /// The agent's RAN function set changed (RICserviceUpdate).
+  virtual void on_agent_updated(const AgentInfo& info) { (void)info; }
+  /// A complete RAN entity formed from disaggregated agents (§4.2.2).
+  virtual void on_ran_formed(const RanEntity& entity) { (void)entity; }
+  [[nodiscard]] virtual const char* name() const = 0;
+
+ protected:
+  E2Server* server_ = nullptr;
+};
+
+/// Handle identifying a subscription at the server.
+struct SubHandle {
+  AgentId agent = 0;
+  e2ap::RicRequestId request;
+  auto operator<=>(const SubHandle&) const = default;
+};
+
+class E2Server {
+ public:
+  struct Config {
+    std::uint32_t ric_id = 21;
+    WireFormat e2ap_format = WireFormat::per;
+  };
+
+  E2Server(Reactor& reactor, Config cfg);
+  ~E2Server();
+  E2Server(const E2Server&) = delete;
+  E2Server& operator=(const E2Server&) = delete;
+
+  /// Accept agents on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  Status listen(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const noexcept;
+  /// Attach an already-connected transport (in-process agents).
+  void attach(std::shared_ptr<MsgTransport> transport);
+
+  /// Add an iApp; its on_start runs immediately, and it will receive agent
+  /// connection events from then on.
+  void add_iapp(std::shared_ptr<IApp> app);
+
+  // -- subscription management (used by iApps) --
+  /// Sends a RICsubscriptionRequest to `agent`. The server fills the
+  /// RICrequestID (requestor = iApp cookie, instance = running counter).
+  Result<SubHandle> subscribe(AgentId agent, std::uint16_t ran_function_id,
+                              Buffer event_trigger,
+                              std::vector<e2ap::Action> actions,
+                              SubCallbacks cbs);
+  /// Sends a RICsubscriptionDeleteRequest and stops delivery.
+  Status unsubscribe(const SubHandle& h);
+
+  /// Sends a RICcontrolRequest; callbacks fire on ack/failure.
+  Status send_control(AgentId agent, std::uint16_t ran_function_id,
+                      Buffer header, Buffer message, CtrlCallbacks cbs,
+                      bool ack_requested = true);
+
+  [[nodiscard]] const RanDb& ran_db() const noexcept { return db_; }
+  [[nodiscard]] Reactor& reactor() noexcept { return reactor_; }
+
+  struct Stats {
+    std::uint64_t msgs_rx = 0;
+    std::uint64_t msgs_tx = 0;
+    std::uint64_t bytes_rx = 0;
+    std::uint64_t bytes_tx = 0;
+    std::uint64_t indications_rx = 0;
+  };
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  struct Conn {
+    std::shared_ptr<MsgTransport> transport;
+    bool established = false;
+  };
+
+  void on_message(AgentId id, BytesView wire);
+  void on_close(AgentId id);
+  void handle(AgentId id, const e2ap::SetupRequest& m);
+  void handle(AgentId id, const e2ap::SubscriptionResponse& m);
+  void handle(AgentId id, const e2ap::SubscriptionFailure& m);
+  void handle(AgentId id, const e2ap::SubscriptionDeleteResponse& m);
+  void handle(AgentId id, const e2ap::Indication& m);
+  void handle(AgentId id, const e2ap::ControlAck& m);
+  void handle(AgentId id, const e2ap::ControlFailure& m);
+  void handle(AgentId id, const e2ap::ServiceUpdate& m);
+  Status send(AgentId id, const e2ap::Msg& m);
+
+  Reactor& reactor_;
+  Config cfg_;
+  const e2ap::Codec& codec_;
+  std::unique_ptr<TcpListener> listener_;
+  std::map<AgentId, Conn> conns_;
+  AgentId next_agent_id_ = 1;
+  RanDb db_;
+  std::vector<std::shared_ptr<IApp>> iapps_;
+
+  struct SubEntry {
+    SubCallbacks cbs;
+    std::uint16_t ran_function_id = 0;
+  };
+  std::map<SubHandle, SubEntry> subs_;
+  std::map<SubHandle, CtrlCallbacks> ctrls_;  // in-flight control txns
+  std::uint16_t next_instance_ = 1;
+  Stats stats_;
+};
+
+}  // namespace flexric::server

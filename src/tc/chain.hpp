@@ -1,0 +1,123 @@
+// Traffic-control chain (paper Fig. 10): the datapath element the TC SM
+// configures, sitting between SDAP and the RLC DRB buffer.
+//
+//   SDAP → [classifier → queues → scheduler → pacer] → RLC → MAC
+//
+// In transparent mode (the default) it is a single FIFO drained every TTI —
+// behaviourally identical to feeding RLC directly. The TC xApp of §6.1.1
+// reconfigures it at runtime: a second FIFO queue, a 5-tuple filter for the
+// low-latency flow, a round-robin scheduler, and the 5G-BDP pacer that keeps
+// the RLC buffer uncongested by backlogging packets here instead.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+#include "e2sm/tc_sm.hpp"
+#include "ran/packet.hpp"
+#include "ran/rlc.hpp"
+
+namespace flexric::tc {
+
+using e2sm::tc::FilterConf;
+using e2sm::tc::PacerConf;
+using e2sm::tc::PacerKind;
+using e2sm::tc::QueueConf;
+using e2sm::tc::QueueKind;
+using e2sm::tc::SchedConf;
+using e2sm::tc::SchedKind;
+
+/// One TC queue (FIFO or CoDel-style early-drop FIFO).
+class TcQueue {
+ public:
+  explicit TcQueue(QueueConf conf) : conf_(conf) {}
+
+  bool enqueue(ran::Packet p, Nanos now);
+  /// Dequeue the head packet if any; CoDel queues may drop stale heads
+  /// first. Sojourn statistics are recorded at dequeue time.
+  bool dequeue(ran::Packet* out, Nanos now);
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::uint32_t backlog_bytes() const noexcept {
+    return backlog_bytes_;
+  }
+  [[nodiscard]] std::uint32_t backlog_pkts() const noexcept {
+    return static_cast<std::uint32_t>(q_.size());
+  }
+  [[nodiscard]] const QueueConf& conf() const noexcept { return conf_; }
+
+  e2sm::tc::QueueStats stats_snapshot(bool reset_period);
+
+ private:
+  QueueConf conf_;
+  std::deque<ran::Packet> q_;
+  std::uint32_t backlog_bytes_ = 0;
+  // CoDel state
+  Nanos first_above_ = 0;
+  // stats
+  std::uint64_t tx_bytes_ = 0, tx_pkts_ = 0, dropped_ = 0;
+  double sojourn_sum_ms_ = 0.0, sojourn_max_ms_ = 0.0;
+  std::uint32_t sojourn_count_ = 0;
+};
+
+/// The whole chain for one DRB.
+class TcChain {
+ public:
+  /// Starts in transparent mode: one FIFO (qid 0), no pacer, RR scheduler.
+  TcChain();
+
+  // -- control plane (driven by the TC SM RAN function) --
+  Status add_queue(const QueueConf& conf);
+  Status del_queue(std::uint32_t qid);
+  Status add_filter(const FilterConf& conf);
+  Status del_filter(std::uint32_t filter_id);
+  void set_sched(const SchedConf& conf) { sched_ = conf; }
+  void set_pacer(const PacerConf& conf) { pacer_ = conf; }
+  [[nodiscard]] const PacerConf& pacer() const noexcept { return pacer_; }
+  [[nodiscard]] std::size_t num_queues() const noexcept {
+    return queues_.size();
+  }
+
+  // -- data plane --
+  /// Classify + enqueue one downlink packet. False = dropped (queue full).
+  bool enqueue(ran::Packet p, Nanos now);
+
+  /// Per-TTI drain towards the RLC entity. `service_rate_mbps` is the
+  /// recent MAC service rate of this bearer, used by the BDP pacer to size
+  /// the RLC target backlog.
+  void drain(ran::RlcEntity& rlc, Nanos now, double service_rate_mbps);
+
+  /// Invoked for packets lost downstream of the chain (RLC buffer full
+  /// during drain) — the loss signal window-based senders react to.
+  using DropHandler = std::function<void(const ran::Packet&)>;
+  void set_drop_handler(DropHandler h) { drop_cb_ = std::move(h); }
+
+  /// Total bytes waiting in TC queues (the pacer's backlog).
+  [[nodiscard]] std::uint32_t backlog_bytes() const noexcept;
+
+  /// Current pacing budget report for the TC SM indication.
+  [[nodiscard]] double pacer_rate_mbps() const noexcept {
+    return last_pacer_rate_mbps_;
+  }
+
+  std::vector<e2sm::tc::QueueStats> stats_snapshot(bool reset_period);
+
+ private:
+  std::uint32_t classify(const ran::Packet& p) const;
+  bool pull_next(ran::Packet* out, Nanos now);
+
+  std::map<std::uint32_t, TcQueue> queues_;
+  std::vector<FilterConf> filters_;  // sorted by precedence
+  SchedConf sched_;
+  PacerConf pacer_;
+  DropHandler drop_cb_;
+  std::size_t rr_cursor_ = 0;
+  double last_pacer_rate_mbps_ = 0.0;
+  std::map<std::uint32_t, std::uint32_t> wrr_credit_;
+};
+
+}  // namespace flexric::tc

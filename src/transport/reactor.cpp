@@ -1,0 +1,136 @@
+#include "transport/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/log.hpp"
+
+namespace flexric {
+
+Reactor::Reactor() {
+  epfd_ = epoll_create1(EPOLL_CLOEXEC);
+  FLEXRIC_ASSERT(epfd_ >= 0, "epoll_create1 failed");
+}
+
+Reactor::~Reactor() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+Status Reactor::add_fd(int fd, std::uint32_t events, FdCallback cb) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0)
+    return {Errc::io, std::strerror(errno)};
+  fds_[fd] = std::move(cb);
+  return Status::ok();
+}
+
+Status Reactor::mod_fd(int fd, std::uint32_t events) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0)
+    return {Errc::io, std::strerror(errno)};
+  return Status::ok();
+}
+
+void Reactor::del_fd(int fd) {
+  epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+  fds_.erase(fd);
+}
+
+Reactor::TimerId Reactor::add_timer(Nanos period, std::function<void()> cb,
+                                    bool periodic) {
+  TimerId id = next_timer_id_++;
+  timer_cbs_[id] = std::move(cb);
+  timer_heap_.push(Timer{mono_now() + period, periodic ? period : 0, id});
+  return id;
+}
+
+void Reactor::cancel_timer(TimerId id) { timer_cbs_.erase(id); }
+
+void Reactor::post(std::function<void()> task) {
+  tasks_.push(std::move(task));
+}
+
+int Reactor::drain_tasks() {
+  int handled = 0;
+  // Only drain tasks queued before this call: a task that posts another
+  // task yields to I/O first (prevents starvation).
+  std::size_t n = tasks_.size();
+  for (std::size_t i = 0; i < n && !tasks_.empty(); ++i) {
+    auto task = std::move(tasks_.front());
+    tasks_.pop();
+    task();
+    ++handled;
+  }
+  return handled;
+}
+
+int Reactor::fire_due_timers() {
+  int handled = 0;
+  Nanos now = mono_now();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline <= now) {
+    Timer t = timer_heap_.top();
+    timer_heap_.pop();
+    auto it = timer_cbs_.find(t.id);
+    if (it == timer_cbs_.end()) continue;  // cancelled
+    if (t.period > 0) {
+      t.deadline += t.period;
+      if (t.deadline <= now) t.deadline = now + t.period;  // missed ticks
+      timer_heap_.push(t);
+      it->second();
+    } else {
+      auto cb = std::move(it->second);
+      timer_cbs_.erase(it);
+      cb();
+    }
+    ++handled;
+  }
+  return handled;
+}
+
+int Reactor::next_timeout_ms(int requested) const {
+  if (!tasks_.empty()) return 0;
+  if (timer_heap_.empty()) return requested;
+  Nanos until = timer_heap_.top().deadline - mono_now();
+  if (until <= 0) return 0;
+  int ms = static_cast<int>((until + kMilli - 1) / kMilli);
+  return requested < 0 ? ms : std::min(ms, requested);
+}
+
+int Reactor::run_once(int timeout_ms) {
+  int handled = drain_tasks();
+  handled += fire_due_timers();
+
+  epoll_event events[64];
+  int timeout = handled > 0 ? 0 : next_timeout_ms(timeout_ms);
+  int n = epoll_wait(epfd_, events, 64, timeout);
+  if (n < 0) {
+    if (errno != EINTR) LOG_ERROR("reactor", "epoll_wait: %s", std::strerror(errno));
+    return handled;
+  }
+  for (int i = 0; i < n; ++i) {
+    int fd = events[i].data.fd;
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) continue;  // removed by an earlier handler
+    // Copy: the handler may del_fd(fd) and invalidate the iterator.
+    FdCallback cb = it->second;
+    cb(events[i].events);
+    ++handled;
+  }
+  handled += fire_due_timers();
+  handled += drain_tasks();
+  return handled;
+}
+
+void Reactor::run() {
+  running_ = true;
+  while (running_) run_once(100);
+}
+
+}  // namespace flexric

@@ -1,0 +1,84 @@
+// Event loop (reactor) for the SDK's event-driven architecture.
+//
+// The paper's server library "is designed as an event-driven/callback-driven
+// system ... it invokes iApps only when there are new messages, unlike
+// systems like FlexRAN that use polling" (§4.2.2). This reactor is that
+// engine: epoll for fd readiness, a timer heap for periodic SM reports, and
+// a task queue for deferred work (also used by the in-process transport).
+// Single-threaded by design (§4.4): handlers run on the loop thread, so no
+// locking is needed anywhere in the SDK.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/result.hpp"
+
+namespace flexric {
+
+class Reactor {
+ public:
+  using FdCallback = std::function<void(std::uint32_t events)>;
+  using TimerId = std::uint64_t;
+
+  Reactor();
+  ~Reactor();
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Register fd for epoll events (EPOLLIN/EPOLLOUT/...). The callback runs
+  /// on the loop thread with the ready event mask.
+  Status add_fd(int fd, std::uint32_t events, FdCallback cb);
+  /// Change the event mask of a registered fd.
+  Status mod_fd(int fd, std::uint32_t events);
+  /// Unregister; safe to call from within the fd's own callback.
+  void del_fd(int fd);
+
+  /// One-shot or periodic timer; period is in nanoseconds of real time.
+  TimerId add_timer(Nanos period, std::function<void()> cb,
+                    bool periodic = true);
+  void cancel_timer(TimerId id);
+
+  /// Run `task` on the next loop iteration (FIFO). Used for in-process
+  /// message delivery and for scheduling work from within handlers.
+  void post(std::function<void()> task);
+
+  /// Process ready events/timers/tasks once. Blocks up to timeout_ms when
+  /// nothing is pending (pass 0 to poll). Returns number of items handled.
+  int run_once(int timeout_ms);
+  /// Loop until stop() is called.
+  void run();
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] bool has_pending_tasks() const noexcept {
+    return !tasks_.empty();
+  }
+
+ private:
+  struct Timer {
+    Nanos deadline;
+    Nanos period;  // 0 = one-shot
+    TimerId id;
+    bool operator>(const Timer& o) const noexcept {
+      return deadline > o.deadline;
+    }
+  };
+
+  int fire_due_timers();
+  int drain_tasks();
+  [[nodiscard]] int next_timeout_ms(int requested) const;
+
+  int epfd_ = -1;
+  bool running_ = false;
+  std::map<int, FdCallback> fds_;
+  std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timer_heap_;
+  std::map<TimerId, std::function<void()>> timer_cbs_;  // absent = cancelled
+  TimerId next_timer_id_ = 1;
+  std::queue<std::function<void()>> tasks_;
+};
+
+}  // namespace flexric

@@ -1,0 +1,146 @@
+// Message-oriented transport abstraction.
+//
+// O-RAN mandates SCTP under E2; the SDK abstracts the transport behind this
+// interface so it can be swapped (§4.3 abstraction (1)). Two implementations
+// are provided:
+//
+//  * TcpTransport — SCTP-like framing over TCP: each message rides in a
+//    frame [u32 len][u16 stream][payload], preserving SCTP's message
+//    boundaries, ordering and multi-stream addressing. (Real SCTP is not
+//    available in this environment; see DESIGN.md substitutions.)
+//  * LocalTransport — an in-process pipe pair for deterministic tests and
+//    benches without kernel sockets.
+//
+// All callbacks run on the owning Reactor's thread.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/buffer.hpp"
+#include "common/result.hpp"
+#include "transport/reactor.hpp"
+
+namespace flexric {
+
+/// Stream id inside a transport connection (SCTP stream analogue). E2AP
+/// management uses stream 0; SM traffic may use others.
+using StreamId = std::uint16_t;
+
+class MsgTransport {
+ public:
+  /// (stream, message bytes). The view is only valid during the call.
+  using MsgHandler = std::function<void(StreamId, BytesView)>;
+  using CloseHandler = std::function<void()>;
+
+  virtual ~MsgTransport() = default;
+
+  /// Queue a whole message for delivery. Reliable and ordered per stream.
+  virtual Status send(BytesView msg, StreamId stream = 0) = 0;
+  virtual void set_on_message(MsgHandler h) = 0;
+  virtual void set_on_close(CloseHandler h) = 0;
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool is_open() const noexcept = 0;
+  /// Diagnostic peer name ("127.0.0.1:36422", "local").
+  [[nodiscard]] virtual std::string peer_name() const = 0;
+};
+
+// ---------------------------------------------------------------------------
+// TCP with SCTP-like framing
+// ---------------------------------------------------------------------------
+
+class TcpTransport final : public MsgTransport {
+ public:
+  /// Wrap an already-connected socket (takes ownership of fd).
+  TcpTransport(Reactor& reactor, int fd);
+  ~TcpTransport() override;
+
+  /// Queues the frame; the actual write is corked until the end of the
+  /// current reactor turn, so several messages sent back-to-back (e.g. the
+  /// per-TTI indications of multiple SMs) leave in ONE syscall.
+  Status send(BytesView msg, StreamId stream = 0) override;
+  void set_on_message(MsgHandler h) override { on_msg_ = std::move(h); }
+  void set_on_close(CloseHandler h) override { on_close_ = std::move(h); }
+  void close() override;
+  [[nodiscard]] bool is_open() const noexcept override { return fd_ >= 0; }
+  [[nodiscard]] std::string peer_name() const override;
+
+  /// Blocking client connect, then non-blocking operation.
+  static Result<std::unique_ptr<TcpTransport>> connect(Reactor& reactor,
+                                                       const std::string& host,
+                                                       std::uint16_t port);
+
+ private:
+  void on_events(std::uint32_t events);
+  void read_ready();
+  void schedule_flush();
+  Status flush_write();
+  void update_epoll_mask();
+
+  Reactor& reactor_;
+  int fd_ = -1;
+  MsgHandler on_msg_;
+  CloseHandler on_close_;
+  Buffer rx_;               // accumulated unparsed bytes
+  Buffer txbuf_;            // pending outgoing bytes (frames concatenated)
+  std::size_t tx_off_ = 0;  // bytes of txbuf_ already written
+  bool flush_scheduled_ = false;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+/// Accepts TCP connections and hands each to `on_accept` wrapped in a
+/// TcpTransport. Listens on 127.0.0.1.
+class TcpListener {
+ public:
+  using AcceptHandler =
+      std::function<void(std::unique_ptr<TcpTransport>)>;
+
+  TcpListener(Reactor& reactor, AcceptHandler on_accept);
+  ~TcpListener();
+
+  /// Bind + listen. Port 0 picks an ephemeral port (see port()).
+  Status listen(std::uint16_t port);
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  void close();
+
+ private:
+  void accept_ready();
+
+  Reactor& reactor_;
+  AcceptHandler on_accept_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// In-process pipe pair
+// ---------------------------------------------------------------------------
+
+class LocalTransport final : public MsgTransport {
+ public:
+  /// Create a connected pair on one reactor. Messages are delivered as
+  /// posted reactor tasks (FIFO, so ordering matches a real transport).
+  static std::pair<std::shared_ptr<LocalTransport>,
+                   std::shared_ptr<LocalTransport>>
+  make_pair(Reactor& reactor);
+
+  Status send(BytesView msg, StreamId stream = 0) override;
+  void set_on_message(MsgHandler h) override { on_msg_ = std::move(h); }
+  void set_on_close(CloseHandler h) override { on_close_ = std::move(h); }
+  void close() override;
+  [[nodiscard]] bool is_open() const noexcept override { return open_; }
+  [[nodiscard]] std::string peer_name() const override { return "local"; }
+
+ private:
+  explicit LocalTransport(Reactor& reactor) : reactor_(reactor) {}
+
+  Reactor& reactor_;
+  std::weak_ptr<LocalTransport> peer_;
+  MsgHandler on_msg_;
+  CloseHandler on_close_;
+  bool open_ = true;
+};
+
+}  // namespace flexric

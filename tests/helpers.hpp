@@ -1,0 +1,28 @@
+// Shared test utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "transport/reactor.hpp"
+
+namespace flexric::test {
+
+/// Pump the reactor until `pred` holds or `max_iters` iterations elapse.
+/// Returns true when the predicate was satisfied.
+inline bool pump_until(Reactor& reactor, const std::function<bool()>& pred,
+                       int max_iters = 2000) {
+  for (int i = 0; i < max_iters; ++i) {
+    if (pred()) return true;
+    reactor.run_once(/*timeout_ms=*/5);
+  }
+  return pred();
+}
+
+/// Pump a fixed number of iterations (settling async deliveries).
+inline void pump(Reactor& reactor, int iters = 10) {
+  for (int i = 0; i < iters; ++i) reactor.run_once(0);
+}
+
+}  // namespace flexric::test

@@ -1,0 +1,363 @@
+// Failure injection and lifecycle tests: abrupt disconnects, resets, live
+// RAN-function updates (RICserviceUpdate), the UE-ASSOC SM, and the
+// disaggregated Fig. 4 association flow.
+#include <gtest/gtest.h>
+
+#include "agent/agent.hpp"
+#include "e2sm/assoc_sm.hpp"
+#include "e2sm/common.hpp"
+#include "helpers.hpp"
+#include "ran/functions.hpp"
+#include "server/server.hpp"
+
+namespace flexric {
+namespace {
+
+using test::pump;
+using test::pump_until;
+
+constexpr WireFormat kFmt = WireFormat::flat;
+
+ran::CellConfig nr_cell() {
+  return {ran::Rat::nr, 1, 106, kMilli, 20, false};
+}
+
+struct Stack {
+  Reactor reactor;
+  ran::BaseStation bs{nr_cell()};
+  agent::E2Agent agent{reactor, {{1, 10, e2ap::NodeType::gnb}, kFmt}};
+  ran::BsFunctionBundle bundle{bs, agent, kFmt};
+  server::E2Server server{reactor, {21, kFmt}};
+  std::shared_ptr<MsgTransport> agent_side, server_side;
+  Nanos now = 0;
+
+  Stack() {
+    auto [a, s] = LocalTransport::make_pair(reactor);
+    agent_side = a;
+    server_side = s;
+    server.attach(s);
+    agent.add_controller(a);
+    test::pump_until(reactor,
+                     [this] { return server.ran_db().num_agents() == 1; });
+  }
+  void run_ttis(int n) {
+    for (int t = 0; t < n; ++t) {
+      now += kMilli;
+      bs.tick(now);
+      bundle.on_tti(now);
+      reactor.run_once(0);
+    }
+  }
+  Buffer periodic(std::uint32_t ms) {
+    return e2sm::sm_encode(
+        e2sm::EventTrigger{e2sm::TriggerKind::periodic, ms}, kFmt);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Abrupt disconnects
+// ---------------------------------------------------------------------------
+
+TEST(Failures, AgentDisconnectCleansServerState) {
+  Stack s;
+  s.bs.attach_ue({100, 1, 0, 15, 20});
+  int got = 0;
+  server::SubCallbacks cbs;
+  cbs.on_indication = [&](const e2ap::Indication&) { got++; };
+  auto h = s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+                              {{1, e2ap::ActionType::report, {}}}, cbs);
+  ASSERT_TRUE(h.is_ok());
+  pump(s.reactor);
+  s.run_ttis(5);
+  EXPECT_GT(got, 0);
+
+  bool disconnected = false;
+  struct Watcher : server::IApp {
+    explicit Watcher(bool& flag) : flag_(flag) {}
+    const char* name() const override { return "w"; }
+    void on_agent_disconnected(server::AgentId) override { flag_ = true; }
+    bool& flag_;
+  };
+  s.server.add_iapp(std::make_shared<Watcher>(disconnected));
+
+  s.agent_side->close();  // abrupt: no reset, no delete
+  pump(s.reactor, 10);
+  EXPECT_TRUE(disconnected);
+  EXPECT_EQ(s.server.ran_db().num_agents(), 0u);
+  // Late unsubscribe on the dead handle fails cleanly.
+  EXPECT_FALSE(s.server.unsubscribe(*h).is_ok());
+  // Control to the dead agent fails cleanly.
+  EXPECT_FALSE(
+      s.server.send_control(1, e2sm::mac::Sm::kId, {}, {}, {}).is_ok());
+}
+
+TEST(Failures, ControllerDisconnectTearsDownAgentSubscriptions) {
+  Stack s;
+  s.bs.attach_ue({100, 1, 0, 15, 20});
+  server::SubCallbacks cbs;
+  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+                     {{1, e2ap::ActionType::report, {}}}, cbs);
+  pump(s.reactor);
+  EXPECT_EQ(s.bundle.mac().num_subscriptions(), 1u);
+  s.server_side->close();
+  pump(s.reactor, 10);
+  EXPECT_EQ(s.bundle.mac().num_subscriptions(), 0u);
+  // Further TTIs must not crash nor send anything.
+  s.run_ttis(5);
+  SUCCEED();
+}
+
+TEST(Failures, ResetClearsSubscriptionsAndResponds) {
+  Stack s;
+  s.bs.attach_ue({100, 1, 0, 15, 20});
+  server::SubCallbacks cbs;
+  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+                     {{1, e2ap::ActionType::report, {}}}, cbs);
+  pump(s.reactor);
+  EXPECT_EQ(s.bundle.mac().num_subscriptions(), 1u);
+  // Inject a ResetRequest directly over the wire (controller-initiated).
+  e2ap::ResetRequest reset;
+  reset.trans_id = 9;
+  reset.cause = {e2ap::Cause::Group::misc, 0};
+  auto wire = e2ap::codec_for(kFmt).encode(e2ap::Msg{reset});
+  ASSERT_TRUE(wire.is_ok());
+  s.server_side->send(*wire);
+  pump(s.reactor, 10);
+  EXPECT_EQ(s.bundle.mac().num_subscriptions(), 0u);
+}
+
+TEST(Failures, GarbageOnTheWireIsIgnored) {
+  Stack s;
+  Buffer garbage{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
+  s.server_side->send(garbage);  // towards the agent
+  s.agent_side->send(garbage);   // towards the server
+  pump(s.reactor, 10);
+  // Both sides alive and functional.
+  s.bs.attach_ue({100, 1, 0, 15, 20});
+  int got = 0;
+  server::SubCallbacks cbs;
+  cbs.on_indication = [&](const e2ap::Indication&) { got++; };
+  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+                     {{1, e2ap::ActionType::report, {}}}, cbs);
+  pump(s.reactor);
+  s.run_ttis(5);
+  EXPECT_GT(got, 0);
+}
+
+TEST(Failures, MalformedEventTriggerYieldsSubscriptionFailure) {
+  Stack s;
+  bool failed = false;
+  server::SubCallbacks cbs;
+  cbs.on_failure = [&](const e2ap::SubscriptionFailure&) { failed = true; };
+  s.server.subscribe(1, e2sm::mac::Sm::kId, Buffer{0xFF, 0xFF},
+                     {{1, e2ap::ActionType::report, {}}}, cbs);
+  ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
+}
+
+TEST(Failures, MalformedControlPayloadYieldsControlFailure) {
+  Stack s;
+  bool failed = false;
+  server::CtrlCallbacks cbs;
+  cbs.on_failure = [&](const e2ap::ControlFailure&) { failed = true; };
+  s.server.send_control(1, e2sm::slice::Sm::kId, {}, Buffer{0x01}, cbs);
+  ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
+}
+
+// ---------------------------------------------------------------------------
+// Live service updates (RICserviceUpdate)
+// ---------------------------------------------------------------------------
+
+TEST(ServiceUpdate, LiveFunctionAdditionReachesRanDb) {
+  Stack s;
+  int updates = 0;
+  struct Watcher : server::IApp {
+    explicit Watcher(int& n) : n_(n) {}
+    const char* name() const override { return "w"; }
+    void on_agent_updated(const server::AgentInfo&) override { n_++; }
+    int& n_;
+  };
+  s.server.add_iapp(std::make_shared<Watcher>(updates));
+
+  std::size_t before = s.server.ran_db().agent(1)->functions.size();
+  ASSERT_TRUE(
+      s.agent.add_function_live(std::make_shared<ran::HwFunction>(kFmt))
+          .is_ok());
+  ASSERT_TRUE(pump_until(s.reactor, [&] { return updates == 1; }));
+  EXPECT_EQ(s.server.ran_db().agent(1)->functions.size(), before + 1);
+  EXPECT_EQ(s.server.ran_db().agents_with_function(e2sm::hw::Sm::kId).size(),
+            1u);
+}
+
+TEST(ServiceUpdate, LiveAdditionIsSubscribableImmediately) {
+  Stack s;
+  s.agent.add_function_live(std::make_shared<ran::HwFunction>(kFmt));
+  pump(s.reactor, 10);
+  bool responded = false;
+  server::SubCallbacks cbs;
+  cbs.on_response = [&](const e2ap::SubscriptionResponse&) {
+    responded = true;
+  };
+  s.server.subscribe(
+      1, e2sm::hw::Sm::kId,
+      e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
+                      kFmt),
+      {{1, e2ap::ActionType::report, {}}}, cbs);
+  ASSERT_TRUE(pump_until(s.reactor, [&] { return responded; }));
+}
+
+TEST(ServiceUpdate, LiveRemovalWithdrawsFunction) {
+  Stack s;
+  std::size_t before = s.server.ran_db().agent(1)->functions.size();
+  ASSERT_TRUE(s.agent.remove_function_live(e2sm::mac::Sm::kId).is_ok());
+  ASSERT_TRUE(pump_until(s.reactor, [&] {
+    return s.server.ran_db().agent(1)->functions.size() == before - 1;
+  }));
+  // Subscribing to the removed function now fails.
+  bool failed = false;
+  server::SubCallbacks cbs;
+  cbs.on_failure = [&](const e2ap::SubscriptionFailure&) { failed = true; };
+  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+                     {{1, e2ap::ActionType::report, {}}}, cbs);
+  ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
+  EXPECT_FALSE(s.agent.remove_function_live(9999).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// UE-ASSOC SM + Fig. 4 disaggregated flow
+// ---------------------------------------------------------------------------
+
+TEST(AssocSm, CtrlRoundTrip) {
+  e2sm::assoc::CtrlMsg msg;
+  msg.kind = e2sm::assoc::CtrlKind::dissociate;
+  msg.rnti = 77;
+  msg.controller_index = 2;
+  for (WireFormat f :
+       {WireFormat::per, WireFormat::flat, WireFormat::proto}) {
+    Buffer wire = e2sm::sm_encode(msg, f);
+    auto back = e2sm::sm_decode<e2sm::assoc::CtrlMsg>(wire, f);
+    ASSERT_TRUE(back.is_ok());
+    EXPECT_EQ(*back, msg);
+  }
+}
+
+TEST(AssocSm, OnlyPrimaryControllerMayConfigure) {
+  Reactor reactor;
+  agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::du}, kFmt});
+  agent.register_function(std::make_shared<ran::AssocFunction>(kFmt));
+  server::E2Server primary(reactor, {1, kFmt});
+  server::E2Server secondary(reactor, {2, kFmt});
+  auto [a0, s0] = LocalTransport::make_pair(reactor);
+  primary.attach(s0);
+  agent.add_controller(a0);
+  auto [a1, s1] = LocalTransport::make_pair(reactor);
+  secondary.attach(s1);
+  agent.add_controller(a1);
+  pump_until(reactor, [&] {
+    return primary.ran_db().num_agents() == 1 &&
+           secondary.ran_db().num_agents() == 1;
+  });
+
+  auto send_assoc = [&](server::E2Server& from) {
+    e2sm::assoc::CtrlMsg msg;
+    msg.rnti = 100;
+    msg.controller_index = 1;
+    std::optional<bool> ok;
+    server::CtrlCallbacks cbs;
+    cbs.on_ack = [&](const e2ap::ControlAck& ack) {
+      ok = e2sm::sm_decode<e2sm::assoc::CtrlOutcome>(ack.outcome, kFmt)
+               ->success;
+    };
+    cbs.on_failure = [&](const e2ap::ControlFailure&) { ok = false; };
+    from.send_control(1, e2sm::assoc::Sm::kId, {},
+                      e2sm::sm_encode(msg, kFmt), cbs);
+    pump_until(reactor, [&] { return ok.has_value(); });
+    return ok.value_or(false);
+  };
+  EXPECT_FALSE(send_assoc(secondary));  // cannot widen its own view
+  EXPECT_FALSE(agent.ue_visible(100, 1));
+  EXPECT_TRUE(send_assoc(primary));
+  EXPECT_TRUE(agent.ue_visible(100, 1));
+}
+
+TEST(Disaggregated, Fig4AssociationFlow) {
+  Reactor reactor;
+  ran::BaseStation bs(nr_cell());
+  // CU: RRC; DU: MAC + ASSOC. Same (plmn, nb_id) => one RAN entity.
+  agent::E2Agent cu(reactor, {{1, 55, e2ap::NodeType::cu}, kFmt});
+  cu.register_function(std::make_shared<ran::RrcFunction>(bs, kFmt));
+  agent::E2Agent du(reactor, {{1, 55, e2ap::NodeType::du}, kFmt});
+  auto mac_fn = std::make_shared<ran::MacStatsFunction>(bs, kFmt);
+  du.register_function(mac_fn);
+  du.register_function(std::make_shared<ran::AssocFunction>(kFmt));
+
+  server::E2Server infra(reactor, {1, kFmt});
+  auto [c0, s0] = LocalTransport::make_pair(reactor);
+  infra.attach(s0);
+  cu.add_controller(c0);
+  auto [d0, s1] = LocalTransport::make_pair(reactor);
+  infra.attach(s1);
+  du.add_controller(d0);
+  server::E2Server specialized(reactor, {2, kFmt});
+  auto [d1, s2] = LocalTransport::make_pair(reactor);
+  specialized.attach(s2);
+  du.add_controller(d1);
+  pump_until(reactor, [&] {
+    return infra.ran_db().num_agents() == 2 &&
+           specialized.ran_db().num_agents() == 1;
+  });
+  const auto* entity = infra.ran_db().entity(1, 55);
+  ASSERT_NE(entity, nullptr);
+  ASSERT_TRUE(entity->complete());
+
+  // Specialized controller subscribes MAC at the DU.
+  std::optional<std::size_t> seen;
+  server::SubCallbacks mac_cbs;
+  mac_cbs.on_indication = [&](const e2ap::Indication& ind) {
+    seen = e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message, kFmt)
+               ->ues.size();
+  };
+  specialized.subscribe(
+      1, e2sm::mac::Sm::kId,
+      e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::periodic, 1},
+                      kFmt),
+      {{1, e2ap::ActionType::report, {}}}, mac_cbs);
+
+  // Infra watches RRC at the CU and configures the DU on attach.
+  server::SubCallbacks rrc_cbs;
+  rrc_cbs.on_indication = [&](const e2ap::Indication& ind) {
+    auto ev = e2sm::sm_decode<e2sm::rrc::IndicationMsg>(ind.message, kFmt);
+    if (!ev || ev->kind != e2sm::rrc::EventKind::attach) return;
+    e2sm::assoc::CtrlMsg assoc;
+    assoc.rnti = ev->rnti;
+    assoc.controller_index = 1;
+    infra.send_control(*entity->du, e2sm::assoc::Sm::kId, {},
+                       e2sm::sm_encode(assoc, kFmt), {}, false);
+  };
+  infra.subscribe(*entity->cu, e2sm::rrc::Sm::kId,
+                  e2sm::sm_encode(
+                      e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
+                      kFmt),
+                  {{1, e2ap::ActionType::report, {}}}, rrc_cbs);
+  pump(reactor, 10);
+
+  auto run_ttis = [&](int n) {
+    static Nanos now = 0;
+    for (int t = 0; t < n; ++t) {
+      now += kMilli;
+      bs.tick(now);
+      mac_fn->on_tti(now);
+      reactor.run_once(0);
+    }
+  };
+  run_ttis(5);
+  ASSERT_TRUE(seen.has_value());
+  EXPECT_EQ(*seen, 0u);  // invisible before association
+
+  bs.attach_ue({100, 20899, 0, 15, 20});  // Fig. 4 step (1)
+  pump(reactor, 10);                      // steps (2)-(4)
+  run_ttis(10);                           // step (5)
+  EXPECT_EQ(*seen, 1u);
+}
+
+}  // namespace
+}  // namespace flexric

@@ -1,0 +1,229 @@
+// Traffic generator + end-to-end path tests: VoIP/CBR timing, Cubic window
+// dynamics and loss response, TrafficManager RTT, and the emergence of
+// bufferbloat on the simulated path (the premise of Fig. 11).
+#include <gtest/gtest.h>
+
+#include "flows/cubic.hpp"
+#include "flows/manager.hpp"
+#include "flows/voip.hpp"
+
+namespace flexric::flows {
+namespace {
+
+e2sm::tc::FiveTuple voip_tuple() {
+  e2sm::tc::FiveTuple t;
+  t.src_ip = 0x0A000001;
+  t.dst_ip = 0x0A000002;
+  t.src_port = 40000;
+  t.dst_port = 5060;
+  t.proto = 17;
+  return t;
+}
+
+e2sm::tc::FiveTuple bulk_tuple() {
+  e2sm::tc::FiveTuple t;
+  t.src_ip = 0x0A000001;
+  t.dst_ip = 0x0A000002;
+  t.src_port = 40001;
+  t.dst_port = 443;
+  t.proto = 6;
+  return t;
+}
+
+ran::CellConfig lte_cell() {
+  ran::CellConfig cfg;
+  cfg.rat = ran::Rat::lte;
+  cfg.num_prbs = 25;
+  cfg.default_mcs = 28;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Sources in isolation
+// ---------------------------------------------------------------------------
+
+TEST(VoipSource, EmitsG711Cadence) {
+  VoipSource voip(1, voip_tuple());
+  std::vector<ran::Packet> emitted;
+  // 1 simulated second, tick per ms.
+  for (Nanos now = 0; now <= kSecond; now += kMilli)
+    voip.tick(now, [&](ran::Packet p) { emitted.push_back(p); });
+  // 20 ms interval -> 51 packets in [0, 1000] ms inclusive.
+  EXPECT_EQ(emitted.size(), 51u);
+  for (const auto& p : emitted) EXPECT_EQ(p.size_bytes, 172u);
+  EXPECT_EQ(emitted[1].created - emitted[0].created, 20 * kMilli);
+}
+
+TEST(VoipSource, RecordsRtt) {
+  VoipSource voip(1, voip_tuple());
+  ran::Packet p;
+  p.created = 0;
+  p.flow_id = 1;
+  voip.on_ack(p, 25 * kMilli);
+  EXPECT_EQ(voip.rtt_ms().count(), 1u);
+  EXPECT_DOUBLE_EQ(voip.rtt_ms().mean(), 25.0);
+}
+
+TEST(CbrSource, HitsConfiguredRate) {
+  CbrSource cbr(2, bulk_tuple(), /*mbps=*/8.0, /*packet=*/1000);
+  std::uint64_t bytes = 0;
+  for (Nanos now = 0; now < kSecond; now += kMilli)
+    cbr.tick(now, [&](ran::Packet p) { bytes += p.size_bytes; });
+  // 8 Mbps = 1 MB/s.
+  EXPECT_NEAR(static_cast<double>(bytes), 1e6, 2e4);
+}
+
+TEST(Cubic, SlowStartDoublesWindow) {
+  CubicSource cubic(3, bulk_tuple());
+  double w0 = cubic.cwnd_bytes();
+  std::vector<ran::Packet> sent;
+  cubic.tick(0, [&](ran::Packet p) { sent.push_back(p); });
+  EXPECT_EQ(sent.size(), 10u);  // IW10
+  // Ack everything quickly: slow start adds one MSS per ack.
+  for (const auto& p : sent) cubic.on_ack(p, 10 * kMilli);
+  EXPECT_NEAR(cubic.cwnd_bytes(), w0 + 10 * 1448, 1.0);
+}
+
+TEST(Cubic, LossCausesMultiplicativeDecrease) {
+  CubicSource cubic(3, bulk_tuple());
+  std::vector<ran::Packet> sent;
+  for (int t = 0; t < 5; ++t) {
+    cubic.tick(t * kMilli, [&](ran::Packet p) { sent.push_back(p); });
+    for (const auto& p : sent) cubic.on_ack(p, (t + 1) * kMilli);
+    sent.clear();
+  }
+  double before = cubic.cwnd_bytes();
+  ran::Packet lost;
+  lost.seq = 100'000;  // beyond any recovery window
+  lost.size_bytes = 1448;
+  cubic.on_drop(lost, 10 * kMilli);
+  EXPECT_NEAR(cubic.cwnd_bytes(), before * 0.7, before * 0.02);
+  EXPECT_EQ(cubic.drops(), 1u);
+}
+
+TEST(Cubic, OneDecreasePerCongestionEpoch) {
+  CubicSource cubic(3, bulk_tuple());
+  std::vector<ran::Packet> sent;
+  cubic.tick(0, [&](ran::Packet p) { sent.push_back(p); });
+  ASSERT_GE(sent.size(), 3u);
+  double before = cubic.cwnd_bytes();
+  cubic.on_drop(sent[2], kMilli);  // triggers decrease
+  double after_first = cubic.cwnd_bytes();
+  EXPECT_LT(after_first, before);
+  cubic.on_drop(sent[0], kMilli);  // same epoch: ignored
+  cubic.on_drop(sent[1], kMilli);
+  EXPECT_DOUBLE_EQ(cubic.cwnd_bytes(), after_first);
+}
+
+TEST(Cubic, WindowRegrowsAfterLoss) {
+  CubicSource cubic(3, bulk_tuple());
+  std::vector<ran::Packet> sent;
+  cubic.tick(0, [&](ran::Packet p) { sent.push_back(p); });
+  ran::Packet lost = sent.back();
+  lost.seq = 1000;
+  cubic.on_drop(lost, kMilli);
+  double floor_w = cubic.cwnd_bytes();
+  // Ack steadily for a simulated second: cubic growth resumes.
+  Nanos now = kMilli;
+  for (int i = 0; i < 1000; ++i) {
+    now += kMilli;
+    ran::Packet p;
+    p.size_bytes = 1448;
+    p.created = now - 20 * kMilli;
+    p.seq = 2000 + static_cast<std::uint32_t>(i);
+    cubic.on_ack(p, now);
+  }
+  EXPECT_GT(cubic.cwnd_bytes(), floor_w * 1.2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end path
+// ---------------------------------------------------------------------------
+
+struct PathWorld {
+  ran::BaseStation bs{lte_cell()};
+  TrafficManager::Config cfg{};
+  std::unique_ptr<TrafficManager> tm;
+
+  PathWorld() {
+    cfg.dl_owd = 8 * kMilli;
+    cfg.ul_owd = 10 * kMilli;
+    cfg.ul_jitter = 8 * kMilli;
+    tm = std::make_unique<TrafficManager>(bs, cfg);
+    bs.attach_ue({100, 1, 0, 15, 28});
+  }
+  void run(Nanos duration, Nanos start = 0) {
+    for (Nanos now = start; now < start + duration; now += kMilli) {
+      tm->tick(now);
+      bs.tick(now);
+    }
+  }
+};
+
+TEST(Path, UnloadedVoipRttInPaperRange) {
+  // Fig. 11c: without iperf3 traffic, VoIP RTT varies between 20 and 40 ms.
+  PathWorld world;
+  VoipSource voip(1, voip_tuple());
+  world.tm->attach(&voip, 100);
+  world.run(10 * kSecond);
+  ASSERT_GT(voip.rtt_ms().count(), 400u);
+  EXPECT_GE(voip.rtt_ms().min(), 18.0);
+  EXPECT_LE(voip.rtt_ms().max(), 45.0);
+  EXPECT_EQ(voip.drops(), 0u);
+}
+
+TEST(Path, GreedyCubicSaturatesAndBloatsRlcBuffer) {
+  // The bufferbloat premise: a loss-based flow fills the 2 MB DRB buffer,
+  // driving RLC sojourn times to hundreds of ms (Fig. 11a).
+  PathWorld world;
+  CubicSource bulk(2, bulk_tuple());
+  world.tm->attach(&bulk, 100);
+  world.run(30 * kSecond);
+  auto rlc = world.bs.rlc_stats({});
+  ASSERT_EQ(rlc.bearers.size(), 1u);
+  EXPECT_GT(rlc.bearers[0].buffer_bytes, 500'000u);   // deeply bloated
+  EXPECT_GT(rlc.bearers[0].sojourn_max_ms, 100.0);
+  EXPECT_GT(bulk.drops(), 0u);  // tail drops eventually signal the sender
+  // Throughput still near link capacity.
+  double mbps = static_cast<double>(bulk.delivered_bytes()) * 8 / 1e6 / 30.0;
+  EXPECT_GT(mbps, 0.8 * ran::cell_capacity_mbps(world.bs.config()));
+}
+
+TEST(Path, VoipSharingWithGreedyFlowSuffers) {
+  // Transparent mode, both flows in one DRB queue: the VoIP flow inherits
+  // the bulk flow's queueing delay (Fig. 11a + 11c "transparent" curve).
+  PathWorld world;
+  VoipSource voip(1, voip_tuple());
+  CubicSource bulk(2, bulk_tuple(), /*start=*/5 * kSecond);
+  world.tm->attach(&voip, 100);
+  world.tm->attach(&bulk, 100);
+  world.run(40 * kSecond);
+  // Late-conversation VoIP RTTs blow far past the unloaded 20-40 ms.
+  EXPECT_GT(voip.rtt_ms().quantile(0.9), 100.0);
+}
+
+TEST(Path, DropsPropagateToOwningFlowOnly) {
+  PathWorld world;
+  VoipSource voip(1, voip_tuple());
+  CubicSource bulk(2, bulk_tuple());
+  world.tm->attach(&voip, 100);
+  world.tm->attach(&bulk, 100);
+  world.run(30 * kSecond);
+  EXPECT_GT(bulk.drops(), 0u);
+  EXPECT_EQ(world.tm->total_drops(), bulk.drops() + voip.drops());
+}
+
+TEST(Path, DetachedFlowStopsSending) {
+  PathWorld world;
+  VoipSource voip(1, voip_tuple());
+  world.tm->attach(&voip, 100);
+  world.run(kSecond);
+  auto count_before = voip.rtt_ms().count();
+  world.tm->detach(1);
+  world.run(kSecond, kSecond);
+  // A few in-flight echoes may still land; no new traffic is generated.
+  EXPECT_LE(voip.rtt_ms().count(), count_before + 3);
+}
+
+}  // namespace
+}  // namespace flexric::flows

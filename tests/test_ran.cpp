@@ -1,0 +1,334 @@
+// Base-station simulator tests: UE lifecycle, RLC/PDCP entities, datapath
+// delivery, stats production in SM shape, channel model.
+#include <gtest/gtest.h>
+
+#include "ran/base_station.hpp"
+
+namespace flexric::ran {
+namespace {
+
+CellConfig nr_cell() {
+  CellConfig cfg;
+  cfg.rat = Rat::nr;
+  cfg.cell_id = 7;
+  cfg.num_prbs = 106;
+  cfg.default_mcs = 20;
+  return cfg;
+}
+
+Packet make_packet(std::uint32_t size, std::uint64_t flow = 1,
+                   std::uint32_t seq = 0) {
+  Packet p;
+  p.size_bytes = size;
+  p.flow_id = flow;
+  p.seq = seq;
+  p.tuple.dst_port = 5000;
+  p.tuple.proto = 17;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// RLC entity
+// ---------------------------------------------------------------------------
+
+TEST(Rlc, EnqueuePullConservesBytes) {
+  RlcEntity rlc;
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(rlc.enqueue(make_packet(1000), 0));
+  EXPECT_EQ(rlc.buffer_bytes(), 10'000u);
+  std::uint32_t used = 0;
+  auto done = rlc.pull(5'500, kMilli, &used);
+  EXPECT_EQ(used, 5'500u);
+  EXPECT_EQ(done.size(), 5u);  // 5 complete packets, 6th partially sent
+  EXPECT_EQ(rlc.buffer_bytes(), 4'500u);
+  done = rlc.pull(100'000, 2 * kMilli, &used);
+  EXPECT_EQ(used, 4'500u);
+  EXPECT_EQ(done.size(), 5u);
+  EXPECT_TRUE(rlc.empty());
+}
+
+TEST(Rlc, SegmentedPacketLeavesOnLastByte) {
+  RlcEntity rlc;
+  rlc.enqueue(make_packet(1000), 0);
+  std::uint32_t used = 0;
+  EXPECT_TRUE(rlc.pull(999, kMilli, &used).empty());  // not yet complete
+  auto done = rlc.pull(1, 2 * kMilli, &used);
+  ASSERT_EQ(done.size(), 1u);
+  EXPECT_EQ(used, 1u);
+}
+
+TEST(Rlc, TailDropWhenFull) {
+  RlcEntity rlc(2'500);
+  EXPECT_TRUE(rlc.enqueue(make_packet(1000), 0));
+  EXPECT_TRUE(rlc.enqueue(make_packet(1000), 0));
+  EXPECT_FALSE(rlc.enqueue(make_packet(1000), 0));  // would exceed 2500
+  EXPECT_EQ(rlc.stats().dropped_sdus, 1u);
+  EXPECT_EQ(rlc.buffer_bytes(), 2000u);
+}
+
+TEST(Rlc, SojournTracking) {
+  RlcEntity rlc;
+  rlc.enqueue(make_packet(100), 0);
+  rlc.enqueue(make_packet(100), 10 * kMilli);
+  std::uint32_t used = 0;
+  rlc.pull(200, 50 * kMilli, &used);  // sojourns: 50 ms and 40 ms
+  double avg = 0, max = 0;
+  rlc.snapshot_period(&avg, &max);
+  EXPECT_DOUBLE_EQ(avg, 45.0);
+  EXPECT_DOUBLE_EQ(max, 50.0);
+  // Period resets.
+  rlc.snapshot_period(&avg, &max);
+  EXPECT_DOUBLE_EQ(avg, 0.0);
+}
+
+TEST(Rlc, HeadSojournReflectsOldestPacket) {
+  RlcEntity rlc;
+  EXPECT_DOUBLE_EQ(rlc.head_sojourn_ms(kSecond), 0.0);
+  rlc.enqueue(make_packet(100), 100 * kMilli);
+  EXPECT_DOUBLE_EQ(rlc.head_sojourn_ms(350 * kMilli), 250.0);
+}
+
+// ---------------------------------------------------------------------------
+// PDCP entity
+// ---------------------------------------------------------------------------
+
+TEST(Pdcp, HeaderOverheadAndCounters) {
+  PdcpEntity pdcp;
+  Packet p = pdcp.process_tx(make_packet(1000));
+  EXPECT_EQ(p.size_bytes, 1000u + PdcpEntity::kHeaderBytes);
+  EXPECT_EQ(pdcp.stats().tx_sdus, 1u);
+  EXPECT_EQ(pdcp.stats().tx_sdu_bytes, 1000u);
+  EXPECT_EQ(pdcp.stats().tx_pdu_bytes, 1003u);
+  pdcp.process_rx(503);
+  EXPECT_EQ(pdcp.stats().rx_sdu_bytes, 500u);
+  pdcp.discard();
+  EXPECT_EQ(pdcp.stats().discarded_sdus, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Channel model
+// ---------------------------------------------------------------------------
+
+TEST(Channel, StaysInCqiBounds) {
+  ChannelModel ch(8, 42);
+  for (int i = 0; i < 10'000; ++i) {
+    std::uint8_t cqi = ch.step(0.5);
+    EXPECT_GE(cqi, 1);
+    EXPECT_LE(cqi, 15);
+  }
+}
+
+TEST(Channel, ZeroStepProbabilityIsStatic) {
+  ChannelModel ch(10, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ch.step(0.0), 10);
+}
+
+// ---------------------------------------------------------------------------
+// BaseStation
+// ---------------------------------------------------------------------------
+
+TEST(BaseStation, AttachDetachEmitsRrcEvents) {
+  BaseStation bs(nr_cell());
+  std::vector<e2sm::rrc::IndicationMsg> events;
+  bs.set_on_rrc_event(
+      [&](const e2sm::rrc::IndicationMsg& ev) { events.push_back(ev); });
+  ASSERT_TRUE(bs.attach_ue({100, 20899, 1, 15, 20}).is_ok());
+  ASSERT_TRUE(bs.attach_ue({101, 20899, 2, 15, 20}).is_ok());
+  EXPECT_FALSE(bs.attach_ue({100, 20899, 1, 15, 20}).is_ok());  // dup rnti
+  ASSERT_TRUE(bs.detach_ue(100).is_ok());
+  EXPECT_FALSE(bs.detach_ue(100).is_ok());
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, e2sm::rrc::EventKind::attach);
+  EXPECT_EQ(events[0].rnti, 100);
+  EXPECT_EQ(events[0].plmn, 20899u);
+  EXPECT_EQ(events[2].kind, e2sm::rrc::EventKind::detach);
+  EXPECT_EQ(bs.ues(), (std::vector<std::uint16_t>{101}));
+}
+
+TEST(BaseStation, DownlinkPacketsDeliveredInOrder) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  std::vector<std::uint32_t> delivered;
+  bs.set_on_delivery([&](std::uint16_t rnti, const Packet& p, Nanos) {
+    EXPECT_EQ(rnti, 100);
+    delivered.push_back(p.seq);
+  });
+  for (std::uint32_t i = 0; i < 20; ++i)
+    ASSERT_TRUE(bs.deliver_downlink(100, 1, make_packet(1200, 1, i)));
+  Nanos now = 0;
+  for (int t = 0; t < 50 && delivered.size() < 20; ++t) {
+    now += kMilli;
+    bs.tick(now);
+  }
+  ASSERT_EQ(delivered.size(), 20u);
+  for (std::uint32_t i = 0; i < 20; ++i) EXPECT_EQ(delivered[i], i);
+}
+
+TEST(BaseStation, ThroughputApproachesCellCapacity) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  bs.set_on_delivery([](std::uint16_t, const Packet&, Nanos) {});
+  Nanos now = 0;
+  // Saturate: offer more than the cell can carry for 2 simulated seconds.
+  for (int t = 0; t < 2000; ++t) {
+    now += kMilli;
+    for (int k = 0; k < 6; ++k)
+      bs.deliver_downlink(100, 1, make_packet(1400));
+    bs.tick(now);
+  }
+  double mbps = bs.ue_throughput_mbps(100, now, true);
+  double capacity = cell_capacity_mbps(bs.config());
+  EXPECT_GT(mbps, 0.85 * capacity);
+  EXPECT_LE(mbps, 1.05 * capacity);
+}
+
+TEST(BaseStation, UnknownUeRejectsPackets) {
+  BaseStation bs(nr_cell());
+  EXPECT_FALSE(bs.deliver_downlink(42, 1, make_packet(100)));
+}
+
+TEST(BaseStation, MacStatsShapeAndPeriodReset) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  bs.attach_ue({101, 1, 0, 15, 20});
+  Nanos now = 0;
+  for (int t = 0; t < 10; ++t) {
+    now += kMilli;
+    bs.deliver_downlink(100, 1, make_packet(1400));
+    bs.tick(now);
+  }
+  auto stats = bs.mac_stats(/*include_harq=*/true, {});
+  ASSERT_EQ(stats.ues.size(), 2u);
+  const auto& ue100 = stats.ues[0].rnti == 100 ? stats.ues[0] : stats.ues[1];
+  EXPECT_EQ(ue100.mcs_dl, 20);
+  EXPECT_GT(ue100.prbs_dl, 0u);
+  EXPECT_GT(ue100.bytes_dl, 0u);
+  // Period counters reset after reading.
+  auto stats2 = bs.mac_stats(true, {});
+  const auto& again = stats2.ues[0].rnti == 100 ? stats2.ues[0] : stats2.ues[1];
+  EXPECT_EQ(again.bytes_dl, 0u);
+}
+
+TEST(BaseStation, MacStatsRntiFilter) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  bs.attach_ue({101, 1, 0, 15, 20});
+  auto stats = bs.mac_stats(false, {101});
+  ASSERT_EQ(stats.ues.size(), 1u);
+  EXPECT_EQ(stats.ues[0].rnti, 101);
+}
+
+TEST(BaseStation, RlcStatsReflectBacklogAndSojourn) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 3});  // low MCS: slow drain
+  Nanos now = 0;
+  for (int t = 0; t < 100; ++t) {
+    now += kMilli;
+    for (int k = 0; k < 10; ++k)
+      bs.deliver_downlink(100, 1, make_packet(1400));
+    bs.tick(now);
+  }
+  auto stats = bs.rlc_stats({});
+  ASSERT_EQ(stats.bearers.size(), 1u);
+  const auto& b = stats.bearers[0];
+  EXPECT_EQ(b.drb_id, 1);
+  EXPECT_GT(b.buffer_bytes, 0u);
+  EXPECT_GT(b.sojourn_max_ms, 0.0);
+  EXPECT_GT(b.rx_bytes, b.tx_bytes);  // backlog accumulating
+}
+
+TEST(BaseStation, PdcpStatsCountSdus) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  for (int i = 0; i < 5; ++i) bs.deliver_downlink(100, 1, make_packet(500));
+  auto stats = bs.pdcp_stats({});
+  ASSERT_EQ(stats.bearers.size(), 1u);
+  EXPECT_EQ(stats.bearers[0].tx_sdus, 5u);
+  EXPECT_EQ(stats.bearers[0].tx_sdu_bytes, 2'500u);
+}
+
+TEST(BaseStation, KpmReportsCellMetrics) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  Nanos now = 0;
+  for (int t = 0; t < 1000; ++t) {
+    now += kMilli;
+    for (int k = 0; k < 6; ++k) bs.deliver_downlink(100, 1, make_packet(1400));
+    bs.tick(now);
+  }
+  auto kpm = bs.kpm_stats();
+  double thp = 0, prb = 0, ues = 0;
+  for (const auto& m : kpm.metrics) {
+    if (m.name == e2sm::kpm::kThroughputDlMbps) thp = m.value;
+    if (m.name == e2sm::kpm::kPrbUtilizationDl) prb = m.value;
+    if (m.name == e2sm::kpm::kActiveUes) ues = m.value;
+  }
+  EXPECT_GT(thp, 30.0);
+  EXPECT_GT(prb, 0.9);
+  EXPECT_EQ(ues, 1.0);
+}
+
+TEST(BaseStation, SecondDrbCreatedOnDemand) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  EXPECT_EQ(bs.tc_chain(100, 2), nullptr);
+  ASSERT_TRUE(bs.deliver_downlink(100, 2, make_packet(100)));
+  EXPECT_NE(bs.tc_chain(100, 2), nullptr);
+  auto stats = bs.rlc_stats({});
+  EXPECT_EQ(stats.bearers.size(), 2u);
+}
+
+TEST(BaseStation, SliceConfigAffectsServiceThroughMac) {
+  BaseStation bs(nr_cell());
+  bs.attach_ue({100, 1, 0, 15, 20});
+  bs.attach_ue({101, 1, 0, 15, 20});
+  e2sm::slice::CtrlMsg msg;
+  msg.kind = e2sm::slice::CtrlKind::add_mod;
+  msg.algo = e2sm::slice::Algo::nvs;
+  e2sm::slice::SliceConf s1;
+  s1.id = 1;
+  s1.nvs = {e2sm::slice::NvsKind::capacity, 0.75, 0, 0};
+  e2sm::slice::SliceConf s2;
+  s2.id = 2;
+  s2.nvs = {e2sm::slice::NvsKind::capacity, 0.25, 0, 0};
+  msg.slices = {s1, s2};
+  ASSERT_TRUE(bs.mac().apply(msg).is_ok());
+  e2sm::slice::CtrlMsg am;
+  am.kind = e2sm::slice::CtrlKind::assoc_ue;
+  am.assoc = {{100, 1}, {101, 2}};
+  ASSERT_TRUE(bs.mac().apply(am).is_ok());
+
+  Nanos now = 0;
+  for (int t = 0; t < 3000; ++t) {
+    now += kMilli;
+    for (int k = 0; k < 4; ++k) {
+      bs.deliver_downlink(100, 1, make_packet(1400));
+      bs.deliver_downlink(101, 1, make_packet(1400));
+    }
+    bs.tick(now);
+  }
+  double t100 = bs.ue_throughput_mbps(100, now, false);
+  double t101 = bs.ue_throughput_mbps(101, now, false);
+  EXPECT_NEAR(t100 / (t100 + t101), 0.75, 0.05);
+}
+
+TEST(BaseStation, VaryingChannelChangesMcs) {
+  CellConfig cfg = nr_cell();
+  cfg.vary_channel = true;
+  BaseStation bs(cfg, /*seed=*/3);
+  bs.attach_ue({100, 1, 0, 8, std::nullopt});
+  std::set<std::uint8_t> mcs_seen;
+  Nanos now = 0;
+  for (int t = 0; t < 3000; ++t) {
+    now += kMilli;
+    bs.deliver_downlink(100, 1, make_packet(1400));
+    bs.tick(now);
+    auto stats = bs.mac_stats(false, {});
+    mcs_seen.insert(stats.ues[0].mcs_dl);
+  }
+  EXPECT_GT(mcs_seen.size(), 1u);  // channel walk moved the MCS
+}
+
+}  // namespace
+}  // namespace flexric::ran

@@ -1,0 +1,249 @@
+// Reactor + transport tests: timers, tasks, local pipes, framed TCP.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "transport/transport.hpp"
+
+namespace flexric {
+namespace {
+
+using test::pump;
+using test::pump_until;
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+TEST(Reactor, PostedTasksRunFifo) {
+  Reactor reactor;
+  std::vector<int> order;
+  reactor.post([&] { order.push_back(1); });
+  reactor.post([&] { order.push_back(2); });
+  reactor.post([&] { order.push_back(3); });
+  reactor.run_once(0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Reactor, TaskPostedFromTaskStillRuns) {
+  // A task posted from within a task is deferred past the current drain
+  // batch (so I/O gets a chance) but still handled by the loop.
+  Reactor reactor;
+  int phase = 0;
+  reactor.post([&] {
+    phase = 1;
+    reactor.post([&] {
+      EXPECT_EQ(phase, 1);  // ran strictly after the posting task
+      phase = 2;
+    });
+  });
+  reactor.run_once(0);
+  reactor.run_once(0);
+  EXPECT_EQ(phase, 2);
+}
+
+TEST(Reactor, OneShotTimerFiresOnce) {
+  Reactor reactor;
+  int fired = 0;
+  reactor.add_timer(kMilli, [&] { fired++; }, /*periodic=*/false);
+  ASSERT_TRUE(pump_until(reactor, [&] { return fired >= 1; }));
+  pump(reactor, 20);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Reactor, PeriodicTimerRepeats) {
+  Reactor reactor;
+  int fired = 0;
+  auto id = reactor.add_timer(kMilli, [&] { fired++; });
+  ASSERT_TRUE(pump_until(reactor, [&] { return fired >= 5; }));
+  reactor.cancel_timer(id);
+  int at_cancel = fired;
+  pump(reactor, 50);
+  EXPECT_LE(fired, at_cancel + 1);  // at most one already-queued firing
+}
+
+TEST(Reactor, CancelledTimerNeverFires) {
+  Reactor reactor;
+  int fired = 0;
+  auto id = reactor.add_timer(kMilli, [&] { fired++; });
+  reactor.cancel_timer(id);
+  pump(reactor, 30);
+  EXPECT_EQ(fired, 0);
+}
+
+// ---------------------------------------------------------------------------
+// LocalTransport
+// ---------------------------------------------------------------------------
+
+TEST(LocalTransport, DeliversInOrder) {
+  Reactor reactor;
+  auto [a, b] = LocalTransport::make_pair(reactor);
+  std::vector<int> got;
+  b->set_on_message([&](StreamId, BytesView bytes) {
+    got.push_back(bytes[0]);
+  });
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    Buffer msg{i};
+    ASSERT_TRUE(a->send(msg).is_ok());
+  }
+  pump(reactor);
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}));
+}
+
+TEST(LocalTransport, StreamIdsPreserved) {
+  Reactor reactor;
+  auto [a, b] = LocalTransport::make_pair(reactor);
+  StreamId seen = 0;
+  b->set_on_message([&](StreamId s, BytesView) { seen = s; });
+  Buffer msg{1};
+  a->send(msg, 5);
+  pump(reactor);
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(LocalTransport, CloseNotifiesPeer) {
+  Reactor reactor;
+  auto [a, b] = LocalTransport::make_pair(reactor);
+  bool b_closed = false;
+  b->set_on_close([&] { b_closed = true; });
+  a->close();
+  pump(reactor);
+  EXPECT_FALSE(a->is_open());
+  EXPECT_TRUE(b_closed);
+  EXPECT_FALSE(b->is_open());
+}
+
+TEST(LocalTransport, SendAfterCloseFails) {
+  Reactor reactor;
+  auto [a, b] = LocalTransport::make_pair(reactor);
+  a->close();
+  Buffer msg{1};
+  EXPECT_FALSE(a->send(msg).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport + listener
+// ---------------------------------------------------------------------------
+
+struct TcpPair {
+  Reactor reactor;
+  std::unique_ptr<TcpListener> listener;
+  std::shared_ptr<MsgTransport> server_side;
+  std::unique_ptr<TcpTransport> client_side;
+
+  TcpPair() {
+    listener = std::make_unique<TcpListener>(
+        reactor, [this](std::unique_ptr<TcpTransport> t) {
+          server_side = std::shared_ptr<MsgTransport>(std::move(t));
+        });
+    EXPECT_TRUE(listener->listen(0).is_ok());
+    auto client = TcpTransport::connect(reactor, "127.0.0.1",
+                                        listener->port());
+    EXPECT_TRUE(client.is_ok());
+    client_side = std::move(*client);
+    test::pump_until(reactor, [this] { return server_side != nullptr; });
+  }
+};
+
+TEST(TcpTransport, EphemeralPortAssigned) {
+  TcpPair pair;
+  EXPECT_GT(pair.listener->port(), 0);
+}
+
+TEST(TcpTransport, SmallMessageRoundTrip) {
+  TcpPair pair;
+  Buffer received;
+  pair.server_side->set_on_message([&](StreamId, BytesView b) {
+    received.assign(b.begin(), b.end());
+  });
+  Buffer msg{1, 2, 3, 4, 5};
+  ASSERT_TRUE(pair.client_side->send(msg).is_ok());
+  ASSERT_TRUE(test::pump_until(pair.reactor,
+                               [&] { return !received.empty(); }));
+  EXPECT_EQ(received, msg);
+}
+
+TEST(TcpTransport, LargeMessagePreservesBoundaries) {
+  TcpPair pair;
+  std::vector<std::size_t> sizes;
+  pair.server_side->set_on_message(
+      [&](StreamId, BytesView b) { sizes.push_back(b.size()); });
+  Buffer big(1'000'000, 0xAA);
+  Buffer small{1};
+  ASSERT_TRUE(pair.client_side->send(big).is_ok());
+  ASSERT_TRUE(pair.client_side->send(small).is_ok());
+  ASSERT_TRUE(
+      test::pump_until(pair.reactor, [&] { return sizes.size() == 2; }));
+  EXPECT_EQ(sizes[0], 1'000'000u);
+  EXPECT_EQ(sizes[1], 1u);
+}
+
+TEST(TcpTransport, ManySmallMessagesCoalescedFramesSplitCorrectly) {
+  TcpPair pair;
+  int count = 0;
+  std::uint64_t byte_sum = 0;
+  pair.server_side->set_on_message([&](StreamId, BytesView b) {
+    count++;
+    for (auto x : b) byte_sum += x;
+  });
+  for (int i = 0; i < 500; ++i) {
+    Buffer msg{static_cast<std::uint8_t>(i & 0xFF)};
+    ASSERT_TRUE(pair.client_side->send(msg).is_ok());
+  }
+  ASSERT_TRUE(test::pump_until(pair.reactor, [&] { return count == 500; }));
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 500; ++i) expected += static_cast<std::uint8_t>(i);
+  EXPECT_EQ(byte_sum, expected);
+}
+
+TEST(TcpTransport, StreamIdTravelsWithFrame) {
+  TcpPair pair;
+  StreamId seen = 0;
+  pair.server_side->set_on_message([&](StreamId s, BytesView) { seen = s; });
+  Buffer msg{7};
+  pair.client_side->send(msg, 42);
+  test::pump_until(pair.reactor, [&] { return seen == 42; });
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(TcpTransport, PeerCloseDetected) {
+  TcpPair pair;
+  bool closed = false;
+  pair.server_side->set_on_close([&] { closed = true; });
+  pair.client_side->close();
+  ASSERT_TRUE(test::pump_until(pair.reactor, [&] { return closed; }));
+  EXPECT_FALSE(pair.server_side->is_open());
+}
+
+TEST(TcpTransport, BidirectionalTraffic) {
+  TcpPair pair;
+  int client_got = 0, server_got = 0;
+  pair.server_side->set_on_message([&](StreamId, BytesView b) {
+    server_got++;
+    pair.server_side->send(b);  // echo
+  });
+  pair.client_side->set_on_message([&](StreamId, BytesView) { client_got++; });
+  for (int i = 0; i < 20; ++i) {
+    Buffer msg{static_cast<std::uint8_t>(i)};
+    pair.client_side->send(msg);
+  }
+  ASSERT_TRUE(
+      test::pump_until(pair.reactor, [&] { return client_got == 20; }));
+  EXPECT_EQ(server_got, 20);
+}
+
+TEST(TcpTransport, OversizedMessageRejected) {
+  TcpPair pair;
+  Buffer huge(17 * 1024 * 1024, 0);
+  auto st = pair.client_side->send(huge);
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::capacity);
+}
+
+TEST(TcpTransport, ConnectToClosedPortFails) {
+  Reactor reactor;
+  auto res = TcpTransport::connect(reactor, "127.0.0.1", 1);
+  EXPECT_FALSE(res.is_ok());
+}
+
+}  // namespace
+}  // namespace flexric

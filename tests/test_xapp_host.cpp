@@ -1,0 +1,184 @@
+// Tests for the xApp-hosting controller specialization (paper §6.3):
+// xApp management, subscription MERGING (identical subscriptions share one
+// E2 subscription), fan-out delivery, platform database, teardown.
+#include <gtest/gtest.h>
+
+#include "agent/agent.hpp"
+#include "ctrl/xapp_host.hpp"
+#include "e2sm/common.hpp"
+#include "helpers.hpp"
+#include "ran/functions.hpp"
+#include "server/server.hpp"
+
+namespace flexric::ctrl {
+namespace {
+
+using test::pump;
+using test::pump_until;
+
+constexpr WireFormat kFmt = WireFormat::flat;
+
+struct HostWorld {
+  Reactor reactor;
+  ran::BaseStation bs{{ran::Rat::nr, 1, 106, kMilli, 20, false}};
+  agent::E2Agent agent{reactor, {{1, 10, e2ap::NodeType::gnb}, kFmt}};
+  ran::BsFunctionBundle bundle{bs, agent, kFmt};
+  server::E2Server server{reactor, {21, kFmt}};
+  std::shared_ptr<XappHostIApp> host = std::make_shared<XappHostIApp>();
+  Nanos now = 0;
+
+  HostWorld() {
+    server.add_iapp(host);
+    auto [a, s] = LocalTransport::make_pair(reactor);
+    server.attach(s);
+    agent.add_controller(a);
+    test::pump_until(reactor,
+                     [this] { return server.ran_db().num_agents() == 1; });
+    bs.attach_ue({100, 1, 0, 15, 20});
+  }
+  void run_ttis(int n) {
+    for (int t = 0; t < n; ++t) {
+      now += kMilli;
+      bs.tick(now);
+      bundle.on_tti(now);
+      reactor.run_once(0);
+    }
+  }
+  Buffer trigger_ms(std::uint32_t ms) {
+    return e2sm::sm_encode(
+        e2sm::EventTrigger{e2sm::TriggerKind::periodic, ms}, kFmt);
+  }
+};
+
+TEST(XappHost, RegisterUnregisterXapps) {
+  HostWorld w;
+  auto a = w.host->register_xapp("kpi-mon");
+  auto b = w.host->register_xapp("anomaly");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(w.host->num_xapps(), 2u);
+  w.host->unregister_xapp(a);
+  EXPECT_EQ(w.host->num_xapps(), 1u);
+}
+
+TEST(XappHost, IdenticalSubscriptionsAreMerged) {
+  HostWorld w;
+  auto x1 = w.host->register_xapp("kpi-1");
+  auto x2 = w.host->register_xapp("kpi-2");
+  int got1 = 0, got2 = 0;
+  auto t1 = w.host->subscribe_xapp(
+      x1, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+      {{1, e2ap::ActionType::report, {}}},
+      [&](const e2ap::Indication&) { got1++; });
+  auto t2 = w.host->subscribe_xapp(
+      x2, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+      {{1, e2ap::ActionType::report, {}}},
+      [&](const e2ap::Indication&) { got2++; });
+  ASSERT_TRUE(t1.is_ok());
+  ASSERT_TRUE(t2.is_ok());
+  // One E2 subscription toward the agent, despite two xApps.
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 1u);
+  pump(w.reactor);
+  EXPECT_EQ(w.bundle.mac().num_subscriptions(), 1u);
+  // Both xApps receive every indication (fan-out).
+  w.run_ttis(10);
+  pump(w.reactor, 5);
+  EXPECT_GT(got1, 5);
+  EXPECT_EQ(got1, got2);
+}
+
+TEST(XappHost, DifferentParametersAreNotMerged) {
+  HostWorld w;
+  auto x = w.host->register_xapp("kpi");
+  auto t1 = w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+                                   {{1, e2ap::ActionType::report, {}}},
+                                   [](const e2ap::Indication&) {});
+  auto t2 = w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId,
+                                   w.trigger_ms(10),  // different period
+                                   {{1, e2ap::ActionType::report, {}}},
+                                   [](const e2ap::Indication&) {});
+  ASSERT_TRUE(t1.is_ok() && t2.is_ok());
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 2u);
+  pump(w.reactor);
+  EXPECT_EQ(w.bundle.mac().num_subscriptions(), 2u);
+}
+
+TEST(XappHost, LastUnsubscribeTearsDownE2Subscription) {
+  HostWorld w;
+  auto x1 = w.host->register_xapp("a");
+  auto x2 = w.host->register_xapp("b");
+  auto t1 = *w.host->subscribe_xapp(x1, 1, e2sm::mac::Sm::kId,
+                                    w.trigger_ms(1),
+                                    {{1, e2ap::ActionType::report, {}}},
+                                    [](const e2ap::Indication&) {});
+  auto t2 = *w.host->subscribe_xapp(x2, 1, e2sm::mac::Sm::kId,
+                                    w.trigger_ms(1),
+                                    {{1, e2ap::ActionType::report, {}}},
+                                    [](const e2ap::Indication&) {});
+  pump(w.reactor);
+  ASSERT_TRUE(w.host->unsubscribe_xapp(t1).is_ok());
+  // Still one consumer: the E2 subscription survives.
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 1u);
+  pump(w.reactor, 5);
+  EXPECT_EQ(w.bundle.mac().num_subscriptions(), 1u);
+  ASSERT_TRUE(w.host->unsubscribe_xapp(t2).is_ok());
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 0u);
+  pump(w.reactor, 5);
+  EXPECT_EQ(w.bundle.mac().num_subscriptions(), 0u);
+  EXPECT_FALSE(w.host->unsubscribe_xapp(t2).is_ok());  // double free
+}
+
+TEST(XappHost, UnregisterDetachesEverything) {
+  HostWorld w;
+  auto x = w.host->register_xapp("a");
+  w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+                         {{1, e2ap::ActionType::report, {}}},
+                         [](const e2ap::Indication&) {});
+  w.host->subscribe_xapp(x, 1, e2sm::rlc::Sm::kId, w.trigger_ms(1),
+                         {{1, e2ap::ActionType::report, {}}},
+                         [](const e2ap::Indication&) {});
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 2u);
+  w.host->unregister_xapp(x);
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 0u);
+}
+
+TEST(XappHost, DatabaseKeepsLatestForLateJoiners) {
+  HostWorld w;
+  auto x = w.host->register_xapp("early");
+  w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+                         {{1, e2ap::ActionType::report, {}}},
+                         [](const e2ap::Indication&) {});
+  pump(w.reactor);
+  w.run_ttis(5);
+  pump(w.reactor, 5);
+  const e2ap::Indication* latest = w.host->latest(1, e2sm::mac::Sm::kId);
+  ASSERT_NE(latest, nullptr);
+  auto msg = e2sm::sm_decode<e2sm::mac::IndicationMsg>(latest->message, kFmt);
+  ASSERT_TRUE(msg.is_ok());
+  EXPECT_EQ(msg->ues.size(), 1u);
+  EXPECT_EQ(w.host->latest(1, e2sm::hw::Sm::kId), nullptr);
+}
+
+TEST(XappHost, SubscribeWithUnknownXappRejected) {
+  HostWorld w;
+  auto t = w.host->subscribe_xapp(999, 1, e2sm::mac::Sm::kId,
+                                  w.trigger_ms(1),
+                                  {{1, e2ap::ActionType::report, {}}},
+                                  [](const e2ap::Indication&) {});
+  EXPECT_FALSE(t.is_ok());
+}
+
+TEST(XappHost, AgentDisconnectDropsItsSubscriptions) {
+  HostWorld w;
+  auto x = w.host->register_xapp("a");
+  w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+                         {{1, e2ap::ActionType::report, {}}},
+                         [](const e2ap::Indication&) {});
+  pump(w.reactor);
+  w.agent.remove_controller(0);
+  pump(w.reactor, 10);
+  EXPECT_EQ(w.host->num_e2_subscriptions(), 0u);
+  EXPECT_EQ(w.host->latest(1, e2sm::mac::Sm::kId), nullptr);
+}
+
+}  // namespace
+}  // namespace flexric::ctrl
