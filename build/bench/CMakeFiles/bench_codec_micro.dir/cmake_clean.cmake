@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_codec_micro.dir/bench_codec_micro.cpp.o"
+  "CMakeFiles/bench_codec_micro.dir/bench_codec_micro.cpp.o.d"
+  "bench_codec_micro"
+  "bench_codec_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_codec_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tc_sojourn.dir/bench_fig11_tc_sojourn.cpp.o"
+  "CMakeFiles/bench_fig11_tc_sojourn.dir/bench_fig11_tc_sojourn.cpp.o.d"
+  "bench_fig11_tc_sojourn"
+  "bench_fig11_tc_sojourn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tc_sojourn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_slicing.dir/bench_fig13_slicing.cpp.o"
+  "CMakeFiles/bench_fig13_slicing.dir/bench_fig13_slicing.cpp.o.d"
+  "bench_fig13_slicing"
+  "bench_fig13_slicing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_slicing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_recursive.dir/bench_fig15_recursive.cpp.o"
+  "CMakeFiles/bench_fig15_recursive.dir/bench_fig15_recursive.cpp.o.d"
+  "bench_fig15_recursive"
+  "bench_fig15_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_signaling.dir/bench_fig7b_signaling.cpp.o"
+  "CMakeFiles/bench_fig7b_signaling.dir/bench_fig7b_signaling.cpp.o.d"
+  "bench_fig7b_signaling"
+  "bench_fig7b_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig8a_controller_cpu_mem.cpp" "bench/CMakeFiles/bench_fig8a_controller_cpu_mem.dir/bench_fig8a_controller_cpu_mem.cpp.o" "gcc" "bench/CMakeFiles/bench_fig8a_controller_cpu_mem.dir/bench_fig8a_controller_cpu_mem.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ctrl/CMakeFiles/flexric_ctrl.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/flexric_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/flows/CMakeFiles/flexric_flows.dir/DependInfo.cmake"
+  "/root/repo/build/src/ran/CMakeFiles/flexric_ran.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/flexric_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/flexric_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/flexric_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/e2ap/CMakeFiles/flexric_e2ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/flexric_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/flexric_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

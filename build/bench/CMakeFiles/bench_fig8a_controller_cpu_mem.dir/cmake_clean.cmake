@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8a_controller_cpu_mem.dir/bench_fig8a_controller_cpu_mem.cpp.o"
+  "CMakeFiles/bench_fig8a_controller_cpu_mem.dir/bench_fig8a_controller_cpu_mem.cpp.o.d"
+  "bench_fig8a_controller_cpu_mem"
+  "bench_fig8a_controller_cpu_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8a_controller_cpu_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8a_controller_cpu_mem.
+# This may be replaced when dependencies are built.

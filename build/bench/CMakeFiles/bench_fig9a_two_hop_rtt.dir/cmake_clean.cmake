@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_two_hop_rtt.dir/bench_fig9a_two_hop_rtt.cpp.o"
+  "CMakeFiles/bench_fig9a_two_hop_rtt.dir/bench_fig9a_two_hop_rtt.cpp.o.d"
+  "bench_fig9a_two_hop_rtt"
+  "bench_fig9a_two_hop_rtt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_two_hop_rtt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9b_oran_cpu_mem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disaggregated_demo.dir/disaggregated_demo.cpp.o"
+  "CMakeFiles/disaggregated_demo.dir/disaggregated_demo.cpp.o.d"
+  "disaggregated_demo"
+  "disaggregated_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disaggregated_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

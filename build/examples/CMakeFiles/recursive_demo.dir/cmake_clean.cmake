@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recursive_demo.dir/recursive_demo.cpp.o"
+  "CMakeFiles/recursive_demo.dir/recursive_demo.cpp.o.d"
+  "recursive_demo"
+  "recursive_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recursive_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

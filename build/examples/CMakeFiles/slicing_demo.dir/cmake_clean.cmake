@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicing_demo.dir/slicing_demo.cpp.o"
+  "CMakeFiles/slicing_demo.dir/slicing_demo.cpp.o.d"
+  "slicing_demo"
+  "slicing_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicing_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_control_demo.dir/traffic_control_demo.cpp.o"
+  "CMakeFiles/traffic_control_demo.dir/traffic_control_demo.cpp.o.d"
+  "traffic_control_demo"
+  "traffic_control_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_control_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("codec")
+subdirs("e2ap")
+subdirs("e2sm")
+subdirs("transport")
+subdirs("agent")
+subdirs("server")
+subdirs("ran")
+subdirs("tc")
+subdirs("flows")
+subdirs("baseline")
+subdirs("ctrl")

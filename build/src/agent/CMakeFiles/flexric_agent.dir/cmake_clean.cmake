@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_agent.dir/agent.cpp.o"
+  "CMakeFiles/flexric_agent.dir/agent.cpp.o.d"
+  "libflexric_agent.a"
+  "libflexric_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

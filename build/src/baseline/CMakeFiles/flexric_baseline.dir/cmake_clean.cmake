@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_baseline.dir/flexran/flexran.cpp.o"
+  "CMakeFiles/flexric_baseline.dir/flexran/flexran.cpp.o.d"
+  "CMakeFiles/flexric_baseline.dir/oran/ric.cpp.o"
+  "CMakeFiles/flexric_baseline.dir/oran/ric.cpp.o.d"
+  "libflexric_baseline.a"
+  "libflexric_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/flat.cpp" "src/codec/CMakeFiles/flexric_codec.dir/flat.cpp.o" "gcc" "src/codec/CMakeFiles/flexric_codec.dir/flat.cpp.o.d"
+  "/root/repo/src/codec/per.cpp" "src/codec/CMakeFiles/flexric_codec.dir/per.cpp.o" "gcc" "src/codec/CMakeFiles/flexric_codec.dir/per.cpp.o.d"
+  "/root/repo/src/codec/proto.cpp" "src/codec/CMakeFiles/flexric_codec.dir/proto.cpp.o" "gcc" "src/codec/CMakeFiles/flexric_codec.dir/proto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flexric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_codec.dir/flat.cpp.o"
+  "CMakeFiles/flexric_codec.dir/flat.cpp.o.d"
+  "CMakeFiles/flexric_codec.dir/per.cpp.o"
+  "CMakeFiles/flexric_codec.dir/per.cpp.o.d"
+  "CMakeFiles/flexric_codec.dir/proto.cpp.o"
+  "CMakeFiles/flexric_codec.dir/proto.cpp.o.d"
+  "libflexric_codec.a"
+  "libflexric_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

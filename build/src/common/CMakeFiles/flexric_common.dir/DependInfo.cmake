@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bit_io.cpp" "src/common/CMakeFiles/flexric_common.dir/bit_io.cpp.o" "gcc" "src/common/CMakeFiles/flexric_common.dir/bit_io.cpp.o.d"
+  "/root/repo/src/common/buffer.cpp" "src/common/CMakeFiles/flexric_common.dir/buffer.cpp.o" "gcc" "src/common/CMakeFiles/flexric_common.dir/buffer.cpp.o.d"
+  "/root/repo/src/common/clock.cpp" "src/common/CMakeFiles/flexric_common.dir/clock.cpp.o" "gcc" "src/common/CMakeFiles/flexric_common.dir/clock.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/flexric_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/flexric_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/metrics.cpp" "src/common/CMakeFiles/flexric_common.dir/metrics.cpp.o" "gcc" "src/common/CMakeFiles/flexric_common.dir/metrics.cpp.o.d"
+  "/root/repo/src/common/result.cpp" "src/common/CMakeFiles/flexric_common.dir/result.cpp.o" "gcc" "src/common/CMakeFiles/flexric_common.dir/result.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

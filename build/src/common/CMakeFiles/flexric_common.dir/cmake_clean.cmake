@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_common.dir/bit_io.cpp.o"
+  "CMakeFiles/flexric_common.dir/bit_io.cpp.o.d"
+  "CMakeFiles/flexric_common.dir/buffer.cpp.o"
+  "CMakeFiles/flexric_common.dir/buffer.cpp.o.d"
+  "CMakeFiles/flexric_common.dir/clock.cpp.o"
+  "CMakeFiles/flexric_common.dir/clock.cpp.o.d"
+  "CMakeFiles/flexric_common.dir/log.cpp.o"
+  "CMakeFiles/flexric_common.dir/log.cpp.o.d"
+  "CMakeFiles/flexric_common.dir/metrics.cpp.o"
+  "CMakeFiles/flexric_common.dir/metrics.cpp.o.d"
+  "CMakeFiles/flexric_common.dir/result.cpp.o"
+  "CMakeFiles/flexric_common.dir/result.cpp.o.d"
+  "libflexric_common.a"
+  "libflexric_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

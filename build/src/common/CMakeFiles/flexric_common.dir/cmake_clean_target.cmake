@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflexric_common.a"
+)

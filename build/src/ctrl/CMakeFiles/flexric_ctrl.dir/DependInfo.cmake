@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ctrl/json.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/json.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/json.cpp.o.d"
+  "/root/repo/src/ctrl/monitor.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/monitor.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/monitor.cpp.o.d"
+  "/root/repo/src/ctrl/relay.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/relay.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/relay.cpp.o.d"
+  "/root/repo/src/ctrl/rest.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/rest.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/rest.cpp.o.d"
+  "/root/repo/src/ctrl/slicing.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/slicing.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/slicing.cpp.o.d"
+  "/root/repo/src/ctrl/tc_xapp.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/tc_xapp.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/tc_xapp.cpp.o.d"
+  "/root/repo/src/ctrl/virt.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/virt.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/virt.cpp.o.d"
+  "/root/repo/src/ctrl/xapp_host.cpp" "src/ctrl/CMakeFiles/flexric_ctrl.dir/xapp_host.cpp.o" "gcc" "src/ctrl/CMakeFiles/flexric_ctrl.dir/xapp_host.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/server/CMakeFiles/flexric_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/flexric_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/flexric_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/e2ap/CMakeFiles/flexric_e2ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/flexric_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

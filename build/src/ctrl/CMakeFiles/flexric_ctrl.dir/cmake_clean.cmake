@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_ctrl.dir/json.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/json.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/monitor.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/monitor.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/relay.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/relay.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/rest.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/rest.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/slicing.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/slicing.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/tc_xapp.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/tc_xapp.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/virt.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/virt.cpp.o.d"
+  "CMakeFiles/flexric_ctrl.dir/xapp_host.cpp.o"
+  "CMakeFiles/flexric_ctrl.dir/xapp_host.cpp.o.d"
+  "libflexric_ctrl.a"
+  "libflexric_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/e2ap/flat_codec.cpp" "src/e2ap/CMakeFiles/flexric_e2ap.dir/flat_codec.cpp.o" "gcc" "src/e2ap/CMakeFiles/flexric_e2ap.dir/flat_codec.cpp.o.d"
+  "/root/repo/src/e2ap/messages.cpp" "src/e2ap/CMakeFiles/flexric_e2ap.dir/messages.cpp.o" "gcc" "src/e2ap/CMakeFiles/flexric_e2ap.dir/messages.cpp.o.d"
+  "/root/repo/src/e2ap/per_codec.cpp" "src/e2ap/CMakeFiles/flexric_e2ap.dir/per_codec.cpp.o" "gcc" "src/e2ap/CMakeFiles/flexric_e2ap.dir/per_codec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/codec/CMakeFiles/flexric_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_e2ap.dir/flat_codec.cpp.o"
+  "CMakeFiles/flexric_e2ap.dir/flat_codec.cpp.o.d"
+  "CMakeFiles/flexric_e2ap.dir/messages.cpp.o"
+  "CMakeFiles/flexric_e2ap.dir/messages.cpp.o.d"
+  "CMakeFiles/flexric_e2ap.dir/per_codec.cpp.o"
+  "CMakeFiles/flexric_e2ap.dir/per_codec.cpp.o.d"
+  "libflexric_e2ap.a"
+  "libflexric_e2ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_e2ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

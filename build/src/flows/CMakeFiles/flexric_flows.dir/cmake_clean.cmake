@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_flows.dir/manager.cpp.o"
+  "CMakeFiles/flexric_flows.dir/manager.cpp.o.d"
+  "libflexric_flows.a"
+  "libflexric_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

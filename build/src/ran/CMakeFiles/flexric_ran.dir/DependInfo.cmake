@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ran/base_station.cpp" "src/ran/CMakeFiles/flexric_ran.dir/base_station.cpp.o" "gcc" "src/ran/CMakeFiles/flexric_ran.dir/base_station.cpp.o.d"
+  "/root/repo/src/ran/config.cpp" "src/ran/CMakeFiles/flexric_ran.dir/config.cpp.o" "gcc" "src/ran/CMakeFiles/flexric_ran.dir/config.cpp.o.d"
+  "/root/repo/src/ran/functions.cpp" "src/ran/CMakeFiles/flexric_ran.dir/functions.cpp.o" "gcc" "src/ran/CMakeFiles/flexric_ran.dir/functions.cpp.o.d"
+  "/root/repo/src/ran/rlc.cpp" "src/ran/CMakeFiles/flexric_ran.dir/rlc.cpp.o" "gcc" "src/ran/CMakeFiles/flexric_ran.dir/rlc.cpp.o.d"
+  "/root/repo/src/ran/sched.cpp" "src/ran/CMakeFiles/flexric_ran.dir/sched.cpp.o" "gcc" "src/ran/CMakeFiles/flexric_ran.dir/sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agent/CMakeFiles/flexric_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/flexric_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/flexric_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/e2ap/CMakeFiles/flexric_e2ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/flexric_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

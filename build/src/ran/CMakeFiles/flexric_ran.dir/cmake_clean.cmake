@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_ran.dir/base_station.cpp.o"
+  "CMakeFiles/flexric_ran.dir/base_station.cpp.o.d"
+  "CMakeFiles/flexric_ran.dir/config.cpp.o"
+  "CMakeFiles/flexric_ran.dir/config.cpp.o.d"
+  "CMakeFiles/flexric_ran.dir/functions.cpp.o"
+  "CMakeFiles/flexric_ran.dir/functions.cpp.o.d"
+  "CMakeFiles/flexric_ran.dir/rlc.cpp.o"
+  "CMakeFiles/flexric_ran.dir/rlc.cpp.o.d"
+  "CMakeFiles/flexric_ran.dir/sched.cpp.o"
+  "CMakeFiles/flexric_ran.dir/sched.cpp.o.d"
+  "libflexric_ran.a"
+  "libflexric_ran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_ran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_server.dir/ran_db.cpp.o"
+  "CMakeFiles/flexric_server.dir/ran_db.cpp.o.d"
+  "CMakeFiles/flexric_server.dir/server.cpp.o"
+  "CMakeFiles/flexric_server.dir/server.cpp.o.d"
+  "libflexric_server.a"
+  "libflexric_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

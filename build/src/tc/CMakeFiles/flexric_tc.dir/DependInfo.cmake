@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tc/chain.cpp" "src/tc/CMakeFiles/flexric_tc.dir/chain.cpp.o" "gcc" "src/tc/CMakeFiles/flexric_tc.dir/chain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/e2ap/CMakeFiles/flexric_e2ap.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/flexric_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flexric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_tc.dir/chain.cpp.o"
+  "CMakeFiles/flexric_tc.dir/chain.cpp.o.d"
+  "libflexric_tc.a"
+  "libflexric_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexric_transport.dir/reactor.cpp.o"
+  "CMakeFiles/flexric_transport.dir/reactor.cpp.o.d"
+  "CMakeFiles/flexric_transport.dir/transport.cpp.o"
+  "CMakeFiles/flexric_transport.dir/transport.cpp.o.d"
+  "libflexric_transport.a"
+  "libflexric_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexric_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

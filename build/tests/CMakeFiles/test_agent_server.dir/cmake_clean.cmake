@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent_server.dir/test_agent_server.cpp.o"
+  "CMakeFiles/test_agent_server.dir/test_agent_server.cpp.o.d"
+  "test_agent_server"
+  "test_agent_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ctrl.dir/test_ctrl.cpp.o"
+  "CMakeFiles/test_ctrl.dir/test_ctrl.cpp.o.d"
+  "test_ctrl"
+  "test_ctrl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ctrl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2ap.dir/test_e2ap.cpp.o"
+  "CMakeFiles/test_e2ap.dir/test_e2ap.cpp.o.d"
+  "test_e2ap"
+  "test_e2ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

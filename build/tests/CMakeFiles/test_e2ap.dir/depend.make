@@ -1,0 +1,2 @@
+# Empty dependencies file for test_e2ap.
+# This may be replaced when dependencies are built.

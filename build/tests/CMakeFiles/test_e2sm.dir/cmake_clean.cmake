@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_e2sm.dir/test_e2sm.cpp.o"
+  "CMakeFiles/test_e2sm.dir/test_e2sm.cpp.o.d"
+  "test_e2sm"
+  "test_e2sm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_e2sm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

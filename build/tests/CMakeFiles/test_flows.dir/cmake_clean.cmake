@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flows.dir/test_flows.cpp.o"
+  "CMakeFiles/test_flows.dir/test_flows.cpp.o.d"
+  "test_flows"
+  "test_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay_virt.dir/test_relay_virt.cpp.o"
+  "CMakeFiles/test_relay_virt.dir/test_relay_virt.cpp.o.d"
+  "test_relay_virt"
+  "test_relay_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_relay_virt.
+# This may be replaced when dependencies are built.

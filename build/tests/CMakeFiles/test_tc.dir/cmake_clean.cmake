@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tc.dir/test_tc.cpp.o"
+  "CMakeFiles/test_tc.dir/test_tc.cpp.o.d"
+  "test_tc"
+  "test_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xapp_host.dir/test_xapp_host.cpp.o"
+  "CMakeFiles/test_xapp_host.dir/test_xapp_host.cpp.o.d"
+  "test_xapp_host"
+  "test_xapp_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xapp_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
