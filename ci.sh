@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# CI entry point: the tier-1 matrix, twice.
+#
+#   1. plain        RelWithDebInfo, the configuration ROADMAP.md documents
+#   2. asan-ubsan   FLEXRIC_SANITIZE=address;undefined with
+#                   -fno-sanitize-recover=all, so any ASan/UBSan finding in
+#                   the unit tests, the fuzz battery, or the differential
+#                   harness fails the run hard
+#
+# Both legs run the full ctest suite, which includes the deterministic fuzz
+# drivers (fuzz/) and the repo lint gate (tools/lint.py).
+#
+# Usage: ./ci.sh [jobs]     (jobs defaults to nproc)
+set -eu
+
+jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+run_leg() {
+  leg_name=$1
+  build_dir=$2
+  shift 2
+  echo "==== [$leg_name] configure ===="
+  cmake -B "$build_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  echo "==== [$leg_name] build ===="
+  cmake --build "$build_dir" -j "$jobs"
+  echo "==== [$leg_name] test ===="
+  (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
+}
+
+run_leg plain "$root/build" \
+  -DFLEXRIC_SANITIZE=""
+run_leg asan-ubsan "$root/build-asan" \
+  -DFLEXRIC_SANITIZE="address;undefined"
+
+echo "==== ci.sh: both legs passed ===="

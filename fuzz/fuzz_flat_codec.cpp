@@ -1,0 +1,9 @@
+// Deterministic structure-aware fuzz driver for the FlatBuffers-style E2AP
+// codec.
+#include "fuzz_codec_driver.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = flexric::fuzz::parse_args(argc, argv);
+  return flexric::fuzz::run_codec_fuzz(flexric::e2ap::flat_codec(), cfg,
+                                       "fuzz_flat_codec");
+}

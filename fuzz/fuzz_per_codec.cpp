@@ -1,0 +1,8 @@
+// Deterministic structure-aware fuzz driver for the ASN.1-PER E2AP codec.
+#include "fuzz_codec_driver.hpp"
+
+int main(int argc, char** argv) {
+  auto cfg = flexric::fuzz::parse_args(argc, argv);
+  return flexric::fuzz::run_codec_fuzz(flexric::e2ap::per_codec(), cfg,
+                                       "fuzz_per_codec");
+}

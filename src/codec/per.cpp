@@ -17,7 +17,9 @@ unsigned octets_for(std::uint64_t v) noexcept {
 
 void PerWriter::constrained(std::uint64_t v, std::uint64_t lo,
                             std::uint64_t hi) {
+  // lint: allow(wire-assert) encode-side precondition on locally built IR
   FLEXRIC_ASSERT(lo <= hi, "constrained: lo > hi");
+  // lint: allow(wire-assert) encode-side precondition on locally built IR
   FLEXRIC_ASSERT(v >= lo && v <= hi, "constrained: value out of range");
   std::uint64_t range = hi - lo + 1;  // note: full 2^64 range unsupported
   std::uint64_t off = v - lo;
@@ -40,6 +42,7 @@ void PerWriter::constrained(std::uint64_t v, std::uint64_t lo,
 }
 
 void PerWriter::semi_constrained(std::uint64_t v, std::uint64_t lo) {
+  // lint: allow(wire-assert) encode-side precondition on locally built IR
   FLEXRIC_ASSERT(v >= lo, "semi_constrained: value below lower bound");
   std::uint64_t off = v - lo;
   unsigned noct = octets_for(off);
@@ -62,6 +65,7 @@ void PerWriter::integer(std::int64_t v) {
 }
 
 void PerWriter::length(std::size_t n) {
+  // lint: allow(wire-assert) encode-side precondition on locally built IR
   FLEXRIC_ASSERT(n < 16384, "length determinant >= 16384 unsupported");
   bw_.align();
   if (n < 128) {

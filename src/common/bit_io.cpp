@@ -4,14 +4,14 @@ namespace flexric {
 
 void BitWriter::bits(std::uint64_t v, unsigned nbits) {
   FLEXRIC_ASSERT(nbits <= 64, "nbits > 64");
-  if (nbits < 64) v &= (nbits == 0) ? 0 : ((std::uint64_t{1} << nbits) - 1);
+  v &= low_bits_mask(nbits);
   while (nbits > 0) {
     if (bitpos_ == 0) buf_.push_back(0);
     unsigned room = 8 - bitpos_;
     unsigned take = nbits < room ? nbits : room;
-    // take the top `take` bits of the remaining value
-    std::uint64_t chunk = (take == 64) ? v : (v >> (nbits - take));
-    chunk &= (take == 64) ? ~std::uint64_t{0} : ((std::uint64_t{1} << take) - 1);
+    // take the top `take` bits of the remaining value; take <= 8, and
+    // nbits - take < 64, so both shifts below are well-defined
+    std::uint64_t chunk = (v >> (nbits - take)) & low_bits_mask(take);
     buf_.back() = static_cast<std::uint8_t>(
         buf_.back() | (chunk << (room - take)));
     bitpos_ = (bitpos_ + take) % 8;
@@ -21,9 +21,11 @@ void BitWriter::bits(std::uint64_t v, unsigned nbits) {
 
 void BitWriter::align() { bitpos_ = 0; }
 
-void BitWriter::bytes(BytesView b) {
-  FLEXRIC_ASSERT(bitpos_ == 0, "bytes() requires alignment");
+Status BitWriter::bytes(BytesView b) {
+  if (bitpos_ != 0)
+    return {Errc::malformed, "bit writer: bytes() while unaligned"};
   buf_.insert(buf_.end(), b.begin(), b.end());
+  return Status::ok();
 }
 
 Buffer BitWriter::take() {
@@ -32,7 +34,8 @@ Buffer BitWriter::take() {
 }
 
 Result<std::uint64_t> BitReader::bits(unsigned nbits) {
-  FLEXRIC_ASSERT(nbits <= 64, "nbits > 64");
+  if (nbits > 64)
+    return Error{Errc::out_of_range, "bit read wider than 64 bits"};
   if (bits_remaining() < nbits)
     return Error{Errc::truncated, "bit read past end"};
   std::uint64_t v = 0;
@@ -43,8 +46,9 @@ Result<std::uint64_t> BitReader::bits(unsigned nbits) {
     unsigned room = 8 - off;
     unsigned take = left < room ? left : room;
     std::uint8_t cur = data_[byte];
-    std::uint64_t chunk = (cur >> (room - take)) & ((1u << take) - 1);
-    v = (take == 64) ? chunk : ((v << take) | chunk);
+    // take <= 8, so the shifts below never reach the 64-bit UB boundary
+    std::uint64_t chunk = (cur >> (room - take)) & low_bits_mask(take);
+    v = (v << take) | chunk;
     bitpos_ += take;
     left -= take;
   }
@@ -62,7 +66,8 @@ void BitReader::align() {
 }
 
 Result<BytesView> BitReader::bytes(std::size_t n) {
-  FLEXRIC_ASSERT(aligned(), "bytes() requires alignment");
+  if (!aligned())
+    return Error{Errc::malformed, "bit reader: bytes() while unaligned"};
   std::size_t byte = bitpos_ / 8;
   if (byte + n > data_.size()) return Error{Errc::truncated, "bytes past end"};
   bitpos_ += n * 8;

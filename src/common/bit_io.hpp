@@ -3,6 +3,11 @@
 // PER packs constrained integers into the minimal number of bits, so the
 // codec needs sub-byte addressing. Writers pad to a byte boundary only when
 // explicitly asked (aligned-PER alignment points).
+//
+// The reader side consumes wire data and therefore never aborts: every
+// malformed request (width > 64, unaligned byte read, read past end) is
+// reported as a recoverable Result/Status error. Writer-side width/alignment
+// misuse is a programming error on locally produced data and still asserts.
 #pragma once
 
 #include <cstdint>
@@ -12,17 +17,29 @@
 
 namespace flexric {
 
+/// Mask selecting the low `nbits` bits; well-defined for the whole [0, 64]
+/// range (shifting a uint64_t by 64 is UB, so both boundaries are special-
+/// cased here instead of at every call site).
+[[nodiscard]] constexpr std::uint64_t low_bits_mask(unsigned nbits) noexcept {
+  if (nbits == 0) return 0;
+  if (nbits >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << nbits) - 1;
+}
+
 /// MSB-first bit writer appending to an owned Buffer.
 class BitWriter {
  public:
-  /// Write the low `nbits` bits of v, MSB first. nbits in [0, 64].
+  /// Write the low `nbits` bits of v, MSB first. nbits in [0, 64];
+  /// nbits == 0 writes nothing. Wider requests assert (encode-side
+  /// precondition on local data).
   void bits(std::uint64_t v, unsigned nbits);
   /// Write a single bit.
   void bit(bool b) { bits(b ? 1 : 0, 1); }
   /// Pad with zero bits to the next byte boundary (aligned-PER alignment).
   void align();
-  /// Append whole bytes (requires byte alignment; asserts otherwise).
-  void bytes(BytesView b);
+  /// Append whole bytes. Requires byte alignment; returns an error Status
+  /// (and writes nothing) otherwise.
+  [[nodiscard]] Status bytes(BytesView b);
 
   [[nodiscard]] std::size_t bit_size() const noexcept {
     return buf_.size() * 8 - (bitpos_ ? 8 - bitpos_ : 0);
@@ -36,17 +53,21 @@ class BitWriter {
   unsigned bitpos_ = 0;  // bits already used in the last byte (0 == aligned)
 };
 
-/// MSB-first bit reader over a byte view.
+/// MSB-first bit reader over a byte view. All failure modes — including
+/// decoder-requested widths outside [0, 64] — are recoverable errors, never
+/// aborts: the requests may be derived from untrusted wire data.
 class BitReader {
  public:
   explicit BitReader(BytesView b) : data_(b) {}
 
   /// Read `nbits` bits MSB-first into the low bits of the result.
+  /// nbits == 0 reads nothing and yields 0; nbits > 64 is out_of_range.
   Result<std::uint64_t> bits(unsigned nbits);
   Result<bool> bit();
   /// Skip to the next byte boundary.
   void align();
-  /// Read whole bytes (requires byte alignment; asserts otherwise).
+  /// Read whole bytes. Requires byte alignment; fails with malformed
+  /// otherwise (no abort).
   Result<BytesView> bytes(std::size_t n);
 
   [[nodiscard]] std::size_t bits_remaining() const noexcept {

@@ -1,10 +1,12 @@
 #include "common/log.hpp"
 
+// lint: allow(thread-primitives) log level is a relaxed flag readable from any thread
 #include <atomic>
 
 namespace flexric {
 
 namespace {
+// lint: allow(thread-primitives) single word, no ordering dependencies
 std::atomic<LogLevel> g_level{LogLevel::warn};
 const char* level_name(LogLevel l) {
   switch (l) {

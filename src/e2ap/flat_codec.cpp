@@ -13,6 +13,30 @@
 namespace flexric::e2ap {
 namespace {
 
+// ------------------------- wire-derived enums -----------------------------
+// FLAT has no constrained-integer encoding (PER rejects out-of-range values
+// at the bit level), so every enum discriminant read off the wire is range-
+// checked here before the cast: garbage bytes must decode to an error, never
+// to an IR message carrying an invalid enum.
+
+Result<NodeType> to_node_type(std::uint8_t v) {
+  if (v > static_cast<std::uint8_t>(NodeType::du))
+    return Error{Errc::out_of_range, "invalid E2 node type"};
+  return static_cast<NodeType>(v);
+}
+
+Result<ActionType> to_action_type(std::uint8_t v) {
+  if (v > static_cast<std::uint8_t>(ActionType::policy))
+    return Error{Errc::out_of_range, "invalid action type"};
+  return static_cast<ActionType>(v);
+}
+
+Result<Cause::Group> to_cause_group(std::uint8_t v) {
+  if (v > static_cast<std::uint8_t>(Cause::Group::misc))
+    return Error{Errc::out_of_range, "invalid cause group"};
+  return static_cast<Cause::Group>(v);
+}
+
 // ------------------------- list sub-encodings -----------------------------
 // Lists are encoded into a single var field: u32 count, then elements. The
 // elements use plain little-endian layouts (BufWriter/BufReader), since the
@@ -106,10 +130,11 @@ Result<std::vector<std::pair<std::uint16_t, Cause>>> get_u16_cause_list(
     if (!id) return id.error();
     auto g = r.u8();
     if (!g) return g.error();
+    auto grp = to_cause_group(*g);
+    if (!grp) return grp.error();
     auto val = r.u8();
     if (!val) return val.error();
-    out.emplace_back(*id,
-                     Cause{static_cast<Cause::Group>(*g), *val});
+    out.emplace_back(*id, Cause{*grp, *val});
   }
   return out;
 }
@@ -140,7 +165,9 @@ Result<std::vector<Action>> get_actions(FlatView& v) {
     a.id = *id;
     auto t = r.u8();
     if (!t) return t.error();
-    a.type = static_cast<ActionType>(*t);
+    auto at = to_action_type(*t);
+    if (!at) return at.error();
+    a.type = *at;
     auto def = r.lp_bytes();
     if (!def) return def.error();
     a.definition.assign(def->begin(), def->end());
@@ -157,9 +184,11 @@ void put_cause(FlatWriter& w, const Cause& c) {
 Result<Cause> get_cause(FlatView& v) {
   auto g = v.u8();
   if (!g) return g.error();
+  auto grp = to_cause_group(*g);
+  if (!grp) return grp.error();
   auto val = v.u8();
   if (!val) return val.error();
-  return Cause{static_cast<Cause::Group>(*g), *val};
+  return Cause{*grp, *val};
 }
 
 void put_req_id(FlatWriter& w, const RicRequestId& id) {
@@ -209,7 +238,9 @@ Result<Msg> dec_setup_request(FlatView& v) {
   m.node.nb_id = *nb;
   auto nt = v.u8();
   if (!nt) return nt.error();
-  m.node.type = static_cast<NodeType>(*nt);
+  auto node_type = to_node_type(*nt);
+  if (!node_type) return node_type.error();
+  m.node.type = *node_type;
   auto fns = get_ran_functions(v);
   if (!fns) return fns.error();
   m.ran_functions = std::move(*fns);
@@ -502,10 +533,11 @@ Result<Msg> dec_subscription_response(FlatView& v) {
       if (!x) return x.error();
       auto g = r.u8();
       if (!g) return g.error();
+      auto grp = to_cause_group(*g);
+      if (!grp) return grp.error();
       auto val = r.u8();
       if (!val) return val.error();
-      m.not_admitted.emplace_back(
-          *x, Cause{static_cast<Cause::Group>(*g), *val});
+      m.not_admitted.emplace_back(*x, Cause{*grp, *val});
     }
   }
   return Msg{std::move(m)};
@@ -603,7 +635,9 @@ Result<Msg> dec_indication(FlatView& v) {
   m.sn = *sn;
   auto t = v.u8();
   if (!t) return t.error();
-  m.type = static_cast<ActionType>(*t);
+  auto at = to_action_type(*t);
+  if (!at) return at.error();
+  m.type = *at;
   auto has_cpid = v.boolean();
   if (!has_cpid) return has_cpid.error();
   auto hdr = get_buf(v);
@@ -760,6 +794,7 @@ const Codec& flat_codec() {
 }
 
 const Codec& codec_for(WireFormat f) {
+  // lint: allow(wire-assert) argument is a local config enum, not wire data
   FLEXRIC_ASSERT(f == WireFormat::per || f == WireFormat::flat,
                  "E2AP codec: per or flat only");
   return f == WireFormat::per ? per_codec() : flat_codec();

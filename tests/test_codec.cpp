@@ -5,6 +5,7 @@
 #include "codec/per.hpp"
 #include "codec/proto.hpp"
 #include "common/rng.hpp"
+#include "e2ap/codec.hpp"
 
 namespace flexric {
 namespace {
@@ -374,6 +375,201 @@ TEST(CodecComparison, PerIsSmallerThanFlatForStructuredData) {
   Buffer per_wire = per.take();
   Buffer flat_wire = flat.finish();
   EXPECT_LT(per_wire.size(), flat_wire.size());
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial E2AP frame corpus
+//
+// Table-driven corruption of real Setup / Subscription / Indication frames.
+// Each mutation targets a structural byte chosen so that decode MUST return
+// an error Result in the targeted codec — never a crash, never a bogus
+// success. The SM payload buffers are sized to exactly 100 bytes so the
+// PER length determinant of the frame's trailing octet string sits at a
+// known offset (size - 101) regardless of what precedes it.
+// ---------------------------------------------------------------------------
+
+e2ap::Msg sample_setup_request() {
+  e2ap::SetupRequest m;
+  m.trans_id = 7;
+  m.node = {0x00F110, 0x1A2B, e2ap::NodeType::gnb};
+  e2ap::RanFunctionItem fn;
+  fn.id = 142;
+  fn.revision = 3;
+  fn.name = "ORAN-E2SM-MAC-STATS";
+  fn.definition = Buffer(100, 0xD0);  // tail octet string
+  m.ran_functions.push_back(std::move(fn));
+  return m;
+}
+
+e2ap::Msg sample_subscription_request() {
+  e2ap::SubscriptionRequest m;
+  m.request = {21, 4};
+  m.ran_function_id = 142;
+  m.event_trigger = Buffer{5, 0, 0, 10};
+  e2ap::Action a;
+  a.id = 1;
+  a.type = e2ap::ActionType::report;
+  a.definition = Buffer(100, 0x5C);  // tail octet string
+  m.actions.push_back(std::move(a));
+  return m;
+}
+
+e2ap::Msg sample_indication() {
+  e2ap::Indication m;
+  m.request = {21, 4};
+  m.ran_function_id = 142;
+  m.action_id = 1;
+  m.sn = 4242;
+  m.type = e2ap::ActionType::report;
+  m.header = Buffer{1, 2, 3, 4};
+  m.message = Buffer(100, 0xEE);  // tail octet string (call_process_id absent)
+  m.call_process_id = std::nullopt;
+  return m;
+}
+
+// Mutations. Offsets they rely on:
+//   PER:  tag = top 5 bits of byte 0 (constrained 0..20); the trailing
+//         100-byte octet string's 1-byte length determinant is at size-101.
+//         0xFF there reads as a fragmented determinant (unsupported); 0xBF
+//         reads as a ~16 KiB long-form length (truncated).
+//   FLAT: [4B LE size prefix = fixed-region size][fixed region, tag first]
+//         [var data]. 0xFF in prefix byte 3 inflates the region past the
+//         wire; prefix-1 shrinks it so the last fixed-region read runs out.
+void drop_half(Buffer& b) { b.resize(b.size() / 2); }
+void drop_last(Buffer& b) { b.pop_back(); }
+void drop_all(Buffer& b) { b.clear(); }
+void per_tag_out_of_range(Buffer& b) { b[0] |= 0xF8; }
+void per_length_fragmented(Buffer& b) { b[b.size() - 101] = 0xFF; }
+void per_length_overruns(Buffer& b) { b[b.size() - 101] = 0xBF; }
+void flat_tag_out_of_range(Buffer& b) { b[4] = 0xFF; }
+void flat_prefix_inflated(Buffer& b) { b[3] = 0xFF; }
+void flat_prefix_shrunk(Buffer& b) { b[0] -= 1; }
+
+struct AdversarialCase {
+  const char* name;
+  WireFormat format;
+  e2ap::Msg (*make)();
+  void (*mutate)(Buffer&);
+};
+
+constexpr WireFormat kPer = WireFormat::per;
+constexpr WireFormat kFlat = WireFormat::flat;
+
+const AdversarialCase kAdversarialCorpus[] = {
+    // PER, truncation
+    {"per/setup/drop_half", kPer, sample_setup_request, drop_half},
+    {"per/setup/drop_last", kPer, sample_setup_request, drop_last},
+    {"per/setup/empty", kPer, sample_setup_request, drop_all},
+    {"per/subscription/drop_half", kPer, sample_subscription_request,
+     drop_half},
+    {"per/subscription/drop_last", kPer, sample_subscription_request,
+     drop_last},
+    {"per/indication/drop_half", kPer, sample_indication, drop_half},
+    {"per/indication/drop_last", kPer, sample_indication, drop_last},
+    // PER, bit-flipped tag
+    {"per/setup/tag_flip", kPer, sample_setup_request, per_tag_out_of_range},
+    {"per/subscription/tag_flip", kPer, sample_subscription_request,
+     per_tag_out_of_range},
+    {"per/indication/tag_flip", kPer, sample_indication,
+     per_tag_out_of_range},
+    // PER, corrupted length determinant
+    {"per/setup/len_fragmented", kPer, sample_setup_request,
+     per_length_fragmented},
+    {"per/setup/len_overrun", kPer, sample_setup_request, per_length_overruns},
+    {"per/subscription/len_fragmented", kPer, sample_subscription_request,
+     per_length_fragmented},
+    {"per/subscription/len_overrun", kPer, sample_subscription_request,
+     per_length_overruns},
+    {"per/indication/len_fragmented", kPer, sample_indication,
+     per_length_fragmented},
+    {"per/indication/len_overrun", kPer, sample_indication,
+     per_length_overruns},
+    // FLAT, truncation
+    {"flat/setup/drop_half", kFlat, sample_setup_request, drop_half},
+    {"flat/setup/drop_last", kFlat, sample_setup_request, drop_last},
+    {"flat/setup/empty", kFlat, sample_setup_request, drop_all},
+    {"flat/subscription/drop_half", kFlat, sample_subscription_request,
+     drop_half},
+    {"flat/subscription/drop_last", kFlat, sample_subscription_request,
+     drop_last},
+    {"flat/indication/drop_half", kFlat, sample_indication, drop_half},
+    {"flat/indication/drop_last", kFlat, sample_indication, drop_last},
+    // FLAT, bit-flipped tag
+    {"flat/setup/tag_flip", kFlat, sample_setup_request,
+     flat_tag_out_of_range},
+    {"flat/subscription/tag_flip", kFlat, sample_subscription_request,
+     flat_tag_out_of_range},
+    {"flat/indication/tag_flip", kFlat, sample_indication,
+     flat_tag_out_of_range},
+    // FLAT, corrupted size prefix (the table's length field)
+    {"flat/setup/prefix_inflated", kFlat, sample_setup_request,
+     flat_prefix_inflated},
+    {"flat/setup/prefix_shrunk", kFlat, sample_setup_request,
+     flat_prefix_shrunk},
+    {"flat/subscription/prefix_inflated", kFlat, sample_subscription_request,
+     flat_prefix_inflated},
+    {"flat/subscription/prefix_shrunk", kFlat, sample_subscription_request,
+     flat_prefix_shrunk},
+    {"flat/indication/prefix_inflated", kFlat, sample_indication,
+     flat_prefix_inflated},
+    {"flat/indication/prefix_shrunk", kFlat, sample_indication,
+     flat_prefix_shrunk},
+};
+
+class AdversarialFrames
+    : public ::testing::TestWithParam<AdversarialCase> {};
+
+TEST_P(AdversarialFrames, CorruptedFrameDecodesToError) {
+  const AdversarialCase& c = GetParam();
+  const e2ap::Codec& codec = e2ap::codec_for(c.format);
+  e2ap::Msg msg = c.make();
+
+  auto wire = codec.encode(msg);
+  ASSERT_TRUE(wire.is_ok()) << c.name;
+  // Sanity: the pristine frame round-trips before we break it.
+  auto pristine = codec.decode(*wire);
+  ASSERT_TRUE(pristine.is_ok()) << c.name;
+  ASSERT_TRUE(*pristine == msg) << c.name;
+
+  Buffer corrupted = *wire;
+  c.mutate(corrupted);
+  auto dec = codec.decode(corrupted);
+  EXPECT_FALSE(dec.is_ok())
+      << c.name << ": corrupted frame decoded successfully";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, AdversarialFrames, ::testing::ValuesIn(kAdversarialCorpus),
+    [](const ::testing::TestParamInfo<AdversarialCase>& info) {
+      std::string s = info.param.name;
+      for (char& ch : s)
+        if (ch == '/') ch = '_';
+      return s;
+    });
+
+// Exhaustive truncation sweep: EVERY strict prefix of a valid frame must
+// decode to an error in both codecs. (PER frames carry no pure-padding
+// trailing bytes; FLAT frames account for every byte in the fixed region or
+// a var span — so losing any suffix is always detectable.)
+TEST(AdversarialFramesSweep, EveryStrictPrefixFailsToDecode) {
+  e2ap::Msg (*const makers[])() = {sample_setup_request,
+                                   sample_subscription_request,
+                                   sample_indication};
+  for (auto make : makers) {
+    e2ap::Msg msg = make();
+    for (auto format : {kPer, kFlat}) {
+      const e2ap::Codec& codec = e2ap::codec_for(format);
+      auto wire = codec.encode(msg);
+      ASSERT_TRUE(wire.is_ok());
+      for (std::size_t n = 0; n < wire->size(); ++n) {
+        BytesView prefix{wire->data(), n};
+        EXPECT_FALSE(codec.decode(prefix).is_ok())
+            << e2ap::msg_type_name(e2ap::msg_type(msg)) << " prefix len " << n
+            << " of " << wire->size() << " ("
+            << (format == kPer ? "per" : "flat") << ")";
+      }
+    }
+  }
 }
 
 }  // namespace

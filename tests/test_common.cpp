@@ -175,6 +175,52 @@ TEST(BitIo, SixtyFourBitValues) {
   EXPECT_EQ(*r.bits(64), 0xFEDCBA9876543210ULL);
 }
 
+TEST(BitIo, SixtyFourBitBoundaryUnaligned) {
+  // A full 64-bit field crossing byte boundaries: the widest legal width
+  // combined with the worst alignment (shift-count UB regression test).
+  BitWriter w;
+  w.bits(0b101, 3);
+  w.bits(~std::uint64_t{0}, 64);
+  w.bits(0x1, 1);
+  Buffer buf = w.take();
+  BitReader r(buf);
+  EXPECT_EQ(*r.bits(3), 0b101u);
+  EXPECT_EQ(*r.bits(64), ~std::uint64_t{0});
+  EXPECT_EQ(*r.bits(1), 0x1u);
+}
+
+TEST(BitIo, ZeroBitFieldsWriteAndReadNothing) {
+  BitWriter w;
+  w.bits(0xFFFF, 0);  // value is ignored entirely
+  EXPECT_EQ(w.bit_size(), 0u);
+  w.bits(0b11, 2);
+  w.bits(0x123, 0);
+  Buffer buf = w.take();
+  EXPECT_EQ(buf.size(), 1u);
+  BitReader r(buf);
+  EXPECT_EQ(*r.bits(0), 0u);
+  EXPECT_EQ(*r.bits(2), 0b11u);
+  EXPECT_EQ(*r.bits(0), 0u);
+  EXPECT_EQ(r.bits_remaining(), 6u);
+}
+
+TEST(BitIo, LowBitsMaskBoundaries) {
+  EXPECT_EQ(low_bits_mask(0), 0u);
+  EXPECT_EQ(low_bits_mask(1), 1u);
+  EXPECT_EQ(low_bits_mask(63), ~std::uint64_t{0} >> 1);
+  EXPECT_EQ(low_bits_mask(64), ~std::uint64_t{0});
+}
+
+TEST(BitIo, ReaderRejectsWidthsAbove64) {
+  Buffer buf(16, 0xFF);
+  BitReader r(buf);
+  auto res = r.bits(65);  // width could come from corrupted wire data
+  ASSERT_FALSE(res.is_ok());
+  EXPECT_EQ(res.error().code, Errc::out_of_range);
+  // The reader is still usable afterwards.
+  EXPECT_EQ(*r.bits(8), 0xFFu);
+}
+
 TEST(BitIo, AlignmentPadsWithZeros) {
   BitWriter w;
   w.bits(0b101, 3);
@@ -201,13 +247,34 @@ TEST(BitIo, BytesRequireAlignment) {
   BitWriter w;
   w.bits(0xAA, 8);
   Buffer data{1, 2, 3};
-  w.bytes(data);
+  ASSERT_TRUE(w.bytes(data).is_ok());
   Buffer buf = w.take();
   BitReader r(buf);
   EXPECT_EQ(*r.bits(8), 0xAAu);
   auto b = r.bytes(3);
   ASSERT_TRUE(b.is_ok());
   EXPECT_EQ(Buffer(b->begin(), b->end()), data);
+}
+
+TEST(BitIo, UnalignedBytesIsRecoverableError) {
+  // Formerly an abort; malformed wire input must never take the process down.
+  BitWriter w;
+  w.bit(true);
+  Buffer data{1, 2, 3};
+  Status st = w.bytes(data);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::malformed);
+  w.align();
+  EXPECT_TRUE(w.bytes(data).is_ok());
+
+  Buffer buf = w.take();
+  BitReader r(buf);
+  ASSERT_TRUE(r.bit().is_ok());  // now mid-byte
+  auto b = r.bytes(1);
+  ASSERT_FALSE(b.is_ok());
+  EXPECT_EQ(b.error().code, Errc::malformed);
+  r.align();
+  EXPECT_TRUE(r.bytes(3).is_ok());
 }
 
 TEST(BitIo, BitsForRange) {

@@ -1,0 +1,305 @@
+#!/usr/bin/env python3
+"""FlexRIC repo lint: enforces invariants the compiler cannot.
+
+Registered as the `lint` CTest test, so `ctest` fails on new violations.
+
+Rules
+-----
+unchecked-result
+    `Result<T>::value()` (and optional `.value()`) asserts on the error arm,
+    so calling it on unverified wire data can abort the process. Production
+    code (src/, fuzz/, bench/, examples/) must branch on `is_ok()` and use
+    `operator*` / `error()`; `.value()` is allowed only under tests/.
+
+wire-assert
+    The decode path (src/codec/, src/e2ap/, src/e2sm/) handles bytes that
+    arrive off the wire; `assert`/`FLEXRIC_ASSERT` there can turn malformed
+    peer input into a process abort. Errors must be returned as
+    Result/Status. Encode-side preconditions on locally built IR may be
+    suppressed (see below).
+
+include-hygiene
+    Quoted includes must be rooted at the canonical source dirs (no `..`
+    escapes, no includes of files that do not exist), and a .cpp that has a
+    sibling header must include it first — this keeps every header
+    self-contained.
+
+thread-primitives
+    The reactor is single-threaded by design (DESIGN/reactor.hpp, §4.4 of
+    the paper): handlers run on the loop thread and the SDK holds no locks.
+    Threading primitives (std::thread/mutex/atomic/..., <thread>, pthread_*)
+    are therefore confined to src/transport/. Anything else needing one is
+    an architecture change, not a patch.
+
+Suppressions
+------------
+A violation is suppressed by a comment on the same line or the line directly
+above it:
+
+    // lint: allow(wire-assert) encode-side precondition on locally built IR
+
+The rule name must match exactly; a reason after the closing parenthesis is
+required so every exception documents itself. Run with --list to see all
+active suppressions.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+CXX_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc")
+
+# Directories scanned per rule (relative to the repo root).
+PROD_DIRS = ("src", "fuzz", "bench", "examples")
+WIRE_DIRS = (os.path.join("src", "codec"), os.path.join("src", "e2ap"),
+             os.path.join("src", "e2sm"))
+THREAD_FREE_ROOT = "src"
+THREAD_OK_DIR = os.path.join("src", "transport")
+
+SUPPRESS_RE = re.compile(r"lint:\s*allow\(([a-z-]+)\)\s*(\S.*)?")
+
+RULES = {}
+
+
+def rule(name):
+    def deco(fn):
+        RULES[name] = fn
+        return fn
+    return deco
+
+
+class Violation:
+    def __init__(self, path, lineno, rule_name, message):
+        self.path = path
+        self.lineno = lineno
+        self.rule = rule_name
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.lineno}: [{self.rule}] {self.message}"
+
+
+def iter_files(root, subdirs):
+    for sub in subdirs:
+        base = os.path.join(root, sub)
+        for dirpath, _, filenames in os.walk(base):
+            for fn in sorted(filenames):
+                if fn.endswith(CXX_EXTENSIONS):
+                    yield os.path.join(dirpath, fn)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return f.read().splitlines()
+
+
+def suppressed(lines, idx, rule_name):
+    """True if line idx (0-based) or the line above carries an allow()."""
+    for probe in (idx, idx - 1):
+        if 0 <= probe < len(lines):
+            m = SUPPRESS_RE.search(lines[probe])
+            if m and m.group(1) == rule_name:
+                return True
+    return False
+
+
+def collect_suppressions(root, dirs):
+    out = []
+    for path in iter_files(root, dirs):
+        for i, line in enumerate(read_lines(path), 1):
+            m = SUPPRESS_RE.search(line)
+            if m:
+                reason = (m.group(2) or "").strip()
+                out.append((os.path.relpath(path, root), i, m.group(1), reason))
+    return out
+
+
+# --------------------------------------------------------------------------
+# unchecked-result
+# --------------------------------------------------------------------------
+
+VALUE_CALL_RE = re.compile(r"\.value\(\)")
+
+
+@rule("unchecked-result")
+def check_unchecked_result(root):
+    violations = []
+    for path in iter_files(root, PROD_DIRS):
+        rel = os.path.relpath(path, root)
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            if VALUE_CALL_RE.search(line) and not suppressed(
+                    lines, i, "unchecked-result"):
+                violations.append(Violation(
+                    rel, i + 1, "unchecked-result",
+                    ".value() aborts on the error arm; branch on is_ok() "
+                    "and use operator*/error() instead"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# wire-assert
+# --------------------------------------------------------------------------
+
+ASSERT_RE = re.compile(r"\b(?:FLEXRIC_ASSERT|assert)\s*\(")
+
+
+@rule("wire-assert")
+def check_wire_assert(root):
+    violations = []
+    for path in iter_files(root, WIRE_DIRS):
+        rel = os.path.relpath(path, root)
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            stripped = line.lstrip()
+            if stripped.startswith("//"):
+                continue
+            if ASSERT_RE.search(line) and not suppressed(
+                    lines, i, "wire-assert"):
+                violations.append(Violation(
+                    rel, i + 1, "wire-assert",
+                    "assert in the decode path can abort on malformed wire "
+                    "input; return a Result/Status error instead"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# include-hygiene
+# --------------------------------------------------------------------------
+
+QUOTED_INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+# Quoted includes resolve against these roots, depending on where the
+# including file lives.
+INCLUDE_ROOTS = {
+    "src": ("src",),
+    "tests": ("src", "tests"),
+    "fuzz": ("src", "fuzz"),
+    "bench": ("src", "bench", "."),
+    "examples": ("src", "examples"),
+}
+
+
+@rule("include-hygiene")
+def check_include_hygiene(root):
+    violations = []
+    for path in iter_files(root, PROD_DIRS + ("tests",)):
+        rel = os.path.relpath(path, root)
+        top = rel.split(os.sep)[0]
+        roots = INCLUDE_ROOTS.get(top, ("src",))
+        lines = read_lines(path)
+        own_header = None
+        if rel.endswith(".cpp"):
+            sibling = path[:-len(".cpp")] + ".hpp"
+            if os.path.exists(sibling):
+                own_header = os.path.relpath(
+                    sibling, os.path.join(root, "src"))
+        first_quoted = None
+        for i, line in enumerate(lines):
+            m = QUOTED_INCLUDE_RE.match(line)
+            if not m:
+                continue
+            inc = m.group(1)
+            if first_quoted is None:
+                first_quoted = (i, inc)
+            if suppressed(lines, i, "include-hygiene"):
+                continue
+            if ".." in inc.split("/"):
+                violations.append(Violation(
+                    rel, i + 1, "include-hygiene",
+                    f'include "{inc}" escapes the source tree with ".."'))
+                continue
+            if not any(os.path.exists(os.path.join(root, r, inc))
+                       for r in roots):
+                violations.append(Violation(
+                    rel, i + 1, "include-hygiene",
+                    f'include "{inc}" does not resolve under '
+                    f'{" or ".join(roots)}/'))
+        if (own_header is not None and first_quoted is not None
+                and first_quoted[1] != own_header.replace(os.sep, "/")
+                and not suppressed(lines, first_quoted[0],
+                                   "include-hygiene")):
+            violations.append(Violation(
+                rel, first_quoted[0] + 1, "include-hygiene",
+                f'first quoted include must be the sibling header '
+                f'"{own_header}" (self-containment check)'))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# thread-primitives
+# --------------------------------------------------------------------------
+
+THREAD_INCLUDE_RE = re.compile(
+    r"#\s*include\s*<(thread|mutex|shared_mutex|condition_variable|atomic|"
+    r"future|stop_token|semaphore|latch|barrier)>")
+THREAD_USE_RE = re.compile(
+    r"\bstd::(jthread|thread|mutex|timed_mutex|recursive_mutex|shared_mutex|"
+    r"condition_variable\w*|atomic\b|atomic<|async|future|promise|"
+    r"counting_semaphore|latch|barrier|lock_guard|unique_lock|shared_lock|"
+    r"scoped_lock)|\bpthread_\w+")
+
+
+@rule("thread-primitives")
+def check_thread_primitives(root):
+    violations = []
+    for path in iter_files(root, (THREAD_FREE_ROOT,)):
+        rel = os.path.relpath(path, root)
+        if rel.startswith(THREAD_OK_DIR + os.sep):
+            continue
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            stripped = line.lstrip()
+            if stripped.startswith("//"):
+                continue
+            if ((THREAD_INCLUDE_RE.search(line) or THREAD_USE_RE.search(line))
+                    and not suppressed(lines, i, "thread-primitives")):
+                violations.append(Violation(
+                    rel, i + 1, "thread-primitives",
+                    "threading primitive outside src/transport/ violates "
+                    "the single-threaded reactor contract"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: parent of tools/)")
+    parser.add_argument("--list", action="store_true",
+                        help="list active suppressions and exit")
+    parser.add_argument("--rule", action="append", choices=sorted(RULES),
+                        help="run only the given rule(s)")
+    args = parser.parse_args()
+
+    root = os.path.abspath(args.root)
+    if args.list:
+        sups = collect_suppressions(root, PROD_DIRS + ("tests",))
+        for path, lineno, name, reason in sups:
+            print(f"{path}:{lineno}: allow({name}) {reason}")
+        missing = [s for s in sups if not s[3]]
+        if missing:
+            print(f"\n{len(missing)} suppression(s) without a reason",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    selected = args.rule or sorted(RULES)
+    violations = []
+    for name in selected:
+        violations.extend(RULES[name](root))
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\nlint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"lint: ok ({', '.join(selected)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
