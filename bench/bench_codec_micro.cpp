@@ -7,6 +7,10 @@
 // E2 imposes (SM payload wrapped in E2AP).
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
 #include "e2ap/codec.hpp"
 #include "e2sm/mac_sm.hpp"
 #include "e2sm/serde.hpp"
@@ -108,4 +112,55 @@ BENCHMARK(BM_DoubleEncode)->Args({0})->Args({1});
 BENCHMARK(BM_DoubleDecode)->Args({0})->Args({1});
 BENCHMARK(BM_WireSize)->ArgsProduct({{0, 1, 2}, {32}});
 
-BENCHMARK_MAIN();
+namespace {
+
+// Console reporter that also tees each run's real time (plus any counters,
+// e.g. wire_bytes) into the shared --json results file.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(bench::JsonWriter& writer) : writer_(writer) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      std::string name = run.benchmark_name();
+      if (!run.report_label.empty()) name += "/" + run.report_label;
+      writer_.add(name, run.GetAdjustedRealTime(),
+                  benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [counter_name, counter] : run.counters)
+        writer_.add(name + "/" + counter_name,
+                    static_cast<double>(counter.value), "");
+    }
+  }
+
+ private:
+  bench::JsonWriter& writer_;
+};
+
+}  // namespace
+
+// Custom BENCHMARK_MAIN(): identical console output, plus `--json <path>`
+// support via the shared bench harness. The flag is consumed before
+// benchmark::Initialize so google-benchmark's own argument parsing (which
+// rejects unknown flags) never sees it.
+int main(int argc, char** argv) {
+  std::string json_path = bench::json_path_from_args(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  bench::JsonWriter json("bench_codec_micro");
+  JsonTeeReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return json.write(json_path) ? 0 : 1;
+}

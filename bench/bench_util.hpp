@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <functional>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -74,5 +76,58 @@ inline void banner(const char* title, const char* paper_ref) {
 }
 
 inline void note(const char* text) { std::printf("  note: %s\n", text); }
+
+/// Path following a `--json` flag, or "" when the flag is absent. Benches
+/// keep their human-readable table on stdout either way; the flag only adds
+/// a machine-readable copy of the headline scalars.
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string_view(argv[i]) == "--json") return argv[i + 1];
+  return {};
+}
+
+/// Machine-readable results sink. Collects (name, value, unit) scalars while
+/// a bench runs and serializes them as one flat JSON document, so successive
+/// commits can be diffed numerically (seeded BENCH_*.json files in-repo).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double value, const std::string& unit) {
+    entries_.push_back({name, value, unit});
+  }
+
+  /// Writes the collected results; no-op (success) when `path` is empty so
+  /// callers can pass json_path_from_args() unconditionally.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench_.c_str());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const auto& e = entries_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.9g, \"unit\": \"%s\"}%s\n",
+                   e.name.c_str(), e.value, e.unit.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("  json: %zu results -> %s\n", entries_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double value;
+    std::string unit;
+  };
+
+  std::string bench_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace flexric::bench

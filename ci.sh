@@ -8,12 +8,23 @@
 #                   harness fails the run hard
 #
 # Both legs run the full ctest suite, which includes the deterministic fuzz
-# drivers (fuzz/) and the repo lint gate (tools/lint.py).
+# drivers (fuzz/), the telemetry store suite (test_telemetry — built into
+# both legs via flexric_telemetry), and the repo lint gate (tools/lint.py).
 #
-# Usage: ./ci.sh [jobs]     (jobs defaults to nproc)
+# Usage: ./ci.sh [jobs] [--quick]
+#   --quick   configure FLEXRIC_FUZZ_ITERS=1000 for a fast local smoke run;
+#             without it the fuzz battery keeps the CI default (100k).
 set -eu
 
-jobs=${1:-$(nproc 2>/dev/null || echo 4)}
+jobs=""
+fuzz_iters=100000
+for arg in "$@"; do
+  case "$arg" in
+    --quick) fuzz_iters=1000 ;;
+    *) jobs=$arg ;;
+  esac
+done
+[ -n "$jobs" ] || jobs=$(nproc 2>/dev/null || echo 4)
 root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 
 run_leg() {
@@ -21,7 +32,8 @@ run_leg() {
   build_dir=$2
   shift 2
   echo "==== [$leg_name] configure ===="
-  cmake -B "$build_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo "$@"
+  cmake -B "$build_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFLEXRIC_FUZZ_ITERS="$fuzz_iters" "$@"
   echo "==== [$leg_name] build ===="
   cmake --build "$build_dir" -j "$jobs"
   echo "==== [$leg_name] test ===="

@@ -31,7 +31,9 @@ double Histogram::max() const noexcept {
 double Histogram::quantile(double q) const {
   if (samples_.empty()) return 0.0;
   ensure_sorted();
-  if (q <= 0) return samples_.front();
+  // `!(q > 0)` also catches NaN, which would otherwise flow into the
+  // size_t cast below (undefined behaviour).
+  if (!(q > 0)) return samples_.front();
   if (q >= 1) return samples_.back();
   auto idx = static_cast<std::size_t>(q * static_cast<double>(samples_.size() - 1) + 0.5);
   return samples_[idx];

@@ -38,19 +38,26 @@ class RateMeter {
 /// Stores every sample; supports mean/min/max/quantiles and CDF export.
 /// Sample counts in the reproduced experiments are small enough (≤ a few
 /// million) that exact storage beats a sketch in simplicity and fidelity.
+///
+/// Empty-histogram semantics: mean/min/max/quantile return 0.0 and cdf
+/// returns an empty vector; no statistic ever reads missing samples.
 class Histogram {
  public:
   void record(double v) {
     samples_.push_back(v);
     sorted_ = false;
   }
+  /// Pre-allocate for `n` samples (benches record millions in a tight loop).
+  void reserve(std::size_t n) { samples_.reserve(n); }
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] double mean() const noexcept;
   [[nodiscard]] double min() const noexcept;
   [[nodiscard]] double max() const noexcept;
-  /// q in [0,1]; nearest-rank quantile. Returns 0 when empty.
+  /// q in [0,1] (clamped; NaN treated as 0); nearest-rank quantile.
+  /// Returns 0 when empty.
   [[nodiscard]] double quantile(double q) const;
   /// (value, cumulative fraction) pairs at `points` evenly spaced ranks.
+  /// Empty when no samples were recorded or points == 0.
   [[nodiscard]] std::vector<std::pair<double, double>> cdf(
       std::size_t points = 100) const;
   void clear() {

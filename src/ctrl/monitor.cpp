@@ -35,27 +35,46 @@ void MonitorIApp::subscribe_stats(server::AgentId agent, std::uint16_t fn_id) {
       // FlatBuffers mode: saving the raw message IS the in-memory data
       // structure; fields are read in place when queried.
       db.raw[fn_id].assign(ind.message.begin(), ind.message.end());
+      if (cfg_.telemetry != nullptr)
+        static_cast<void>(cfg_.telemetry->wire(agent, fn_id, ind.header,
+                                               ind.message, cfg_.sm_format));
       return;
+    }
+    // Agent-side collection timestamp for the telemetry store; decoded once
+    // per indication, only when a store is attached.
+    Nanos tstamp = 0;
+    if (cfg_.telemetry != nullptr) {
+      auto t = telemetry::Ingest::header_tstamp(ind.header, cfg_.sm_format);
+      if (t.is_ok()) tstamp = *t;
     }
     if (fn_id == e2sm::mac::Sm::kId) {
       auto msg = e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message,
                                                            cfg_.sm_format);
-      if (msg)
+      if (msg) {
         for (const auto& ue : msg->ues) db.mac[ue.rnti] = ue;
+        if (cfg_.telemetry != nullptr)
+          cfg_.telemetry->mac(agent, tstamp, *msg);
+      }
       if (cfg_.broker != nullptr)
         cfg_.broker->publish("stats/mac", ind.message);
     } else if (fn_id == e2sm::rlc::Sm::kId) {
       auto msg = e2sm::sm_decode<e2sm::rlc::IndicationMsg>(ind.message,
                                                            cfg_.sm_format);
-      if (msg)
+      if (msg) {
         for (const auto& b : msg->bearers) db.rlc[{b.rnti, b.drb_id}] = b;
+        if (cfg_.telemetry != nullptr)
+          cfg_.telemetry->rlc(agent, tstamp, *msg);
+      }
       if (cfg_.broker != nullptr)
         cfg_.broker->publish("stats/rlc", ind.message);
     } else if (fn_id == e2sm::pdcp::Sm::kId) {
       auto msg = e2sm::sm_decode<e2sm::pdcp::IndicationMsg>(ind.message,
                                                             cfg_.sm_format);
-      if (msg)
+      if (msg) {
         for (const auto& b : msg->bearers) db.pdcp[{b.rnti, b.drb_id}] = b;
+        if (cfg_.telemetry != nullptr)
+          cfg_.telemetry->pdcp(agent, tstamp, *msg);
+      }
       if (cfg_.broker != nullptr)
         cfg_.broker->publish("stats/pdcp", ind.message);
     }

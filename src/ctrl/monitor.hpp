@@ -12,6 +12,7 @@
 #include "e2sm/pdcp_sm.hpp"
 #include "e2sm/rlc_sm.hpp"
 #include "server/server.hpp"
+#include "telemetry/ingest.hpp"
 
 namespace flexric::ctrl {
 
@@ -30,6 +31,10 @@ class MonitorIApp final : public server::IApp {
     bool decode_payloads = true;
     bool retain_on_disconnect = false;  ///< keep DBs after agents leave
     Broker* broker = nullptr;  ///< optional: republish stats northbound
+    /// Optional: feed every indication into the telemetry time-series store.
+    /// Works in both modes — decoded indications reuse the iApp's decode;
+    /// zero-copy mode hands the raw bytes to Ingest::wire().
+    telemetry::Ingest* telemetry = nullptr;
   };
 
   explicit MonitorIApp(Config cfg) : cfg_(cfg) {}

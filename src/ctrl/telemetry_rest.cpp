@@ -1,0 +1,172 @@
+#include "ctrl/telemetry_rest.hpp"
+
+#include "ctrl/json.hpp"
+
+namespace flexric::ctrl {
+
+namespace {
+
+using telemetry::Metric;
+using telemetry::QuerySource;
+using telemetry::SeriesKey;
+
+void fail(HttpResponse& resp, int code, const std::string& msg) {
+  resp.code = code;
+  JsonObject o;
+  o["error"] = msg;
+  resp.body = Json(o).dump();
+}
+
+Json sample_array(const std::vector<telemetry::RawSample>& samples) {
+  JsonArray arr;
+  arr.reserve(samples.size());
+  for (const auto& s : samples) {
+    JsonArray pair;
+    pair.emplace_back(s.t);
+    pair.emplace_back(s.v);
+    arr.emplace_back(std::move(pair));
+  }
+  return arr;
+}
+
+const char* source_name(QuerySource s) {
+  switch (s) {
+    case QuerySource::automatic: return "auto";
+    case QuerySource::raw: return "raw";
+    case QuerySource::tier1: return "tier1";
+    case QuerySource::tier2: return "tier2";
+  }
+  return "auto";
+}
+
+bool parse_source(const std::string& name, QuerySource& out) {
+  if (name.empty() || name == "auto") out = QuerySource::automatic;
+  else if (name == "raw") out = QuerySource::raw;
+  else if (name == "tier1") out = QuerySource::tier1;
+  else if (name == "tier2") out = QuerySource::tier2;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+TelemetryRest::TelemetryRest(HttpServer& http,
+                             const telemetry::TelemetryStore& store)
+    : store_(store) {
+  http.route("GET", "/series", [this](const HttpRequest& req,
+                                      HttpResponse& resp) {
+    handle_series(req, resp);
+  });
+  http.route("POST", "/query", [this](const HttpRequest& req,
+                                      HttpResponse& resp) {
+    handle_query(req, resp);
+  });
+  http.route("GET", "/dump", [this](const HttpRequest& req,
+                                    HttpResponse& resp) {
+    handle_dump(req, resp);
+  });
+}
+
+void TelemetryRest::handle_series(const HttpRequest&,
+                                  HttpResponse& resp) const {
+  JsonArray arr;
+  for (const telemetry::SeriesInfo& info : store_.list_series()) {
+    JsonObject o;
+    o["agent"] = static_cast<std::uint64_t>(info.key.agent);
+    o["rnti"] =
+        static_cast<std::uint64_t>(telemetry::entity_rnti(info.key.entity));
+    o["drb"] =
+        static_cast<std::uint64_t>(telemetry::entity_drb(info.key.entity));
+    o["metric"] = telemetry::metric_name(info.key.metric);
+    o["total_samples"] = info.total_samples;
+    o["raw_count"] = static_cast<std::uint64_t>(info.raw_count);
+    o["tier1_count"] = static_cast<std::uint64_t>(info.tier1_count);
+    o["tier2_count"] = static_cast<std::uint64_t>(info.tier2_count);
+    o["oldest_raw_t"] = info.oldest_raw_t;
+    o["last_t"] = info.last_t;
+    arr.emplace_back(std::move(o));
+  }
+  JsonObject top;
+  top["num_series"] = static_cast<std::uint64_t>(store_.num_series());
+  top["memory_bytes"] = static_cast<std::uint64_t>(store_.memory_bytes());
+  top["budget_bytes"] = static_cast<std::uint64_t>(store_.memory_budget());
+  top["evictions"] = store_.evictions();
+  top["series"] = std::move(arr);
+  resp.body = Json(top).dump();
+}
+
+void TelemetryRest::handle_query(const HttpRequest& req,
+                                 HttpResponse& resp) const {
+  auto parsed = Json::parse(req.body);
+  if (!parsed.is_ok()) {
+    fail(resp, 400, "bad json: " + parsed.error().to_string());
+    return;
+  }
+  const Json& q = *parsed;
+  auto metric = telemetry::metric_from_name(q["metric"].as_string());
+  if (!metric.is_ok()) {
+    fail(resp, 400, "unknown metric");
+    return;
+  }
+  SeriesKey key;
+  key.agent = static_cast<telemetry::AgentId>(q["agent"].as_number());
+  key.entity = telemetry::make_entity(
+      static_cast<std::uint16_t>(q["rnti"].as_number()),
+      static_cast<std::uint8_t>(q["drb"].as_number()));
+  key.metric = *metric;
+  auto t0 = static_cast<Nanos>(q["t0_ns"].as_number());
+  auto t1 = static_cast<Nanos>(q["t1_ns"].as_number());
+
+  std::string kind = q["kind"].as_string("aggregate");
+  JsonObject out;
+  if (kind == "raw") {
+    auto samples = store_.raw_range(key, t0, t1);
+    if (!samples.is_ok()) {
+      fail(resp, 404, samples.error().to_string());
+      return;
+    }
+    out["samples"] = sample_array(*samples);
+  } else if (kind == "latest") {
+    auto n = static_cast<std::size_t>(q["n"].as_number(16));
+    auto samples = store_.latest(key, n);
+    if (!samples.is_ok()) {
+      fail(resp, 404, samples.error().to_string());
+      return;
+    }
+    out["samples"] = sample_array(*samples);
+  } else if (kind == "aggregate") {
+    QuerySource source = QuerySource::automatic;
+    if (!parse_source(q["source"].as_string(), source)) {
+      fail(resp, 400, "unknown source");
+      return;
+    }
+    auto agg = store_.window_aggregate(key, t0, t1, source);
+    if (!agg.is_ok()) {
+      fail(resp, 404, agg.error().to_string());
+      return;
+    }
+    out["source"] = source_name(agg->source);
+    out["count"] = agg->count;
+    out["sum"] = agg->sum;
+    out["min"] = agg->count == 0 ? 0.0 : agg->min;
+    out["max"] = agg->count == 0 ? 0.0 : agg->max;
+    out["mean"] = agg->mean;
+    out["p50"] = agg->p50;
+    out["p95"] = agg->p95;
+    out["p99"] = agg->p99;
+  } else {
+    fail(resp, 400, "unknown kind");
+    return;
+  }
+  out["t0_ns"] = t0;
+  out["t1_ns"] = t1;
+  out["metric"] = telemetry::metric_name(key.metric);
+  resp.body = Json(out).dump();
+}
+
+void TelemetryRest::handle_dump(const HttpRequest&,
+                                HttpResponse& resp) const {
+  resp.body = store_.dump_json();
+}
+
+}  // namespace flexric::ctrl

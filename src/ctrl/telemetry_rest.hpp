@@ -1,0 +1,31 @@
+// Northbound export of the telemetry time-series store over the controller's
+// REST interface (the same northbound style as the slicing controller,
+// Table 4): series discovery, windowed queries, and a flight-recorder dump.
+//
+// Routes (all JSON):
+//   GET  /series  list every stored series with retention info
+//   POST /query   {"agent","rnti","drb","metric","t0_ns","t1_ns",
+//                  "kind": "aggregate"|"raw"|"latest", "source": "auto"|
+//                  "raw"|"tier1"|"tier2", "n"}  -> samples or aggregate
+//   GET  /dump    bounded flight-recorder snapshot of the whole store
+#pragma once
+
+#include "ctrl/rest.hpp"
+#include "telemetry/store.hpp"
+
+namespace flexric::ctrl {
+
+class TelemetryRest {
+ public:
+  /// Registers the routes on `http`. `store` must outlive the server.
+  TelemetryRest(HttpServer& http, const telemetry::TelemetryStore& store);
+
+ private:
+  void handle_series(const HttpRequest& req, HttpResponse& resp) const;
+  void handle_query(const HttpRequest& req, HttpResponse& resp) const;
+  void handle_dump(const HttpRequest& req, HttpResponse& resp) const;
+
+  const telemetry::TelemetryStore& store_;
+};
+
+}  // namespace flexric::ctrl

@@ -286,6 +286,85 @@ TEST(AgentServer, MonolithicNodeIsImmediatelyComplete) {
   ASSERT_TRUE(pump_until(w.reactor, [&] { return watcher->formed == 1; }));
 }
 
+// ---------------------------------------------------------------------------
+// RanDb churn: agents leaving and re-joining (disaggregated deployments
+// restart CU/DU independently; the DB must track completeness both ways)
+// ---------------------------------------------------------------------------
+
+server::AgentInfo db_agent(server::AgentId id, std::uint32_t plmn,
+                           std::uint32_t nb_id, e2ap::NodeType type) {
+  server::AgentInfo info;
+  info.id = id;
+  info.node.plmn = plmn;
+  info.node.nb_id = nb_id;
+  info.node.type = type;
+  info.connected = true;
+  return info;
+}
+
+TEST(RanDb, CuDuRemoveAndReaddTransitionsCompleteness) {
+  server::RanDb db;
+  EXPECT_FALSE(db.add_agent(db_agent(1, 1, 55, e2ap::NodeType::cu)));
+  EXPECT_TRUE(db.add_agent(db_agent(2, 1, 55, e2ap::NodeType::du)));
+
+  // DU restart: entity survives but is no longer complete...
+  db.remove_agent(2);
+  const auto* e = db.entity(1, 55);
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->complete());
+  EXPECT_FALSE(e->du.has_value());
+  EXPECT_EQ(db.num_agents(), 1u);
+
+  // ...and the DU re-joining (new agent id) completes it again.
+  EXPECT_TRUE(db.add_agent(db_agent(3, 1, 55, e2ap::NodeType::du)));
+  e = db.entity(1, 55);
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->complete());
+  EXPECT_EQ(e->du, std::optional<server::AgentId>{3});
+
+  // Removing every part erases the entity entirely.
+  db.remove_agent(1);
+  db.remove_agent(3);
+  EXPECT_EQ(db.entity(1, 55), nullptr);
+  EXPECT_EQ(db.num_agents(), 0u);
+  EXPECT_TRUE(db.entities().empty());
+}
+
+TEST(RanDb, MonolithicRemoveAndReadd) {
+  server::RanDb db;
+  EXPECT_TRUE(db.add_agent(db_agent(7, 1, 9, e2ap::NodeType::gnb)));
+  db.remove_agent(7);
+  EXPECT_EQ(db.entity(1, 9), nullptr);
+  EXPECT_EQ(db.agent(7), nullptr);
+  // Re-add fires the completeness transition again.
+  EXPECT_TRUE(db.add_agent(db_agent(7, 1, 9, e2ap::NodeType::gnb)));
+  ASSERT_NE(db.entity(1, 9), nullptr);
+  EXPECT_TRUE(db.entity(1, 9)->complete());
+}
+
+TEST(RanDb, AgentIdReuseAfterDisconnectBindsToNewNode) {
+  server::RanDb db;
+  ASSERT_FALSE(db.add_agent(db_agent(7, 1, 5, e2ap::NodeType::cu)));
+  db.remove_agent(7);
+  // The transport layer may hand a later, different agent the same id.
+  ASSERT_FALSE(db.add_agent(db_agent(7, 2, 9, e2ap::NodeType::du)));
+  EXPECT_EQ(db.entity(1, 5), nullptr);  // old entity fully cleaned up
+  const auto* e = db.entity(2, 9);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->du, std::optional<server::AgentId>{7});
+  ASSERT_NE(db.agent(7), nullptr);
+  EXPECT_EQ(db.agent(7)->node.plmn, 2u);
+  EXPECT_EQ(db.agent(7)->node.type, e2ap::NodeType::du);
+}
+
+TEST(RanDb, RemoveUnknownAgentIsNoOp) {
+  server::RanDb db;
+  ASSERT_TRUE(db.add_agent(db_agent(1, 1, 1, e2ap::NodeType::enb)));
+  db.remove_agent(99);
+  EXPECT_EQ(db.num_agents(), 1u);
+  ASSERT_NE(db.entity(1, 1), nullptr);
+}
+
 TEST(AgentServer, AgentsWithFunctionQuery) {
   World w;
   auto a1 = w.make_agent({1, 1, e2ap::NodeType::gnb},

@@ -1,6 +1,8 @@
 // Unit tests for src/common: buffers, bit I/O, results, metrics, RNG.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/bit_io.hpp"
 #include "common/buffer.hpp"
 #include "common/clock.hpp"
@@ -329,8 +331,51 @@ TEST(Histogram, EmptyIsZero) {
   Histogram h;
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.0), 0.0);
   EXPECT_EQ(h.quantile(0.9), 0.0);
+  EXPECT_EQ(h.quantile(1.0), 0.0);
+  EXPECT_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 0.0);
   EXPECT_TRUE(h.cdf().empty());
+  EXPECT_TRUE(h.cdf(0).empty());
+}
+
+TEST(Histogram, EmptyAfterClearIsZero) {
+  Histogram h;
+  h.record(7.0);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, QuantileClampsAndRejectsNan) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 3.0);
+  // NaN must not flow into the index computation; treated as q = 0.
+  EXPECT_DOUBLE_EQ(h.quantile(std::numeric_limits<double>::quiet_NaN()), 1.0);
+}
+
+TEST(Histogram, ReservePreallocatesWithoutRecording) {
+  Histogram h;
+  h.reserve(1000);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_GE(h.samples().capacity(), 1000u);
+  h.record(2.5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.5);
+}
+
+TEST(Histogram, CdfWithZeroPointsIsEmptyEvenWithSamples) {
+  Histogram h;
+  h.record(1.0);
+  EXPECT_TRUE(h.cdf(0).empty());
 }
 
 TEST(Histogram, CdfIsMonotone) {
