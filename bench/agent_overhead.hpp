@@ -55,7 +55,7 @@ inline OverheadResult run_agent_scenario(AgentKind kind,
       }
     } else {
       ric = std::make_unique<server::E2Server>(
-          reactor, server::E2Server::Config{21, WireFormat::flat});
+          reactor, server::E2Server::Config{21, WireFormat::flat, {}});
       monitor = std::make_shared<ctrl::MonitorIApp>(
           ctrl::MonitorIApp::Config{WireFormat::flat, 1});
       ric->add_iapp(monitor);

@@ -83,7 +83,7 @@ Series run_dedicated() {
   agent::E2Agent agent_b(reactor, {{kPlmnB, 2, e2ap::NodeType::enb}, kFmt});
   ran::BsFunctionBundle fns_a(bs_a, agent_a, kFmt);
   ran::BsFunctionBundle fns_b(bs_b, agent_b, kFmt);
-  server::E2Server ctrl_a(reactor, {101, kFmt}), ctrl_b(reactor, {102, kFmt});
+  server::E2Server ctrl_a(reactor, {101, kFmt, {}}), ctrl_b(reactor, {102, kFmt, {}});
   auto slicing_a =
       std::make_shared<ctrl::SlicingIApp>(ctrl::SlicingIApp::Config{kFmt, 100});
   auto slicing_b =
@@ -157,7 +157,7 @@ Series run_shared() {
   agent.add_controller(a_side);
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
-  server::E2Server ctrl_a(reactor, {101, kFmt}), ctrl_b(reactor, {102, kFmt});
+  server::E2Server ctrl_a(reactor, {101, kFmt, {}}), ctrl_b(reactor, {102, kFmt, {}});
   auto slicing_a =
       std::make_shared<ctrl::SlicingIApp>(ctrl::SlicingIApp::Config{kFmt, 100});
   auto slicing_b =

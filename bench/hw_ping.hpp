@@ -20,7 +20,7 @@ class HwPingRig {
  public:
   HwPingRig(WireFormat e2ap_fmt, WireFormat sm_fmt)
       : sm_fmt_(sm_fmt),
-        server_(reactor_, {21, e2ap_fmt}),
+        server_(reactor_, {21, e2ap_fmt, {}}),
         agent_(reactor_, {{1, 10, e2ap::NodeType::gnb}, e2ap_fmt}) {
     agent_.register_function(std::make_shared<ran::HwFunction>(sm_fmt));
     FLEXRIC_ASSERT(server_.listen(0).is_ok(), "bench: listen failed");

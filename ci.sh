@@ -1,5 +1,5 @@
 #!/usr/bin/env sh
-# CI entry point: the tier-1 matrix, twice.
+# CI entry point: the tier-1 matrix, twice — plus an opt-in chaos soak.
 #
 #   1. plain        RelWithDebInfo, the configuration ROADMAP.md documents
 #   2. asan-ubsan   FLEXRIC_SANITIZE=address;undefined with
@@ -11,21 +11,32 @@
 # drivers (fuzz/), the telemetry store suite (test_telemetry — built into
 # both legs via flexric_telemetry), and the repo lint gate (tools/lint.py).
 #
-# Usage: ./ci.sh [jobs] [--quick]
+# Usage: ./ci.sh [jobs] [--quick] [--chaos]
 #   --quick   configure FLEXRIC_FUZZ_ITERS=1000 for a fast local smoke run;
 #             without it the fuzz battery keeps the CI default (100k).
+#   --chaos   add a resilience soak after the matrix: test_resilience over a
+#             wide seeded fault schedule (FLEXRIC_CHAOS_SEEDS), on the plain
+#             build AND under TSan — the reconnect/heartbeat/replay machinery
+#             is all timer-driven callbacks, exactly where a latent data race
+#             would hide. A failure prints the seed that reproduces it.
 set -eu
 
 jobs=""
 fuzz_iters=100000
+chaos=0
 for arg in "$@"; do
   case "$arg" in
     --quick) fuzz_iters=1000 ;;
+    --chaos) chaos=1 ;;
     *) jobs=$arg ;;
   esac
 done
 [ -n "$jobs" ] || jobs=$(nproc 2>/dev/null || echo 4)
 root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+# 64 seeds for the soak (the in-tree default is 12); override by exporting
+# FLEXRIC_CHAOS_SEEDS yourself before invoking ci.sh --chaos.
+default_chaos_seeds=$(seq -s, 1 64)
 
 run_leg() {
   leg_name=$1
@@ -40,9 +51,25 @@ run_leg() {
   (cd "$build_dir" && ctest --output-on-failure -j "$jobs")
 }
 
+run_chaos_leg() {
+  leg_name=$1
+  build_dir=$2
+  echo "==== [$leg_name] chaos soak (FLEXRIC_CHAOS_SEEDS=${FLEXRIC_CHAOS_SEEDS:-$default_chaos_seeds}) ===="
+  FLEXRIC_CHAOS_SEEDS="${FLEXRIC_CHAOS_SEEDS:-$default_chaos_seeds}" \
+    "$build_dir/tests/test_resilience" --gtest_brief=1
+}
+
 run_leg plain "$root/build" \
   -DFLEXRIC_SANITIZE=""
 run_leg asan-ubsan "$root/build-asan" \
   -DFLEXRIC_SANITIZE="address;undefined"
 
-echo "==== ci.sh: both legs passed ===="
+if [ "$chaos" -eq 1 ]; then
+  run_chaos_leg plain-chaos "$root/build"
+  run_leg tsan "$root/build-tsan" \
+    -DFLEXRIC_SANITIZE="thread"
+  run_chaos_leg tsan-chaos "$root/build-tsan"
+  echo "==== ci.sh: matrix + chaos soak passed ===="
+else
+  echo "==== ci.sh: both legs passed ===="
+fi

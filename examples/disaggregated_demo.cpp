@@ -51,7 +51,7 @@ int main() {
   du.register_function(assoc_fn);
 
   // --- Infrastructure controller: primary controller of BOTH agents -------
-  server::E2Server infra(reactor, {1, kFmt});
+  server::E2Server infra(reactor, {1, kFmt, {}});
   struct InfraApp final : server::IApp {
     const char* name() const override { return "infra"; }
     void on_ran_formed(const server::RanEntity& e) override {
@@ -81,7 +81,7 @@ int main() {
   }
 
   // --- Specialized controller: attached to the DU only (index 1) ----------
-  server::E2Server specialized(reactor, {2, kFmt});
+  server::E2Server specialized(reactor, {2, kFmt, {}});
   auto [sp_a, sp_s] = LocalTransport::make_pair(reactor);
   specialized.attach(sp_s);
   du.add_controller(sp_a);

@@ -21,7 +21,13 @@ int main() {
   constexpr WireFormat kFmt = WireFormat::flat;
 
   // --- Controller side: server library + statistics iApp ------------------
-  server::E2Server ric(reactor, {/*ric_id=*/21, kFmt});
+  // Opt into connection resilience (DESIGN.md §9): a dropped agent is
+  // quarantined, retained, and its subscriptions replayed transparently if
+  // it returns within the expiry window.
+  ResilienceConfig server_rc;
+  server_rc.quarantine_after = 5 * kSecond;
+  server_rc.expire_after = 30 * kSecond;
+  server::E2Server ric(reactor, {/*ric_id=*/21, kFmt, server_rc});
   auto monitor = std::make_shared<ctrl::MonitorIApp>(
       ctrl::MonitorIApp::Config{kFmt, /*period_ms=*/1});
   ric.add_iapp(monitor);
@@ -42,13 +48,19 @@ int main() {
                         kFmt});
   ran::BsFunctionBundle functions(bs, agent, kFmt);
 
-  auto conn = TcpTransport::connect(reactor, "127.0.0.1", ric.port());
-  if (!conn) {
+  // Resilient attach: the agent dials through this factory and re-dials it
+  // with backoff if the link ever drops, replaying E2 Setup on success.
+  std::uint16_t ric_port = ric.port();
+  auto dial = [&reactor, ric_port]() -> Result<std::shared_ptr<MsgTransport>> {
+    auto conn = TcpTransport::connect(reactor, "127.0.0.1", ric_port);
+    if (!conn) return conn.error();
+    return std::shared_ptr<MsgTransport>(std::move(*conn));
+  };
+  if (auto cid = agent.add_controller(dial, ResilienceConfig{}); !cid) {
     std::fprintf(stderr, "connect failed: %s\n",
-                 conn.error().to_string().c_str());
+                 cid.error().to_string().c_str());
     return 1;
   }
-  agent.add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
 
   // Three UEs with fixed MCS 20 (the paper's NR setup).
   for (std::uint16_t rnti : {100, 101, 102})

@@ -45,8 +45,8 @@ int main() {
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
 
   // Tenant controllers (the §6.1.2 slicing controller, reused unmodified).
-  server::E2Server tenant_a(reactor, {101, kFmt});
-  server::E2Server tenant_b(reactor, {102, kFmt});
+  server::E2Server tenant_a(reactor, {101, kFmt, {}});
+  server::E2Server tenant_b(reactor, {102, kFmt, {}});
   auto slicing_a =
       std::make_shared<ctrl::SlicingIApp>(ctrl::SlicingIApp::Config{kFmt, 100});
   auto slicing_b =

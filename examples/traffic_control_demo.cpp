@@ -59,7 +59,7 @@ Scenario run_scenario(bool with_xapp) {
   agent::E2Agent agent(reactor, {{20899, 1, e2ap::NodeType::enb}, kFmt});
   ran::BsFunctionBundle functions(bs, agent, kFmt);
 
-  server::E2Server ric(reactor, {21, kFmt});
+  server::E2Server ric(reactor, {21, kFmt, {}});
   ctrl::Broker broker(reactor);
   ctrl::MonitorIApp::Config mon_cfg{kFmt, /*period_ms=*/10};
   mon_cfg.broker = &broker;

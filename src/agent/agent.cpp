@@ -6,15 +6,28 @@
 
 namespace flexric::agent {
 
+const char* conn_state_name(ConnState s) noexcept {
+  switch (s) {
+    case ConnState::setup_sent: return "setup_sent";
+    case ConnState::established: return "established";
+    case ConnState::failed: return "failed";
+    case ConnState::closed: return "closed";
+    case ConnState::reconnecting: return "reconnecting";
+  }
+  return "?";
+}
+
 E2Agent::E2Agent(Reactor& reactor, Config cfg)
     : reactor_(reactor), cfg_(cfg), codec_(e2ap::codec_for(cfg.e2ap_format)) {}
 
 E2Agent::~E2Agent() {
-  for (auto& [id, conn] : conns_)
+  for (auto& [id, conn] : conns_) {
+    cancel_conn_timers(conn);
     if (conn.transport) {
       conn.transport->set_on_message(nullptr);
       conn.transport->set_on_close(nullptr);
     }
+  }
 }
 
 Status E2Agent::register_function(std::shared_ptr<RanFunction> fn) {
@@ -66,28 +79,195 @@ RanFunction* E2Agent::find_function(std::uint16_t ran_function_id) {
 Result<ControllerId> E2Agent::add_controller(
     std::shared_ptr<MsgTransport> transport) {
   ControllerId id = next_conn_id_++;
-  transport->set_on_message(
+  Conn& conn = conns_[id];
+  conn.transport = std::move(transport);
+  if (Status st = wire_transport(id); !st.is_ok()) {
+    conns_.erase(id);
+    return Error{st.code(), st.error().message};
+  }
+  return id;
+}
+
+Result<ControllerId> E2Agent::add_controller(TransportFactory factory,
+                                             ResilienceConfig rc) {
+  if (!factory)
+    return Error{Errc::malformed, "null transport factory"};
+  ControllerId id = next_conn_id_++;
+  Conn& conn = conns_[id];
+  conn.factory = std::move(factory);
+  conn.rc = rc;
+  // Decorrelate jitter across connections sharing one config.
+  conn.rng.reseed(rc.seed + 0x9E3779B97F4A7C15ull * (id + 1));
+
+  auto t = conn.factory();
+  if (t.is_ok()) {
+    conn.transport = std::move(*t);
+    if (wire_transport(id).is_ok()) return id;
+    // Transport dead at birth: fall through to the retry path.
+  } else {
+    stats_.reconnect_failures++;
+  }
+  conn.transport.reset();
+  conn.attempts = 1;
+  if (!conn.rc.reconnect ||
+      (conn.rc.max_attempts != 0 && conn.attempts >= conn.rc.max_attempts)) {
+    conns_.erase(id);
+    return Error{Errc::io, "initial dial failed and reconnect disabled"};
+  }
+  set_state(id, conn, ConnState::reconnecting);
+  schedule_reconnect(id);
+  return id;
+}
+
+Status E2Agent::wire_transport(ControllerId id) {
+  Conn& conn = conns_[id];
+  conn.transport->set_on_message(
       [this, id](StreamId, BytesView wire) { on_message(id, wire); });
-  transport->set_on_close([this, id]() {
-    auto it = conns_.find(id);
-    if (it == conns_.end()) return;
-    it->second.state = ConnState::closed;
-    for (auto& f : functions_) f->on_controller_detached(id);
-  });
-  conns_[id] = Conn{std::move(transport), ConnState::setup_sent};
+  conn.transport->set_on_close([this, id]() { on_transport_lost(id); });
+  conn.hb_outstanding = false;
+  conn.hb_missed = 0;
+
+  if (conn.ever_established) stats_.setup_replays++;
+  set_state(id, conn, ConnState::setup_sent);
 
   e2ap::SetupRequest req;
   req.trans_id = next_trans_id_++;
   req.node = cfg_.node_id;
   for (const auto& f : functions_) req.ran_functions.push_back(f->descriptor());
-  if (Status st = send(id, e2ap::Msg{std::move(req)}); !st.is_ok())
-    return Error{st.code(), st.error().message};
-  return id;
+  FLEXRIC_TRY(send(id, e2ap::Msg{std::move(req)}));
+
+  if (conn.factory && conn.rc.setup_timeout > 0) {
+    conn.setup_timer = reactor_.add_timer(
+        conn.rc.setup_timeout,
+        [this, id] {
+          auto it = conns_.find(id);
+          if (it == conns_.end()) return;
+          Conn& c = it->second;
+          c.setup_timer = 0;
+          if (c.state != ConnState::setup_sent) return;
+          LOG_WARN("agent", "controller %u: no E2 Setup response in time", id);
+          // Close the half-open link; on_close drives the reconnect.
+          auto t = c.transport;
+          if (t)
+            t->close();
+          else
+            on_transport_lost(id);
+        },
+        /*periodic=*/false);
+  }
+  return Status::ok();
+}
+
+void E2Agent::on_transport_lost(ControllerId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  cancel_conn_timers(conn);
+  for (auto& f : functions_) f->on_controller_detached(id);
+  // Note: conn.transport is kept alive until replaced — this handler runs
+  // from inside the transport's own close path.
+  if (conn.factory && conn.rc.reconnect &&
+      (conn.rc.max_attempts == 0 || conn.attempts < conn.rc.max_attempts)) {
+    set_state(id, conn, ConnState::reconnecting);
+    schedule_reconnect(id);
+  } else {
+    set_state(id, conn, ConnState::closed);
+  }
+}
+
+void E2Agent::schedule_reconnect(ControllerId id) {
+  Conn& conn = conns_[id];
+  Nanos delay = next_backoff(conn.rc, conn.backoff_prev, conn.rng);
+  conn.backoff_prev = delay;
+  LOG_DEBUG("agent", "controller %u: retrying in %lld ms", id,
+            static_cast<long long>(delay / kMilli));
+  conn.retry_timer = reactor_.add_timer(
+      delay, [this, id] { try_reconnect(id); }, /*periodic=*/false);
+}
+
+void E2Agent::try_reconnect(ControllerId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  conn.retry_timer = 0;
+  if (conn.state != ConnState::reconnecting) return;
+  auto t = conn.factory();
+  bool wired = false;
+  if (t.is_ok()) {
+    conn.transport = std::move(*t);
+    stats_.reconnects++;
+    wired = wire_transport(id).is_ok();
+  }
+  if (wired) return;
+  stats_.reconnect_failures += t.is_ok() ? 0 : 1;
+  conn.attempts++;
+  if (conn.rc.max_attempts != 0 && conn.attempts >= conn.rc.max_attempts) {
+    LOG_WARN("agent", "controller %u: giving up after %u attempts", id,
+             conn.attempts);
+    set_state(id, conn, ConnState::failed);
+    return;
+  }
+  set_state(id, conn, ConnState::reconnecting);
+  schedule_reconnect(id);
+}
+
+void E2Agent::start_heartbeat(ControllerId id) {
+  Conn& conn = conns_[id];
+  if (!conn.factory || conn.rc.heartbeat_period <= 0) return;
+  if (conn.hb_timer != 0) reactor_.cancel_timer(conn.hb_timer);
+  conn.hb_outstanding = false;
+  conn.hb_missed = 0;
+  conn.hb_timer = reactor_.add_timer(
+      conn.rc.heartbeat_period, [this, id] { heartbeat_tick(id); },
+      /*periodic=*/true);
+}
+
+void E2Agent::heartbeat_tick(ControllerId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.state != ConnState::established) return;
+  if (conn.hb_outstanding) {
+    conn.hb_missed++;
+    stats_.heartbeat_misses++;
+    if (conn.hb_missed >= conn.rc.heartbeat_miss_threshold) {
+      LOG_WARN("agent", "controller %u: %u heartbeats unanswered, reconnecting",
+               id, conn.hb_missed);
+      auto t = conn.transport;  // keep alive across the close callback
+      if (t)
+        t->close();
+      else
+        on_transport_lost(id);
+      return;
+    }
+  }
+  // Liveness probe: an empty RICserviceUpdate — protocol-conformant, acked
+  // by the server without touching RanDb or iApps.
+  e2ap::ServiceUpdate hb;
+  hb.trans_id = next_trans_id_++;
+  conn.hb_outstanding = true;
+  stats_.heartbeats_tx++;
+  send(id, e2ap::Msg{hb});
+}
+
+void E2Agent::cancel_conn_timers(Conn& conn) {
+  if (conn.retry_timer != 0) reactor_.cancel_timer(conn.retry_timer);
+  if (conn.hb_timer != 0) reactor_.cancel_timer(conn.hb_timer);
+  if (conn.setup_timer != 0) reactor_.cancel_timer(conn.setup_timer);
+  conn.retry_timer = conn.hb_timer = conn.setup_timer = 0;
+  conn.hb_outstanding = false;
+}
+
+void E2Agent::set_state(ControllerId id, Conn& conn, ConnState s) {
+  if (conn.state == s) return;
+  conn.state = s;
+  if (on_conn_event_) on_conn_event_(id, s);
 }
 
 void E2Agent::remove_controller(ControllerId id) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+  cancel_conn_timers(it->second);
   for (auto& f : functions_) f->on_controller_detached(id);
   if (it->second.transport) {
     it->second.transport->set_on_close(nullptr);
@@ -152,6 +332,8 @@ Status E2Agent::send(ControllerId id, const e2ap::Msg& m) {
 void E2Agent::on_message(ControllerId id, BytesView wire) {
   stats_.msgs_rx++;
   stats_.bytes_rx += wire.size();
+  if (auto cit = conns_.find(id); cit != conns_.end())
+    cit->second.hb_missed = 0;  // any traffic proves the link is alive
   auto msg = codec_.decode(wire);
   if (!msg) {
     LOG_WARN("agent", "undecodable E2AP message from controller %u: %s", id,
@@ -170,7 +352,8 @@ void E2Agent::on_message(ControllerId id, BytesView wire) {
                       std::is_same_v<T, e2ap::SubscriptionRequest> ||
                       std::is_same_v<T, e2ap::SubscriptionDeleteRequest> ||
                       std::is_same_v<T, e2ap::ControlRequest> ||
-                      std::is_same_v<T, e2ap::ResetRequest>) {
+                      std::is_same_v<T, e2ap::ResetRequest> ||
+                      std::is_same_v<T, e2ap::ServiceUpdateAck>) {
           handle(id, m);
         } else {
           LOG_DEBUG("agent", "ignoring %s at agent",
@@ -182,14 +365,35 @@ void E2Agent::on_message(ControllerId id, BytesView wire) {
 
 void E2Agent::handle(ControllerId id, const e2ap::SetupResponse&) {
   auto it = conns_.find(id);
-  if (it != conns_.end()) it->second.state = ConnState::established;
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  if (conn.setup_timer != 0) {
+    reactor_.cancel_timer(conn.setup_timer);
+    conn.setup_timer = 0;
+  }
+  conn.attempts = 0;
+  conn.backoff_prev = 0;
+  conn.ever_established = true;
+  set_state(id, conn, ConnState::established);
+  start_heartbeat(id);
 }
 
 void E2Agent::handle(ControllerId id, const e2ap::SetupFailure& m) {
   LOG_WARN("agent", "E2 setup failed at controller %u (cause %u/%u)", id,
            static_cast<unsigned>(m.cause.group), m.cause.value);
   auto it = conns_.find(id);
-  if (it != conns_.end()) it->second.state = ConnState::failed;
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  // An explicit rejection is not a link fault: retrying would loop forever.
+  cancel_conn_timers(conn);
+  set_state(id, conn, ConnState::failed);
+}
+
+void E2Agent::handle(ControllerId id, const e2ap::ServiceUpdateAck&) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  it->second.hb_outstanding = false;
+  it->second.hb_missed = 0;
 }
 
 void E2Agent::handle(ControllerId id, const e2ap::SubscriptionRequest& m) {

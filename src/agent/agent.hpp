@@ -16,13 +16,25 @@
 
 #include "agent/ran_function.hpp"
 #include "codec/wire.hpp"
+#include "common/rng.hpp"
 #include "e2ap/codec.hpp"
+#include "transport/resilience.hpp"
 #include "transport/transport.hpp"
 
 namespace flexric::agent {
 
-/// Per-connection E2 setup state.
-enum class ConnState { setup_sent, established, failed, closed };
+/// Per-connection E2 setup state. `reconnecting` is entered when a resilient
+/// connection (one added with a TransportFactory) loses its transport: the
+/// agent re-dials with exponential backoff + decorrelated jitter and replays
+/// the E2 Setup handshake on success.
+enum class ConnState { setup_sent, established, failed, closed, reconnecting };
+
+const char* conn_state_name(ConnState s) noexcept;
+
+/// Produces a fresh transport towards one controller. Called on the reactor
+/// thread for the initial dial and for every reconnect attempt.
+using TransportFactory =
+    std::function<Result<std::shared_ptr<MsgTransport>>()>;
 
 class E2Agent final : public AgentServices {
  public:
@@ -48,15 +60,30 @@ class E2Agent final : public AgentServices {
   Status remove_function_live(std::uint16_t ran_function_id);
 
   /// Connect to an additional controller over `transport`; sends
-  /// E2SetupRequest immediately. Controller 0 is the primary one.
+  /// E2SetupRequest immediately. Controller 0 is the primary one. No
+  /// reconnect: when the transport dies the connection is `closed` for good.
   Result<ControllerId> add_controller(std::shared_ptr<MsgTransport> transport);
-  /// Tear down one controller connection.
+
+  /// Resilient variant: the agent owns the dial. The factory is invoked now
+  /// and after every connection loss (backoff per `rc`); the E2 Setup
+  /// handshake is replayed on each new transport, and a heartbeat (empty
+  /// RICserviceUpdate on stream 0) detects half-open links. If the initial
+  /// dial fails the connection starts in `reconnecting` and keeps trying.
+  Result<ControllerId> add_controller(TransportFactory factory,
+                                      ResilienceConfig rc = {});
+
+  /// Tear down one controller connection (cancels any reconnect/heartbeat).
   void remove_controller(ControllerId id);
 
   [[nodiscard]] ConnState state(ControllerId id) const;
   [[nodiscard]] std::size_t num_controllers() const noexcept {
     return conns_.size();
   }
+
+  /// Observe connection state transitions (established, reconnecting, ...).
+  /// Runs on the reactor thread.
+  using ConnEventHandler = std::function<void(ControllerId, ConnState)>;
+  void set_on_conn_event(ConnEventHandler h) { on_conn_event_ = std::move(h); }
 
   // -- UE-to-controller association (§4.1.2) --
   /// Expose `rnti` to controller `id`. No-op for the primary controller,
@@ -84,6 +111,11 @@ class E2Agent final : public AgentServices {
     std::uint64_t msgs_tx = 0;
     std::uint64_t bytes_rx = 0;
     std::uint64_t bytes_tx = 0;
+    std::uint64_t reconnects = 0;       ///< successful re-dials
+    std::uint64_t reconnect_failures = 0;  ///< factory attempts that failed
+    std::uint64_t heartbeats_tx = 0;
+    std::uint64_t heartbeat_misses = 0;
+    std::uint64_t setup_replays = 0;    ///< E2 Setup resent after reconnect
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -91,6 +123,18 @@ class E2Agent final : public AgentServices {
   struct Conn {
     std::shared_ptr<MsgTransport> transport;
     ConnState state = ConnState::setup_sent;
+    // -- resilience (unused for bare-transport connections) --
+    TransportFactory factory;
+    ResilienceConfig rc;
+    Rng rng{1};
+    Nanos backoff_prev = 0;          ///< last retry delay (jitter input)
+    std::uint32_t attempts = 0;      ///< consecutive failed dial attempts
+    Reactor::TimerId retry_timer = 0;
+    Reactor::TimerId hb_timer = 0;
+    Reactor::TimerId setup_timer = 0;
+    bool hb_outstanding = false;     ///< probe sent, ack not yet seen
+    std::uint32_t hb_missed = 0;
+    bool ever_established = false;   ///< distinguishes replay from first setup
   };
 
   void on_message(ControllerId id, BytesView wire);
@@ -100,8 +144,22 @@ class E2Agent final : public AgentServices {
   void handle(ControllerId id, const e2ap::SubscriptionDeleteRequest& m);
   void handle(ControllerId id, const e2ap::ControlRequest& m);
   void handle(ControllerId id, const e2ap::ResetRequest& m);
+  void handle(ControllerId id, const e2ap::ServiceUpdateAck& m);
   Status send(ControllerId id, const e2ap::Msg& m);
   RanFunction* find_function(std::uint16_t ran_function_id);
+
+  // -- resilience machinery (all on the reactor thread) --
+  /// Bind handlers to conn.transport and send the E2 Setup request.
+  Status wire_transport(ControllerId id);
+  /// Transport died: detach functions and either schedule a reconnect or go
+  /// to `closed`.
+  void on_transport_lost(ControllerId id);
+  void schedule_reconnect(ControllerId id);
+  void try_reconnect(ControllerId id);
+  void start_heartbeat(ControllerId id);
+  void heartbeat_tick(ControllerId id);
+  void cancel_conn_timers(Conn& conn);
+  void set_state(ControllerId id, Conn& conn, ConnState s);
 
   Reactor& reactor_;
   Config cfg_;
@@ -111,6 +169,7 @@ class E2Agent final : public AgentServices {
   std::vector<std::shared_ptr<RanFunction>> functions_;
   std::map<std::uint16_t, std::set<ControllerId>> ue_assoc_;
   std::uint8_t next_trans_id_ = 0;
+  ConnEventHandler on_conn_event_;
   Stats stats_;
 };
 

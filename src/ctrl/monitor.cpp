@@ -18,6 +18,20 @@ void MonitorIApp::on_agent_disconnected(server::AgentId id) {
   if (!cfg_.retain_on_disconnect) db_.erase(id);
 }
 
+void MonitorIApp::on_agent_quarantined(server::AgentId) {
+  // The server still holds the agent's state: keep ours too. Either
+  // on_agent_reconnected or on_agent_disconnected resolves it.
+  quarantines_++;
+}
+
+void MonitorIApp::on_agent_reconnected(const server::AgentInfo& info) {
+  // The server replayed our subscriptions under their original handles, so
+  // the indication callbacks keep firing into the same AgentDb — do NOT
+  // resubscribe here or every reconnect would double the stats streams.
+  reconnects_++;
+  db_[info.id];  // re-create if a disconnect pruned it in between
+}
+
 void MonitorIApp::subscribe_stats(server::AgentId agent, std::uint16_t fn_id) {
   e2sm::EventTrigger trigger;
   trigger.kind = e2sm::TriggerKind::periodic;

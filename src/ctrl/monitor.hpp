@@ -42,6 +42,8 @@ class MonitorIApp final : public server::IApp {
 
   void on_agent_connected(const server::AgentInfo& info) override;
   void on_agent_disconnected(server::AgentId id) override;
+  void on_agent_quarantined(server::AgentId id) override;
+  void on_agent_reconnected(const server::AgentInfo& info) override;
 
   /// In-memory DB: latest stats per agent per UE/bearer.
   struct AgentDb {
@@ -60,6 +62,14 @@ class MonitorIApp final : public server::IApp {
   [[nodiscard]] std::uint64_t total_indications() const noexcept {
     return total_indications_;
   }
+  /// Resilience visibility: agents that went quiet / came back with their
+  /// subscriptions replayed under the same handles.
+  [[nodiscard]] std::uint64_t quarantines() const noexcept {
+    return quarantines_;
+  }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept {
+    return reconnects_;
+  }
 
  private:
   void subscribe_stats(server::AgentId agent, std::uint16_t fn_id);
@@ -67,6 +77,8 @@ class MonitorIApp final : public server::IApp {
   Config cfg_;
   std::map<server::AgentId, AgentDb> db_;
   std::uint64_t total_indications_ = 0;
+  std::uint64_t quarantines_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace flexric::ctrl

@@ -8,6 +8,7 @@ E2Server::E2Server(Reactor& reactor, Config cfg)
     : reactor_(reactor), cfg_(cfg), codec_(e2ap::codec_for(cfg.e2ap_format)) {}
 
 E2Server::~E2Server() {
+  if (liveness_timer_ != 0) reactor_.cancel_timer(liveness_timer_);
   for (auto& [id, conn] : conns_)
     if (conn.transport) {
       conn.transport->set_on_message(nullptr);
@@ -29,10 +30,18 @@ std::uint16_t E2Server::port() const noexcept {
 
 void E2Server::attach(std::shared_ptr<MsgTransport> transport) {
   AgentId id = next_agent_id_++;
+  // The handlers route through a shared cell, not a captured id: when a
+  // returning agent is rebound to its old AgentId the cell is rewritten
+  // in place, while the handlers (possibly mid-execution) stay untouched.
+  auto route = std::make_shared<AgentId>(id);
   transport->set_on_message(
-      [this, id](StreamId, BytesView wire) { on_message(id, wire); });
-  transport->set_on_close([this, id]() { on_close(id); });
-  conns_[id] = Conn{std::move(transport), false};
+      [this, route](StreamId, BytesView wire) { on_message(*route, wire); });
+  transport->set_on_close([this, route]() { on_close(*route); });
+  Conn& c = conns_[id];
+  c.transport = std::move(transport);
+  c.route = std::move(route);
+  c.last_rx = reactor_.now();
+  ensure_liveness_timer();
 }
 
 void E2Server::add_iapp(std::shared_ptr<IApp> app) {
@@ -54,10 +63,15 @@ Result<SubHandle> E2Server::subscribe(AgentId agent,
   req.request.requestor = cfg_.ric_id & 0xFFFF;
   req.request.instance = next_instance_++;
   req.ran_function_id = ran_function_id;
+  SubHandle h{agent, req.request};
+  SubEntry entry;
+  entry.cbs = std::move(cbs);
+  entry.ran_function_id = ran_function_id;
+  entry.event_trigger = event_trigger;  // retained for replay on reconnect
+  entry.actions = actions;
   req.event_trigger = std::move(event_trigger);
   req.actions = std::move(actions);
-  SubHandle h{agent, req.request};
-  subs_[h] = SubEntry{std::move(cbs), ran_function_id};
+  subs_[h] = std::move(entry);
   Status st = send(agent, e2ap::Msg{std::move(req)});
   if (!st.is_ok()) {
     subs_.erase(h);
@@ -90,13 +104,16 @@ Status E2Server::send_control(AgentId agent, std::uint16_t ran_function_id,
   req.header = std::move(header);
   req.message = std::move(message);
   req.ack_requested = ack_requested;
-  if (ack_requested) ctrls_[SubHandle{agent, req.request}] = std::move(cbs);
+  if (ack_requested)
+    ctrls_[SubHandle{agent, req.request}] =
+        CtrlEntry{std::move(cbs), ran_function_id};
   return send(agent, e2ap::Msg{std::move(req)});
 }
 
 Status E2Server::send(AgentId id, const e2ap::Msg& m) {
   auto it = conns_.find(id);
-  if (it == conns_.end() || !it->second.transport->is_open())
+  if (it == conns_.end() || !it->second.transport ||
+      !it->second.transport->is_open())
     return {Errc::io, "agent connection not open"};
   auto wire = codec_.encode(m);
   if (!wire) return wire.status();
@@ -106,21 +123,158 @@ Status E2Server::send(AgentId id, const e2ap::Msg& m) {
 }
 
 void E2Server::on_close(AgentId id) {
-  conns_.erase(id);
+  // In-flight control transactions die with the link either way: an answer
+  // can never arrive for a request the agent may not have seen.
+  fail_ctrls(id);
+
+  auto it = conns_.find(id);
+  const bool retain = cfg_.resilience.reestablish &&
+                      cfg_.resilience.expire_after > 0 &&
+                      it != conns_.end() && it->second.established &&
+                      db_.agent(id) != nullptr;
+  if (retain) {
+    Conn& c = it->second;
+    // This runs from inside the transport's own close path; destroying it
+    // here would be use-after-free. Park the reference until the next loop
+    // turn instead.
+    if (c.transport) reactor_.post([t = std::move(c.transport)] {});
+    c.route.reset();
+    c.established = false;
+    c.quarantined = false;
+    c.detached = true;
+    c.detached_at = reactor_.now();
+    if (const AgentInfo* old = db_.agent(id)) {
+      AgentInfo info = *old;
+      info.connected = false;
+      db_.add_agent(info);
+    }
+    LOG_INFO("server", "agent %u detached, retained for %lld ms", id,
+             static_cast<long long>(cfg_.resilience.expire_after / kMilli));
+    // iApps are deliberately not told "disconnected": the agent is
+    // momentarily unreachable; reconnection or expiry resolves it.
+    ensure_liveness_timer();
+    return;
+  }
+
+  if (it != conns_.end()) {
+    if (it->second.transport)
+      reactor_.post([t = std::move(it->second.transport)] {});
+    conns_.erase(it);
+  }
   if (db_.agent(id) != nullptr) {
     db_.remove_agent(id);
     for (auto& app : iapps_) app->on_agent_disconnected(id);
   }
-  // Drop dangling subscriptions/control transactions of this agent.
-  for (auto it = subs_.begin(); it != subs_.end();)
-    it = (it->first.agent == id) ? subs_.erase(it) : std::next(it);
-  for (auto it = ctrls_.begin(); it != ctrls_.end();)
-    it = (it->first.agent == id) ? ctrls_.erase(it) : std::next(it);
+  // Drop dangling subscriptions of this agent.
+  for (auto sit = subs_.begin(); sit != subs_.end();)
+    sit = (sit->first.agent == id) ? subs_.erase(sit) : std::next(sit);
+}
+
+void E2Server::fail_ctrls(AgentId id) {
+  for (auto it = ctrls_.begin(); it != ctrls_.end();) {
+    if (it->first.agent != id) {
+      ++it;
+      continue;
+    }
+    e2ap::ControlFailure fail;
+    fail.request = it->first.request;
+    fail.ran_function_id = it->second.ran_function_id;
+    fail.cause = {e2ap::Cause::Group::transport, 0 /*unspecified*/};
+    CtrlCallbacks cbs = std::move(it->second.cbs);
+    it = ctrls_.erase(it);
+    stats_.ctrls_failed_on_loss++;
+    if (cbs.on_failure) cbs.on_failure(fail);
+  }
+}
+
+void E2Server::expire_agent(AgentId id) {
+  stats_.expiries++;
+  LOG_INFO("server", "agent %u expired", id);
+  auto it = conns_.find(id);
+  if (it != conns_.end()) {
+    if (it->second.transport) {
+      it->second.transport->set_on_message(nullptr);
+      it->second.transport->set_on_close(nullptr);
+      it->second.transport->close();
+      reactor_.post([t = std::move(it->second.transport)] {});
+    }
+    conns_.erase(it);
+  }
+  fail_ctrls(id);
+  if (db_.agent(id) != nullptr) {
+    db_.remove_agent(id);
+    for (auto& app : iapps_) app->on_agent_disconnected(id);
+  }
+  for (auto sit = subs_.begin(); sit != subs_.end();)
+    sit = (sit->first.agent == id) ? subs_.erase(sit) : std::next(sit);
+}
+
+void E2Server::liveness_scan() {
+  const auto& rc = cfg_.resilience;
+  const Nanos t_now = reactor_.now();
+  std::vector<AgentId> to_expire;
+  for (auto& [id, c] : conns_) {
+    if (c.detached) {
+      if (rc.expire_after > 0 && t_now - c.detached_at >= rc.expire_after)
+        to_expire.push_back(id);
+      continue;
+    }
+    if (!c.established || rc.quarantine_after <= 0) continue;
+    const Nanos idle = t_now - c.last_rx;
+    if (!c.quarantined && idle >= rc.quarantine_after) {
+      c.quarantined = true;
+      stats_.quarantines++;
+      LOG_WARN("server", "agent %u quarantined (idle %lld ms)", id,
+               static_cast<long long>(idle / kMilli));
+      for (auto& app : iapps_) app->on_agent_quarantined(id);
+    }
+    if (c.quarantined && rc.expire_after > 0 && idle >= rc.expire_after)
+      to_expire.push_back(id);
+  }
+  for (AgentId id : to_expire) expire_agent(id);
+}
+
+void E2Server::ensure_liveness_timer() {
+  if (liveness_timer_ != 0) return;
+  const auto& rc = cfg_.resilience;
+  Nanos period = rc.quarantine_after > 0 ? rc.quarantine_after / 2
+                                         : rc.expire_after / 2;
+  if (period <= 0) return;
+  if (period < kMilli) period = kMilli;
+  liveness_timer_ =
+      reactor_.add_timer(period, [this] { liveness_scan(); }, /*periodic=*/true);
+}
+
+AgentId E2Server::find_detached(const e2ap::GlobalNodeId& node) const {
+  for (const auto& [cid, c] : conns_) {
+    if (!c.detached) continue;
+    const AgentInfo* info = db_.agent(cid);
+    if (info != nullptr && info->node == node) return cid;
+  }
+  return 0;
+}
+
+void E2Server::replay_subscriptions(AgentId id) {
+  for (auto& [h, entry] : subs_) {
+    if (h.agent != id) continue;
+    e2ap::SubscriptionRequest req;
+    req.request = h.request;  // same RICrequestID: the iApp handle stays valid
+    req.ran_function_id = entry.ran_function_id;
+    req.event_trigger = entry.event_trigger;
+    req.actions = entry.actions;
+    entry.replaying = true;
+    stats_.subs_replayed++;
+    send(id, e2ap::Msg{std::move(req)});
+  }
 }
 
 void E2Server::on_message(AgentId id, BytesView wire) {
   stats_.msgs_rx++;
   stats_.bytes_rx += wire.size();
+  if (auto cit = conns_.find(id); cit != conns_.end()) {
+    cit->second.last_rx = reactor_.now();
+    cit->second.quarantined = false;  // any traffic lifts the quarantine
+  }
   auto msg = codec_.decode(wire);
   if (!msg) {
     LOG_WARN("server", "undecodable E2AP message from agent %u: %s", id,
@@ -154,6 +308,28 @@ void E2Server::on_message(AgentId id, BytesView wire) {
 void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+
+  bool reconnected = false;
+  if (AgentId old_id = cfg_.resilience.reestablish ? find_detached(m.node) : 0;
+      old_id != 0 && old_id != id) {
+    // The node came back: splice the fresh transport into its old identity
+    // so subscriptions, handles and the RanDb entry survive. Rewriting the
+    // route cell redirects the (currently executing) transport handlers.
+    Conn fresh = std::move(it->second);
+    conns_.erase(it);
+    *fresh.route = old_id;
+    Conn& old_conn = conns_[old_id];
+    old_conn.transport = std::move(fresh.transport);
+    old_conn.route = std::move(fresh.route);
+    old_conn.detached = false;
+    old_conn.quarantined = false;
+    old_conn.last_rx = reactor_.now();
+    id = old_id;
+    it = conns_.find(id);
+    reconnected = true;
+    stats_.reconnects++;
+    LOG_INFO("server", "agent %u re-established", id);
+  }
   it->second.established = true;
 
   AgentInfo info;
@@ -169,6 +345,11 @@ void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
   for (const auto& f : m.ran_functions) resp.accepted.push_back(f.id);
   send(id, e2ap::Msg{std::move(resp)});
 
+  if (reconnected) {
+    for (auto& app : iapps_) app->on_agent_reconnected(info);
+    replay_subscriptions(id);
+    return;  // the entity never dissolved: no on_ran_formed churn
+  }
   for (auto& app : iapps_) app->on_agent_connected(info);
   if (formed) {
     const RanEntity* e = db_.entity(m.node.plmn, m.node.nb_id);
@@ -179,14 +360,22 @@ void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
 
 void E2Server::handle(AgentId id, const e2ap::SubscriptionResponse& m) {
   auto it = subs_.find(SubHandle{id, m.request});
-  if (it != subs_.end() && it->second.cbs.on_response)
-    it->second.cbs.on_response(m);
+  if (it == subs_.end()) return;
+  if (it->second.replaying) {
+    // Transparent re-establishment: the iApp already saw on_response at the
+    // original subscribe; surfacing it again would look like a new grant.
+    it->second.replaying = false;
+    return;
+  }
+  if (it->second.cbs.on_response) it->second.cbs.on_response(m);
 }
 
 void E2Server::handle(AgentId id, const e2ap::SubscriptionFailure& m) {
   SubHandle h{id, m.request};
   auto it = subs_.find(h);
   if (it != subs_.end()) {
+    // A replay rejection is a real failure — the iApp must learn its
+    // subscription did not survive the reconnect.
     if (it->second.cbs.on_failure) it->second.cbs.on_failure(m);
     subs_.erase(h);
   }
@@ -212,7 +401,7 @@ void E2Server::handle(AgentId id, const e2ap::ControlAck& m) {
   SubHandle h{id, m.request};
   auto it = ctrls_.find(h);
   if (it == ctrls_.end()) return;
-  auto cbs = std::move(it->second);
+  auto cbs = std::move(it->second.cbs);
   ctrls_.erase(it);
   if (cbs.on_ack) cbs.on_ack(m);
 }
@@ -221,12 +410,21 @@ void E2Server::handle(AgentId id, const e2ap::ControlFailure& m) {
   SubHandle h{id, m.request};
   auto it = ctrls_.find(h);
   if (it == ctrls_.end()) return;
-  auto cbs = std::move(it->second);
+  auto cbs = std::move(it->second.cbs);
   ctrls_.erase(it);
   if (cbs.on_failure) cbs.on_failure(m);
 }
 
 void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
+  if (m.added.empty() && m.modified.empty() && m.removed.empty()) {
+    // Agent heartbeat probe: ack it without touching the RAN DB or waking
+    // iApps — liveness traffic must not look like capability churn.
+    stats_.heartbeats_rx++;
+    e2ap::ServiceUpdateAck ack;
+    ack.trans_id = m.trans_id;
+    send(id, e2ap::Msg{std::move(ack)});
+    return;
+  }
   // Update the RAN DB and acknowledge everything (no policy at the server).
   if (const AgentInfo* old = db_.agent(id)) {
     AgentInfo info = *old;

@@ -20,6 +20,7 @@
 #include "codec/wire.hpp"
 #include "e2ap/codec.hpp"
 #include "server/ran_db.hpp"
+#include "transport/resilience.hpp"
 #include "transport/transport.hpp"
 
 namespace flexric::server {
@@ -50,6 +51,14 @@ class IApp {
   virtual void on_agent_disconnected(AgentId id) { (void)id; }
   /// The agent's RAN function set changed (RICserviceUpdate).
   virtual void on_agent_updated(const AgentInfo& info) { (void)info; }
+  /// No traffic from the agent for `quarantine_after`: probably dead, state
+  /// still held. Either on_agent_reconnected or on_agent_disconnected (via
+  /// expiry) follows eventually.
+  virtual void on_agent_quarantined(AgentId id) { (void)id; }
+  /// The agent returned with the same GlobalNodeId: same AgentId, RanDb
+  /// entry refreshed, subscriptions replayed transparently. No
+  /// disconnected/connected churn was delivered in between.
+  virtual void on_agent_reconnected(const AgentInfo& info) { (void)info; }
   /// A complete RAN entity formed from disaggregated agents (§4.2.2).
   virtual void on_ran_formed(const RanEntity& entity) { (void)entity; }
   [[nodiscard]] virtual const char* name() const = 0;
@@ -70,6 +79,17 @@ class E2Server {
   struct Config {
     std::uint32_t ric_id = 21;
     WireFormat e2ap_format = WireFormat::per;
+    /// Server-side knobs only (quarantine_after, expire_after, reestablish);
+    /// the agent-side fields are ignored here. Defaults to retention and
+    /// liveness OFF — a closed connection tears down immediately, exactly
+    /// the pre-resilience behavior. Opt in by setting quarantine_after /
+    /// expire_after (see ResilienceConfig).
+    ResilienceConfig resilience = [] {
+      ResilienceConfig rc;
+      rc.quarantine_after = 0;
+      rc.expire_after = 0;
+      return rc;
+    }();
   };
 
   E2Server(Reactor& reactor, Config cfg);
@@ -105,12 +125,30 @@ class E2Server {
   [[nodiscard]] const RanDb& ran_db() const noexcept { return db_; }
   [[nodiscard]] Reactor& reactor() noexcept { return reactor_; }
 
+  /// Connection-table size, including detached (retained) agents — lets
+  /// tests assert that churn leaves no stale entries behind.
+  [[nodiscard]] std::size_t num_connections() const noexcept {
+    return conns_.size();
+  }
+  [[nodiscard]] std::size_t num_subscriptions() const noexcept {
+    return subs_.size();
+  }
+  [[nodiscard]] std::size_t num_inflight_controls() const noexcept {
+    return ctrls_.size();
+  }
+
   struct Stats {
     std::uint64_t msgs_rx = 0;
     std::uint64_t msgs_tx = 0;
     std::uint64_t bytes_rx = 0;
     std::uint64_t bytes_tx = 0;
     std::uint64_t indications_rx = 0;
+    std::uint64_t heartbeats_rx = 0;   ///< empty RICserviceUpdates acked
+    std::uint64_t reconnects = 0;      ///< agents rebound to their old id
+    std::uint64_t subs_replayed = 0;
+    std::uint64_t quarantines = 0;
+    std::uint64_t expiries = 0;
+    std::uint64_t ctrls_failed_on_loss = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
@@ -118,6 +156,14 @@ class E2Server {
   struct Conn {
     std::shared_ptr<MsgTransport> transport;
     bool established = false;
+    /// Routing cell captured by the transport handlers: rebinding a
+    /// returning agent to its old AgentId is `*route = old_id`, never a
+    /// handler replacement (a handler must not destroy itself mid-call).
+    std::shared_ptr<AgentId> route;
+    Nanos last_rx = 0;
+    bool quarantined = false;
+    bool detached = false;   ///< transport lost, retained for re-establishment
+    Nanos detached_at = 0;
   };
 
   void on_message(AgentId id, BytesView wire);
@@ -132,6 +178,20 @@ class E2Server {
   void handle(AgentId id, const e2ap::ServiceUpdate& m);
   Status send(AgentId id, const e2ap::Msg& m);
 
+  // -- resilience machinery (all on the reactor thread) --
+  /// Fail every in-flight control transaction of `id` with a transport
+  /// cause: the request died with the link, pretending otherwise would
+  /// leave iApps waiting forever.
+  void fail_ctrls(AgentId id);
+  /// Full teardown through the normal disconnect path: conn, RanDb entry,
+  /// subscriptions, iApp notification.
+  void expire_agent(AgentId id);
+  void liveness_scan();
+  void ensure_liveness_timer();
+  /// Detached conn whose RanDb node id equals `node`, or 0 if none.
+  [[nodiscard]] AgentId find_detached(const e2ap::GlobalNodeId& node) const;
+  void replay_subscriptions(AgentId id);
+
   Reactor& reactor_;
   Config cfg_;
   const e2ap::Codec& codec_;
@@ -144,10 +204,19 @@ class E2Server {
   struct SubEntry {
     SubCallbacks cbs;
     std::uint16_t ran_function_id = 0;
+    // Kept for transparent replay when the agent re-establishes.
+    Buffer event_trigger;
+    std::vector<e2ap::Action> actions;
+    bool replaying = false;  ///< suppress the duplicate on_response
   };
   std::map<SubHandle, SubEntry> subs_;
-  std::map<SubHandle, CtrlCallbacks> ctrls_;  // in-flight control txns
+  struct CtrlEntry {
+    CtrlCallbacks cbs;
+    std::uint16_t ran_function_id = 0;
+  };
+  std::map<SubHandle, CtrlEntry> ctrls_;  // in-flight control txns
   std::uint16_t next_instance_ = 1;
+  Reactor::TimerId liveness_timer_ = 0;
   Stats stats_;
 };
 

@@ -13,6 +13,11 @@ namespace flexric {
 Reactor::Reactor() {
   epfd_ = epoll_create1(EPOLL_CLOEXEC);
   FLEXRIC_ASSERT(epfd_ >= 0, "epoll_create1 failed");
+  ready_.resize(64);
+}
+
+Nanos Reactor::now() const noexcept {
+  return vclock_ != nullptr ? vclock_->now() : mono_now();
 }
 
 Reactor::~Reactor() {
@@ -47,7 +52,7 @@ Reactor::TimerId Reactor::add_timer(Nanos period, std::function<void()> cb,
                                     bool periodic) {
   TimerId id = next_timer_id_++;
   timer_cbs_[id] = std::move(cb);
-  timer_heap_.push(Timer{mono_now() + period, periodic ? period : 0, id});
+  timer_heap_.push(Timer{now() + period, periodic ? period : 0, id});
   return id;
 }
 
@@ -73,17 +78,21 @@ int Reactor::drain_tasks() {
 
 int Reactor::fire_due_timers() {
   int handled = 0;
-  Nanos now = mono_now();
-  while (!timer_heap_.empty() && timer_heap_.top().deadline <= now) {
+  Nanos t_now = now();
+  while (!timer_heap_.empty() && timer_heap_.top().deadline <= t_now) {
     Timer t = timer_heap_.top();
     timer_heap_.pop();
     auto it = timer_cbs_.find(t.id);
     if (it == timer_cbs_.end()) continue;  // cancelled
     if (t.period > 0) {
       t.deadline += t.period;
-      if (t.deadline <= now) t.deadline = now + t.period;  // missed ticks
+      if (t.deadline <= t_now) t.deadline = t_now + t.period;  // missed ticks
       timer_heap_.push(t);
-      it->second();
+      // Copy: the callback may cancel_timer() its own id (e.g. a heartbeat
+      // that decides to tear the connection down), which would otherwise
+      // destroy the std::function mid-execution.
+      auto cb = it->second;
+      cb();
     } else {
       auto cb = std::move(it->second);
       timer_cbs_.erase(it);
@@ -97,8 +106,11 @@ int Reactor::fire_due_timers() {
 int Reactor::next_timeout_ms(int requested) const {
   if (!tasks_.empty()) return 0;
   if (timer_heap_.empty()) return requested;
-  Nanos until = timer_heap_.top().deadline - mono_now();
+  Nanos until = timer_heap_.top().deadline - now();
   if (until <= 0) return 0;
+  // Virtual time does not advance while we sleep, so blocking on a virtual
+  // deadline would deadlock the loop; the driver advances the clock instead.
+  if (vclock_ != nullptr) return requested;
   int ms = static_cast<int>((until + kMilli - 1) / kMilli);
   return requested < 0 ? ms : std::min(ms, requested);
 }
@@ -107,22 +119,31 @@ int Reactor::run_once(int timeout_ms) {
   int handled = drain_tasks();
   handled += fire_due_timers();
 
-  epoll_event events[64];
+  // Size the ready buffer to the fd population so one epoll_wait can report
+  // every ready handle; loop on full batches anyway (fds registered by
+  // handlers mid-drain can exceed the snapshot).
+  if (ready_.size() < fds_.size()) ready_.resize(fds_.size());
   int timeout = handled > 0 ? 0 : next_timeout_ms(timeout_ms);
-  int n = epoll_wait(epfd_, events, 64, timeout);
-  if (n < 0) {
-    if (errno != EINTR) LOG_ERROR("reactor", "epoll_wait: %s", std::strerror(errno));
-    return handled;
-  }
-  for (int i = 0; i < n; ++i) {
-    int fd = events[i].data.fd;
-    auto it = fds_.find(fd);
-    if (it == fds_.end()) continue;  // removed by an earlier handler
-    // Copy: the handler may del_fd(fd) and invalidate the iterator.
-    FdCallback cb = it->second;
-    cb(events[i].events);
-    ++handled;
-  }
+  int n;
+  do {
+    const int batch = static_cast<int>(ready_.size());
+    n = epoll_wait(epfd_, ready_.data(), batch, timeout);
+    if (n < 0) {
+      if (errno != EINTR)
+        LOG_ERROR("reactor", "epoll_wait: %s", std::strerror(errno));
+      return handled;
+    }
+    for (int i = 0; i < n; ++i) {
+      int fd = ready_[i].data.fd;
+      auto it = fds_.find(fd);
+      if (it == fds_.end()) continue;  // removed by an earlier handler
+      // Copy: the handler may del_fd(fd) and invalidate the iterator.
+      FdCallback cb = it->second;
+      cb(ready_[i].events);
+      ++handled;
+    }
+    timeout = 0;  // further rounds only drain what is already ready
+  } while (n == static_cast<int>(ready_.size()));
   handled += fire_due_timers();
   handled += drain_tasks();
   return handled;

@@ -9,6 +9,8 @@
 // locking is needed anywhere in the SDK.
 #pragma once
 
+#include <sys/epoll.h>
+
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -38,10 +40,23 @@ class Reactor {
   /// Unregister; safe to call from within the fd's own callback.
   void del_fd(int fd);
 
-  /// One-shot or periodic timer; period is in nanoseconds of real time.
+  /// One-shot or periodic timer; period is in nanoseconds of reactor time
+  /// (real time by default, virtual time under set_time_source).
   TimerId add_timer(Nanos period, std::function<void()> cb,
                     bool periodic = true);
   void cancel_timer(TimerId id);
+
+  /// Drive timers from a virtual clock instead of CLOCK_MONOTONIC. Install
+  /// it before creating any timer (existing deadlines are not rebased) and
+  /// keep the clock alive for the reactor's lifetime; pass nullptr to revert
+  /// to real time. With a virtual clock the loop never sleeps waiting for a
+  /// timer — the test advances the clock and pumps run_once(0), which is what
+  /// makes chaos/resilience schedules bit-deterministic.
+  void set_time_source(const VirtualClock* clock) noexcept { vclock_ = clock; }
+
+  /// Current reactor time: the virtual clock when installed, else
+  /// CLOCK_MONOTONIC. All timer deadlines live on this axis.
+  [[nodiscard]] Nanos now() const noexcept;
 
   /// Run `task` on the next loop iteration (FIFO). Used for in-process
   /// message delivery and for scheduling work from within handlers.
@@ -74,6 +89,8 @@ class Reactor {
 
   int epfd_ = -1;
   bool running_ = false;
+  const VirtualClock* vclock_ = nullptr;
+  std::vector<epoll_event> ready_;  ///< sized to the registered fd count
   std::map<int, FdCallback> fds_;
   std::priority_queue<Timer, std::vector<Timer>, std::greater<>> timer_heap_;
   std::map<TimerId, std::function<void()>> timer_cbs_;  // absent = cancelled

@@ -17,9 +17,6 @@ namespace flexric {
 
 namespace {
 
-constexpr std::size_t kFrameHdr = 6;  // u32 len + u16 stream
-constexpr std::size_t kMaxFrame = 16 * 1024 * 1024;
-
 void set_nonblocking(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   fcntl(fd, F_SETFL, flags | O_NONBLOCK);
@@ -30,6 +27,8 @@ void set_nodelay(int fd) {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+}  // namespace
+
 void append_frame(Buffer& out, BytesView msg, StreamId stream) {
   std::uint32_t len = static_cast<std::uint32_t>(msg.size());
   for (int i = 0; i < 4; ++i)
@@ -39,7 +38,31 @@ void append_frame(Buffer& out, BytesView msg, StreamId stream) {
   out.insert(out.end(), msg.begin(), msg.end());
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// FrameAssembler
+// ---------------------------------------------------------------------------
+
+Status FrameAssembler::feed(BytesView bytes, const FrameSink& sink) {
+  rx_.insert(rx_.end(), bytes.begin(), bytes.end());
+  std::size_t off = 0;
+  Status st = Status::ok();
+  while (rx_.size() - off >= kFrameHeaderSize) {
+    BufReader hdr(BytesView(rx_).subspan(off, kFrameHeaderSize));
+    std::uint32_t len = *hdr.u32();
+    StreamId stream = *hdr.u16();
+    if (len > kMaxFrameSize) {
+      st = {Errc::malformed, "oversized frame"};
+      break;
+    }
+    if (rx_.size() - off - kFrameHeaderSize < len) break;  // incomplete
+    bool keep_going =
+        sink(stream, BytesView(rx_).subspan(off + kFrameHeaderSize, len));
+    off += kFrameHeaderSize + len;
+    if (!keep_going) break;
+  }
+  if (off > 0) rx_.erase(rx_.begin(), rx_.begin() + static_cast<long>(off));
+  return st;
+}
 
 // ---------------------------------------------------------------------------
 // TcpTransport
@@ -86,7 +109,10 @@ std::string TcpTransport::peer_name() const {
 
 Status TcpTransport::send(BytesView msg, StreamId stream) {
   if (fd_ < 0) return {Errc::io, "transport closed"};
-  if (msg.size() > kMaxFrame) return {Errc::capacity, "message too large"};
+  if (msg.size() > kMaxFrameSize) return {Errc::capacity, "message too large"};
+  // Backpressure a stalled peer: reject instead of queueing without bound.
+  if (pending_tx_bytes() + kFrameHeaderSize + msg.size() > max_tx_buf_)
+    return {Errc::capacity, "send buffer full (peer not reading)"};
   append_frame(txbuf_, msg, stream);
   schedule_flush();
   return Status::ok();
@@ -145,40 +171,36 @@ void TcpTransport::on_events(std::uint32_t events) {
 
 void TcpTransport::read_ready() {
   std::uint8_t chunk[65536];
+  Buffer pending;
+  bool eof = false;
   while (fd_ >= 0) {
     ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
     if (n > 0) {
-      rx_.insert(rx_.end(), chunk, chunk + n);
+      pending.insert(pending.end(), chunk, chunk + n);
       if (static_cast<std::size_t>(n) < sizeof chunk) break;
       continue;
     }
-    if (n == 0) {  // orderly shutdown
-      close();
-      return;
+    if (n == 0) {  // orderly shutdown: deliver what arrived, then close
+      eof = true;
+      break;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     LOG_WARN("tcp", "recv error: %s", std::strerror(errno));
     close();
     return;
   }
-  // Deliver complete frames.
-  std::size_t off = 0;
-  while (rx_.size() - off >= kFrameHdr) {
-    BufReader hdr(BytesView(rx_).subspan(off, kFrameHdr));
-    std::uint32_t len = *hdr.u32();
-    StreamId stream = *hdr.u16();
-    if (len > kMaxFrame) {
-      LOG_WARN("tcp", "oversized frame (%u bytes), closing", len);
-      close();
-      return;
-    }
-    if (rx_.size() - off - kFrameHdr < len) break;  // incomplete
-    if (on_msg_)
-      on_msg_(stream, BytesView(rx_).subspan(off + kFrameHdr, len));
-    if (fd_ < 0) return;  // handler closed us
-    off += kFrameHdr + len;
+  // Deliver complete frames; a handler closing us stops the drain.
+  Status st = rx_.feed(pending, [this](StreamId stream, BytesView msg) {
+    if (on_msg_) on_msg_(stream, msg);
+    return fd_ >= 0;
+  });
+  if (!st.is_ok()) {
+    LOG_WARN("tcp", "bad frame from %s: %s", peer_name().c_str(),
+             st.to_string().c_str());
+    close();
+    return;
   }
-  if (off > 0) rx_.erase(rx_.begin(), rx_.begin() + static_cast<long>(off));
+  if (eof) close();
 }
 
 Result<std::unique_ptr<TcpTransport>> TcpTransport::connect(

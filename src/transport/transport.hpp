@@ -29,6 +29,36 @@ namespace flexric {
 /// management uses stream 0; SM traffic may use others.
 using StreamId = std::uint16_t;
 
+/// Wire framing constants shared by TcpTransport and FrameAssembler:
+/// every message rides in [u32 len][u16 stream][payload] (little endian).
+constexpr std::size_t kFrameHeaderSize = 6;
+constexpr std::size_t kMaxFrameSize = 16 * 1024 * 1024;
+
+/// Incremental reassembler for the [len][stream] framing. Bytes arrive in
+/// arbitrary chunks (a stalled peer can dribble one byte per read); complete
+/// frames are handed to the sink in order. Extracted from TcpTransport so
+/// the reassembly state machine is testable without a socket.
+class FrameAssembler {
+ public:
+  /// Return false from the sink to stop parsing (e.g. the connection was
+  /// closed by the handler); already-consumed frames stay consumed.
+  using FrameSink = std::function<bool(StreamId, BytesView)>;
+
+  /// Append `bytes` and deliver every complete frame. Errc::malformed on an
+  /// oversized length field (the stream can only be desynchronized garbage
+  /// from that point on).
+  Status feed(BytesView bytes, const FrameSink& sink);
+
+  /// Bytes buffered waiting for the rest of a frame.
+  [[nodiscard]] std::size_t buffered() const noexcept { return rx_.size(); }
+
+ private:
+  Buffer rx_;
+};
+
+/// Append one framed message to `out` (the encode side of FrameAssembler).
+void append_frame(Buffer& out, BytesView msg, StreamId stream);
+
 class MsgTransport {
  public:
   /// (stream, message bytes). The view is only valid during the call.
@@ -72,6 +102,16 @@ class TcpTransport final : public MsgTransport {
                                                        const std::string& host,
                                                        std::uint16_t port);
 
+  /// Cap on unsent bytes queued towards a stalled peer. Once the kernel
+  /// socket buffer and this queue are full, send() returns Errc::capacity
+  /// (backpressure) instead of growing without bound.
+  void set_max_tx_buffer(std::size_t bytes) noexcept { max_tx_buf_ = bytes; }
+  [[nodiscard]] std::size_t pending_tx_bytes() const noexcept {
+    return txbuf_.size() - tx_off_;
+  }
+
+  static constexpr std::size_t kDefaultMaxTxBuffer = 32 * 1024 * 1024;
+
  private:
   void on_events(std::uint32_t events);
   void read_ready();
@@ -83,9 +123,10 @@ class TcpTransport final : public MsgTransport {
   int fd_ = -1;
   MsgHandler on_msg_;
   CloseHandler on_close_;
-  Buffer rx_;               // accumulated unparsed bytes
+  FrameAssembler rx_;       // reassembles frames across short reads
   Buffer txbuf_;            // pending outgoing bytes (frames concatenated)
   std::size_t tx_off_ = 0;  // bytes of txbuf_ already written
+  std::size_t max_tx_buf_ = kDefaultMaxTxBuffer;
   bool flush_scheduled_ = false;
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

@@ -469,5 +469,103 @@ TEST(AgentServer, WorksOverTcpWithPerCodec) {
   EXPECT_EQ(outcome, (Buffer{1, 2, 3}));
 }
 
+// ---------------------------------------------------------------------------
+// Agent churn during in-flight control transactions
+// ---------------------------------------------------------------------------
+
+// An agent that vanishes while control requests are in flight must fail
+// exactly those transactions — synthetic ControlFailure with a transport
+// cause, no callback left dangling — while transactions towards other agents
+// proceed untouched.
+TEST(AgentServer, AgentChurnFailsOnlyItsInflightControls) {
+  World w;
+
+  // Agent 1: wired manually so the test holds its transport end.
+  auto fn1 = std::make_shared<StubFunction>(200);
+  auto agent1 = std::make_unique<agent::E2Agent>(
+      w.reactor,
+      agent::E2Agent::Config{{1, 10, e2ap::NodeType::gnb}, WireFormat::flat});
+  ASSERT_TRUE(agent1->register_function(fn1).is_ok());
+  auto [a_side, s_side] = LocalTransport::make_pair(w.reactor);
+  w.server.attach(s_side);
+  ASSERT_TRUE(agent1->add_controller(a_side).is_ok());
+
+  // Agent 2: healthy bystander.
+  auto fn2 = std::make_shared<StubFunction>(201);
+  auto agent2 = w.make_agent({1, 11, e2ap::NodeType::gnb}, fn2);
+  ASSERT_TRUE(pump_until(w.reactor,
+                         [&] { return w.server.ran_db().num_agents() == 2; }));
+
+  int failed = 0;
+  std::vector<e2ap::Cause::Group> groups;
+  for (int i = 0; i < 3; ++i) {
+    server::CtrlCallbacks cbs;
+    cbs.on_ack = [](const e2ap::ControlAck&) {
+      FAIL() << "ack for a control that died with the link";
+    };
+    cbs.on_failure = [&](const e2ap::ControlFailure& f) {
+      failed++;
+      groups.push_back(f.cause.group);
+    };
+    ASSERT_TRUE(w.server
+                    .send_control(1, 200, Buffer{1},
+                                  Buffer{static_cast<std::uint8_t>(i)},
+                                  std::move(cbs))
+                    .is_ok());
+  }
+  Buffer outcome2;
+  server::CtrlCallbacks cbs2;
+  cbs2.on_ack = [&](const e2ap::ControlAck& ack) { outcome2 = ack.outcome; };
+  ASSERT_TRUE(
+      w.server.send_control(2, 201, Buffer{1}, Buffer{9}, cbs2).is_ok());
+  ASSERT_EQ(w.server.num_inflight_controls(), 4u);
+
+  // Cut agent 1's link before any request is delivered.
+  a_side->close();
+  ASSERT_TRUE(pump_until(w.reactor, [&] { return failed == 3; }));
+  EXPECT_EQ(fn1->controls, 0);  // requests died with the link
+  for (auto g : groups) EXPECT_EQ(g, e2ap::Cause::Group::transport);
+
+  // The bystander's transaction completes normally.
+  ASSERT_TRUE(pump_until(w.reactor, [&] { return !outcome2.empty(); }));
+  EXPECT_EQ(outcome2, (Buffer{9}));
+  EXPECT_EQ(w.server.num_inflight_controls(), 0u);
+  EXPECT_GE(w.server.stats().ctrls_failed_on_loss, 3u);
+}
+
+// Churn in the opposite phase: the request reached the agent, the ack is on
+// its way back, and the link dies first. The transaction still resolves via
+// on_failure — exactly once, never twice.
+TEST(AgentServer, LateAckAfterChurnDoesNotDoubleResolve) {
+  World w;
+  auto fn = std::make_shared<StubFunction>(200);
+  auto agent = std::make_unique<agent::E2Agent>(
+      w.reactor,
+      agent::E2Agent::Config{{1, 10, e2ap::NodeType::gnb}, WireFormat::flat});
+  ASSERT_TRUE(agent->register_function(fn).is_ok());
+  auto [a_side, s_side] = LocalTransport::make_pair(w.reactor);
+  w.server.attach(s_side);
+  ASSERT_TRUE(agent->add_controller(a_side).is_ok());
+  ASSERT_TRUE(pump_until(w.reactor,
+                         [&] { return w.server.ran_db().num_agents() == 1; }));
+
+  int resolved = 0;
+  server::CtrlCallbacks cbs;
+  cbs.on_ack = [&](const e2ap::ControlAck&) { resolved++; };
+  cbs.on_failure = [&](const e2ap::ControlFailure&) { resolved++; };
+  ASSERT_TRUE(
+      w.server.send_control(1, 200, Buffer{1}, Buffer{5}, std::move(cbs))
+          .is_ok());
+  // Deliver the request to the agent (it acks immediately)...
+  ASSERT_TRUE(pump_until(w.reactor, [&] { return fn->controls == 1; }));
+  // ...then cut the link. Depending on timing the ack either made it or
+  // died in transit; either way the transaction resolves exactly once.
+  a_side->close();
+  ASSERT_TRUE(pump_until(w.reactor, [&] { return resolved >= 1; }));
+  pump(w.reactor, 30);
+  EXPECT_EQ(resolved, 1);
+  EXPECT_EQ(w.server.num_inflight_controls(), 0u);
+}
+
 }  // namespace
 }  // namespace flexric

@@ -695,5 +695,74 @@ TEST(TelemetryRestApi, QueryUnknownSeriesIs404) {
   EXPECT_EQ(code, 404);
 }
 
+// Error paths of the northbound API: every malformed request must come back
+// as a clean JSON error with the right status code — never a hang, a crash,
+// or a silent 200.
+TEST(TelemetryRestApi, ErrorPathsReturnJsonErrors) {
+  Reactor reactor;
+  TelemetryStore store(StoreConfig{});
+  for (int i = 1; i <= 10; ++i)
+    ASSERT_TRUE(store
+                    .record(key_of(1, 42, Metric::mac_cqi), i * kMilli,
+                            static_cast<double>(i))
+                    .is_ok());
+  ctrl::HttpServer http(reactor);
+  ctrl::TelemetryRest rest(http, store);
+  ASSERT_TRUE(http.listen(0).is_ok());
+  std::uint16_t port = http.port();
+
+  constexpr const char* kSeriesQ =
+      R"({"agent":1,"rnti":42,"metric":"mac_cqi","t0_ns":0,"t1_ns":1000000000)";
+  std::atomic<bool> done{false};
+  ctrl::HttpResponse bad_json, bad_kind, bad_source, bad_route, wrong_method,
+      latest;
+  std::thread client([&] {
+    auto r1 = ctrl::HttpClient::request("127.0.0.1", port, "POST", "/query",
+                                        "{not json");
+    if (r1) bad_json = *r1;
+    auto r2 = ctrl::HttpClient::request(
+        "127.0.0.1", port, "POST", "/query",
+        std::string(kSeriesQ) + R"(,"kind":"bogus"})");
+    if (r2) bad_kind = *r2;
+    auto r3 = ctrl::HttpClient::request(
+        "127.0.0.1", port, "POST", "/query",
+        std::string(kSeriesQ) + R"(,"kind":"aggregate","source":"bogus"})");
+    if (r3) bad_source = *r3;
+    auto r4 = ctrl::HttpClient::request("127.0.0.1", port, "GET", "/nope");
+    if (r4) bad_route = *r4;
+    auto r5 = ctrl::HttpClient::request("127.0.0.1", port, "GET", "/query");
+    if (r5) wrong_method = *r5;
+    auto r6 = ctrl::HttpClient::request(
+        "127.0.0.1", port, "POST", "/query",
+        std::string(kSeriesQ) + R"(,"kind":"latest","n":5})");
+    if (r6) latest = *r6;
+    done = true;
+  });
+  pump_until(reactor, [&] { return done.load(); }, 20000);
+  client.join();
+
+  // Each error body is itself parseable JSON carrying an "error" field.
+  for (const auto* resp : {&bad_json, &bad_kind, &bad_source, &bad_route}) {
+    auto body = ctrl::Json::parse(resp->body);
+    ASSERT_TRUE(body.is_ok()) << resp->body;
+    EXPECT_FALSE((*body)["error"].as_string().empty());
+  }
+  EXPECT_EQ(bad_json.code, 400);
+  EXPECT_EQ(bad_kind.code, 400);
+  EXPECT_EQ(bad_source.code, 400);
+  EXPECT_EQ(bad_route.code, 404);
+  EXPECT_EQ(wrong_method.code, 404);  // routes match on (method, path)
+
+  // The "latest" kind round-trips with the documented shape.
+  ASSERT_EQ(latest.code, 200);
+  auto lj = ctrl::Json::parse(latest.body);
+  ASSERT_TRUE(lj.is_ok());
+  EXPECT_EQ((*lj)["metric"].as_string(), "mac_cqi");
+  ASSERT_EQ((*lj)["samples"].as_array().size(), 5u);
+  // The newest 5 samples in chronological order: values 6..10.
+  EXPECT_EQ((*lj)["samples"].as_array()[0].as_array()[1].as_number(), 6.0);
+  EXPECT_EQ((*lj)["samples"].as_array()[4].as_array()[1].as_number(), 10.0);
+}
+
 }  // namespace
 }  // namespace flexric::telemetry

@@ -1,5 +1,9 @@
 // Reactor + transport tests: timers, tasks, local pipes, framed TCP.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <array>
 
 #include "helpers.hpp"
 #include "transport/transport.hpp"
@@ -243,6 +247,205 @@ TEST(TcpTransport, ConnectToClosedPortFails) {
   Reactor reactor;
   auto res = TcpTransport::connect(reactor, "127.0.0.1", 1);
   EXPECT_FALSE(res.is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Reactor: epoll readiness beyond a single fixed-size batch
+// ---------------------------------------------------------------------------
+
+// Regression: run_once used a fixed 64-entry epoll_wait array and handled at
+// most 64 ready fds per call, starving the rest under load. With >64
+// simultaneously-ready pipes, a single run_once must now service every one.
+TEST(Reactor, RunOnceDrainsMoreThan64ReadyFds) {
+  constexpr int kPipes = 100;
+  Reactor reactor;
+  std::vector<std::array<int, 2>> pipes(kPipes);
+  int fired = 0;
+  for (auto& p : pipes) {
+    ASSERT_EQ(pipe(p.data()), 0);
+    ASSERT_TRUE(reactor
+                    .add_fd(p[0], EPOLLIN,
+                            [&fired, fd = p[0]](std::uint32_t) {
+                              char c;
+                              ASSERT_EQ(read(fd, &c, 1), 1);
+                              fired++;
+                            })
+                    .is_ok());
+  }
+  for (auto& p : pipes) ASSERT_EQ(write(p[1], "x", 1), 1);
+
+  int handled = reactor.run_once(0);
+  EXPECT_EQ(fired, kPipes) << "ready fds beyond the first epoll batch were "
+                              "not serviced in this run_once";
+  EXPECT_GE(handled, kPipes);
+
+  for (auto& p : pipes) {
+    reactor.del_fd(p[0]);
+    close(p[0]);
+    close(p[1]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpTransport: send-buffer backpressure
+// ---------------------------------------------------------------------------
+
+// A peer that stops reading must not let our TX queue grow without bound:
+// once the cap is hit, send() surfaces Errc::capacity, and sending works
+// again after the peer drains.
+TEST(TcpTransport, SendBufferExhaustionSurfacesCapacity) {
+  TcpPair pair;
+  pair.client_side->set_max_tx_buffer(64 * 1024);
+
+  // Do not pump the reactor: nothing flushes, the peer "reads" nothing, and
+  // every frame accumulates in the client's TX queue until the cap.
+  Buffer chunk(8 * 1024, 0x42);
+  Status st = Status::ok();
+  int accepted = 0;
+  for (int i = 0; i < 64 && st.is_ok(); ++i) {
+    st = pair.client_side->send(chunk);
+    if (st.is_ok()) accepted++;
+  }
+  ASSERT_FALSE(st.is_ok()) << "cap never enforced";
+  EXPECT_EQ(st.code(), Errc::capacity);
+  EXPECT_GT(accepted, 0);  // backpressure, not a dead link
+  EXPECT_TRUE(pair.client_side->is_open());
+
+  // Let the reactor flush and the peer consume; capacity frees up.
+  int received = 0;
+  pair.server_side->set_on_message([&](StreamId, BytesView) { received++; });
+  ASSERT_TRUE(
+      pump_until(pair.reactor, [&] { return received == accepted; }));
+  EXPECT_EQ(pair.client_side->pending_tx_bytes(), 0u);
+  EXPECT_TRUE(pair.client_side->send(chunk).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// FrameAssembler: reassembly under pathological chunking
+// ---------------------------------------------------------------------------
+
+TEST(FrameAssembler, OneBytePerFeedNeverMisparses) {
+  // Three frames of varying size/stream, delivered one byte at a time — the
+  // worst short-read pattern a stalled TCP peer can produce.
+  Buffer wire;
+  Buffer m1{0xDE, 0xAD};
+  Buffer m2;  // empty payload is a legal frame
+  Buffer m3(300, 0x7F);
+  append_frame(wire, m1, 0);
+  append_frame(wire, m2, 42);
+  append_frame(wire, m3, 7);
+
+  FrameAssembler fa;
+  std::vector<std::pair<StreamId, Buffer>> got;
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    BytesView one(wire.data() + i, 1);
+    ASSERT_TRUE(fa.feed(one,
+                        [&](StreamId s, BytesView b) {
+                          got.emplace_back(s, Buffer(b.begin(), b.end()));
+                          return true;
+                        })
+                    .is_ok());
+  }
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].first, 0);
+  EXPECT_EQ(got[0].second, m1);
+  EXPECT_EQ(got[1].first, 42);
+  EXPECT_TRUE(got[1].second.empty());
+  EXPECT_EQ(got[2].first, 7);
+  EXPECT_EQ(got[2].second, m3);
+  EXPECT_EQ(fa.buffered(), 0u);  // nothing left over
+}
+
+// End-to-end dribble: a raw socket peer writes the frame stream to a
+// TcpTransport ONE byte per reactor pump. Reassembly across 100% short
+// reads must produce exactly the original messages, boundaries intact.
+TEST(TcpTransport, OneBytePerPumpDribbleReassemblesFrames) {
+  Reactor reactor;
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  TcpTransport receiver(reactor, sv[0]);
+
+  std::vector<std::pair<StreamId, Buffer>> got;
+  receiver.set_on_message([&](StreamId s, BytesView b) {
+    got.emplace_back(s, Buffer(b.begin(), b.end()));
+  });
+
+  Buffer wire;
+  Buffer m1{0x11, 0x22, 0x33};
+  Buffer m2(200, 0x5A);
+  Buffer m3{0xFF};
+  append_frame(wire, m1, 1);
+  append_frame(wire, m2, 2);
+  append_frame(wire, m3, 3);
+
+  for (std::uint8_t byte : wire) {
+    ASSERT_EQ(write(sv[1], &byte, 1), 1);
+    pump(reactor, 2);  // receiver sees a 1-byte short read each time
+  }
+  close(sv[1]);
+  ASSERT_TRUE(pump_until(reactor, [&] { return got.size() == 3; }));
+  EXPECT_EQ(got[0], (std::pair<StreamId, Buffer>{1, m1}));
+  EXPECT_EQ(got[1], (std::pair<StreamId, Buffer>{2, m2}));
+  EXPECT_EQ(got[2], (std::pair<StreamId, Buffer>{3, m3}));
+}
+
+TEST(FrameAssembler, SplitHeaderAcrossFeedsParsesOnce) {
+  Buffer wire;
+  Buffer msg{1, 2, 3};
+  append_frame(wire, msg, 9);
+  FrameAssembler fa;
+  int frames = 0;
+  // Split inside the 6-byte header, then the rest.
+  ASSERT_TRUE(fa.feed(BytesView(wire.data(), 3),
+                      [&](StreamId, BytesView) {
+                        frames++;
+                        return true;
+                      })
+                  .is_ok());
+  EXPECT_EQ(frames, 0);
+  ASSERT_TRUE(fa.feed(BytesView(wire.data() + 3, wire.size() - 3),
+                      [&](StreamId s, BytesView b) {
+                        frames++;
+                        EXPECT_EQ(s, 9);
+                        EXPECT_EQ(Buffer(b.begin(), b.end()), msg);
+                        return true;
+                      })
+                  .is_ok());
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(FrameAssembler, OversizedLengthIsMalformed) {
+  // Hand-craft a header whose length field exceeds kMaxFrameSize: the
+  // stream is desynchronized garbage from here, feed must say so.
+  Buffer wire(kFrameHeaderSize, 0);
+  const std::uint32_t huge = kMaxFrameSize + 1;
+  wire[0] = static_cast<std::uint8_t>(huge & 0xFF);
+  wire[1] = static_cast<std::uint8_t>((huge >> 8) & 0xFF);
+  wire[2] = static_cast<std::uint8_t>((huge >> 16) & 0xFF);
+  wire[3] = static_cast<std::uint8_t>((huge >> 24) & 0xFF);
+  FrameAssembler fa;
+  auto st = fa.feed(wire, [](StreamId, BytesView) { return true; });
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::malformed);
+}
+
+TEST(FrameAssembler, SinkReturningFalseStopsDrain) {
+  Buffer wire;
+  Buffer msg{1};
+  append_frame(wire, msg, 0);
+  append_frame(wire, msg, 1);
+  append_frame(wire, msg, 2);
+  FrameAssembler fa;
+  int delivered = 0;
+  ASSERT_TRUE(fa.feed(wire,
+                      [&](StreamId, BytesView) {
+                        delivered++;
+                        return delivered < 2;  // stop after the second
+                      })
+                  .is_ok());
+  EXPECT_EQ(delivered, 2);
+  // The undelivered third frame stays buffered, not lost.
+  EXPECT_EQ(fa.buffered(), kFrameHeaderSize + msg.size());
 }
 
 }  // namespace
