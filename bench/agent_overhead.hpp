@@ -43,7 +43,7 @@ inline OverheadResult run_agent_scenario(AgentKind kind,
     std::unique_ptr<baseline::flexran::Controller> fxr;
     if (kind == AgentKind::flexran) {
       fxr = std::make_unique<baseline::flexran::Controller>(reactor);
-      fxr->listen(0);
+      (void)fxr->listen(0);
       port_promise.set_value(fxr->port());
       bool requested = false;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -59,7 +59,7 @@ inline OverheadResult run_agent_scenario(AgentKind kind,
       monitor = std::make_shared<ctrl::MonitorIApp>(
           ctrl::MonitorIApp::Config{WireFormat::flat, 1});
       ric->add_iapp(monitor);
-      ric->listen(0);
+      (void)ric->listen(0);
       port_promise.set_value(ric->port());
       while (!stop.load(std::memory_order_relaxed)) reactor.run_once(1);
     }
@@ -71,7 +71,7 @@ inline OverheadResult run_agent_scenario(AgentKind kind,
     Reactor reactor;
     ran::BaseStation bs(cell);
     for (int i = 0; i < num_ues; ++i)
-      bs.attach_ue({static_cast<std::uint16_t>(100 + i), 1, 0, 15,
+      (void)bs.attach_ue({static_cast<std::uint16_t>(100 + i), 1, 0, 15,
                     cell.default_mcs});
     bs.set_on_delivery([](std::uint16_t, const ran::Packet&, Nanos) {});
 
@@ -87,7 +87,7 @@ inline OverheadResult run_agent_scenario(AgentKind kind,
                                                        WireFormat::flat);
       auto conn = TcpTransport::connect(reactor, "127.0.0.1", port);
       FLEXRIC_ASSERT(conn.is_ok(), "bench: connect failed");
-      agent->add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
+      (void)agent->add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
       // Let the monitor's subscriptions land before the clock starts.
       for (int i = 0; i < 300; ++i) reactor.run_once(1);
     } else if (kind == AgentKind::flexran) {

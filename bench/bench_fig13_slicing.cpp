@@ -36,7 +36,7 @@ struct Rig {
     ric.add_iapp(slicing);
     auto [a_side, s_side] = LocalTransport::make_pair(reactor);
     ric.attach(s_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     settle();
   }
   void settle(int iters = 80) {
@@ -62,7 +62,7 @@ struct Rig {
                                  true);
   }
   void configure(const e2sm::slice::CtrlMsg& msg) {
-    slicing->configure(*slicing->first_agent(), msg);
+    (void)slicing->configure(*slicing->first_agent(), msg);
     settle();
   }
 };
@@ -99,8 +99,8 @@ int main() {
   // ---- (a) isolation timeline --------------------------------------------
   {
     Rig rig;
-    rig.bs.attach_ue({1, 20899, 0, 15, 20});
-    rig.bs.attach_ue({2, 20899, 0, 15, 20});
+    (void)rig.bs.attach_ue({1, 20899, 0, 15, 20});
+    (void)rig.bs.attach_ue({2, 20899, 0, 15, 20});
     rig.settle();
 
     std::printf("(a) per-UE and cumulative throughput [Mbps] "
@@ -114,7 +114,7 @@ int main() {
                        fmt("%.1f", t1 + t2 + t3)});
     };
     phase("t1: no slicing, 2 UEs", 2000);
-    rig.bs.attach_ue({3, 20899, 0, 15, 20});
+    (void)rig.bs.attach_ue({3, 20899, 0, 15, 20});
     rig.settle();
     phase("t2: third UE arrives", 2000);
     rig.configure(slices_cmd({{1, 0.5}, {2, 0.5}}));
@@ -132,8 +132,8 @@ int main() {
     Table table({"mode / phase", "ue1 (66%)", "ue2 (34%)"});
     for (bool sharing : {false, true}) {
       Rig rig;
-      rig.bs.attach_ue({1, 20899, 0, 15, 20});
-      rig.bs.attach_ue({2, 20899, 0, 15, 20});
+      (void)rig.bs.attach_ue({1, 20899, 0, 15, 20});
+      (void)rig.bs.attach_ue({2, 20899, 0, 15, 20});
       rig.settle();
       if (sharing) {
         rig.configure(slices_cmd({{1, 0.66}, {2, 0.34}}));

@@ -92,16 +92,16 @@ Series run_dedicated() {
   ctrl_b.add_iapp(slicing_b);
   auto [aa, sa] = LocalTransport::make_pair(reactor);
   ctrl_a.attach(sa);
-  agent_a.add_controller(aa);
+  (void)agent_a.add_controller(aa);
   auto [ab, sb] = LocalTransport::make_pair(reactor);
   ctrl_b.attach(sb);
-  agent_b.add_controller(ab);
+  (void)agent_b.add_controller(ab);
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
-  bs_a.attach_ue({1, kPlmnA, 0, 15, 28});
-  bs_a.attach_ue({2, kPlmnA, 0, 15, 28});
-  bs_b.attach_ue({3, kPlmnB, 0, 15, 28});
-  bs_b.attach_ue({4, kPlmnB, 0, 15, 28});
+  (void)bs_a.attach_ue({1, kPlmnA, 0, 15, 28});
+  (void)bs_a.attach_ue({2, kPlmnA, 0, 15, 28});
+  (void)bs_b.attach_ue({3, kPlmnB, 0, 15, 28});
+  (void)bs_b.attach_ue({4, kPlmnB, 0, 15, 28});
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
   auto tick = [&](Nanos now, bool b_active) {
@@ -128,13 +128,13 @@ Series run_dedicated() {
   };
   auto configure_a = [&](int sec) {
     if (sec == 8) {
-      slicing_a->configure(*slicing_a->first_agent(), sub_slices_66_33());
+      (void)slicing_a->configure(*slicing_a->first_agent(), sub_slices_66_33());
       for (int i = 0; i < 80; ++i) reactor.run_once(0);
-      slicing_a->configure(*slicing_a->first_agent(), assoc(1, 1));
+      (void)slicing_a->configure(*slicing_a->first_agent(), assoc(1, 1));
       for (int i = 0; i < 80; ++i) reactor.run_once(0);
     }
     if (sec == 11) {
-      slicing_a->configure(*slicing_a->first_agent(), assoc(2, 2));
+      (void)slicing_a->configure(*slicing_a->first_agent(), assoc(2, 2));
       for (int i = 0; i < 80; ++i) reactor.run_once(0);
     }
   };
@@ -154,7 +154,7 @@ Series run_shared() {
                              {"opB", kPlmnB, 0.5, 20}});
   auto [a_side, s_side] = LocalTransport::make_pair(reactor);
   virt.southbound().attach(s_side);
-  agent.add_controller(a_side);
+  (void)agent.add_controller(a_side);
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
   server::E2Server ctrl_a(reactor, {101, kFmt, {}}), ctrl_b(reactor, {102, kFmt, {}});
@@ -166,14 +166,14 @@ Series run_shared() {
   ctrl_b.add_iapp(slicing_b);
   auto [na, ta] = LocalTransport::make_pair(reactor);
   ctrl_a.attach(ta);
-  virt.connect_tenant(0, na);
+  (void)virt.connect_tenant(0, na);
   auto [nb, tb] = LocalTransport::make_pair(reactor);
   ctrl_b.attach(tb);
-  virt.connect_tenant(1, nb);
+  (void)virt.connect_tenant(1, nb);
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
-  for (std::uint16_t rnti : {1, 2}) bs.attach_ue({rnti, kPlmnA, 0, 15, 28});
-  for (std::uint16_t rnti : {3, 4}) bs.attach_ue({rnti, kPlmnB, 0, 15, 28});
+  for (std::uint16_t rnti : {1, 2}) (void)bs.attach_ue({rnti, kPlmnA, 0, 15, 28});
+  for (std::uint16_t rnti : {3, 4}) (void)bs.attach_ue({rnti, kPlmnB, 0, 15, 28});
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
   auto tick = [&](Nanos now, bool b_active) {
@@ -200,13 +200,13 @@ Series run_shared() {
                         ? 0
                         : ctrl_a.ran_db().agents().front();
     if (sec == 8) {
-      slicing_a->configure(agent_id, sub_slices_66_33());
+      (void)slicing_a->configure(agent_id, sub_slices_66_33());
       for (int i = 0; i < 80; ++i) reactor.run_once(0);
-      slicing_a->configure(agent_id, assoc(1, 1));
+      (void)slicing_a->configure(agent_id, assoc(1, 1));
       for (int i = 0; i < 80; ++i) reactor.run_once(0);
     }
     if (sec == 11) {
-      slicing_a->configure(agent_id, assoc(2, 2));
+      (void)slicing_a->configure(agent_id, assoc(2, 2));
       for (int i = 0; i < 80; ++i) reactor.run_once(0);
     }
   };

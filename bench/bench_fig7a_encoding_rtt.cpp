@@ -32,7 +32,7 @@ double flexran_rtt_us(std::size_t payload_bytes, int rounds) {
   for (int i = 0; i < rounds; ++i) {
     std::optional<double> us;
     Nanos t0 = mono_now();
-    controller.send_echo(static_cast<std::uint32_t>(i), payload,
+    (void)controller.send_echo(static_cast<std::uint32_t>(i), payload,
                          [&](const baseline::flexran::Echo&, Nanos rx) {
                            us = static_cast<double>(rx - t0) / 1e3;
                          });

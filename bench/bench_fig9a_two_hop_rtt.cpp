@@ -22,13 +22,13 @@ double flexric_two_hop_rtt_us(WireFormat fmt, std::size_t payload,
                               int rounds) {
   Reactor reactor;
   agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::gnb}, fmt});
-  agent.register_function(std::make_shared<ran::HwFunction>(fmt));
+  (void)agent.register_function(std::make_shared<ran::HwFunction>(fmt));
   ctrl::RelayController relay(reactor, {fmt, {1, 500, e2ap::NodeType::gnb}});
   FLEXRIC_ASSERT(relay.listen(0).is_ok(), "bench: relay listen");
   auto a_conn =
       TcpTransport::connect(reactor, "127.0.0.1", relay.southbound().port());
   FLEXRIC_ASSERT(a_conn.is_ok(), "bench: agent connect");
-  agent.add_controller(std::shared_ptr<MsgTransport>(std::move(*a_conn)));
+  (void)agent.add_controller(std::shared_ptr<MsgTransport>(std::move(*a_conn)));
   for (int i = 0; i < 500 && !relay.southbound_ready(); ++i)
     reactor.run_once(1);
 
@@ -63,7 +63,7 @@ double flexric_two_hop_rtt_us(WireFormat fmt, std::size_t payload,
     ping.payload.assign(payload, 0x5A);
     pong_seq.reset();
     Nanos t0 = mono_now();
-    top.send_control(top.ran_db().agents().front(), e2sm::hw::Sm::kId, {},
+    (void)top.send_control(top.ran_db().agents().front(), e2sm::hw::Sm::kId, {},
                      e2sm::sm_encode(ping, fmt), {},
                      /*ack_requested=*/false);
     while (!pong_seq || *pong_seq != static_cast<std::uint32_t>(i))
@@ -78,7 +78,7 @@ double oran_two_hop_rtt_us(std::size_t payload, int rounds) {
   Reactor reactor;
   agent::E2Agent agent(reactor,
                        {{1, 10, e2ap::NodeType::gnb}, WireFormat::per});
-  agent.register_function(
+  (void)agent.register_function(
       std::make_shared<ran::HwFunction>(WireFormat::per));
   baseline::oran::E2Termination e2term(reactor);
   FLEXRIC_ASSERT(e2term.listen_e2(0).is_ok(), "bench: e2t listen");
@@ -86,7 +86,7 @@ double oran_two_hop_rtt_us(std::size_t payload, int rounds) {
   auto a_conn =
       TcpTransport::connect(reactor, "127.0.0.1", e2term.e2_port());
   FLEXRIC_ASSERT(a_conn.is_ok(), "bench: agent connect");
-  agent.add_controller(std::shared_ptr<MsgTransport>(std::move(*a_conn)));
+  (void)agent.add_controller(std::shared_ptr<MsgTransport>(std::move(*a_conn)));
   auto x_conn =
       TcpTransport::connect(reactor, "127.0.0.1", e2term.rmr_port());
   FLEXRIC_ASSERT(x_conn.is_ok(), "bench: xapp connect");
@@ -100,7 +100,7 @@ double oran_two_hop_rtt_us(std::size_t payload, int rounds) {
     auto pong = e2sm::sm_decode<e2sm::hw::Pong>(ind.message, WireFormat::per);
     if (pong) pong_seq = pong->seq;
   });
-  xapp.subscribe(e2sm::hw::Sm::kId,
+  (void)xapp.subscribe(e2sm::hw::Sm::kId,
                  e2sm::sm_encode(
                      e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
                      WireFormat::per),
@@ -114,7 +114,7 @@ double oran_two_hop_rtt_us(std::size_t payload, int rounds) {
     ping.payload.assign(payload, 0x5A);
     pong_seq.reset();
     Nanos t0 = mono_now();
-    xapp.send_control(e2sm::hw::Sm::kId, {},
+    (void)xapp.send_control(e2sm::hw::Sm::kId, {},
                       e2sm::sm_encode(ping, WireFormat::per));
     while (!pong_seq || *pong_seq != static_cast<std::uint32_t>(i))
       reactor.run_once(1);

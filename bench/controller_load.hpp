@@ -68,7 +68,7 @@ inline void run_agent_farm(ControllerKind kind, std::uint16_t port,
     cell.cell_id = static_cast<std::uint32_t>(a);
     p.bs = std::make_unique<ran::BaseStation>(cell);
     for (int u = 0; u < ues; ++u)
-      p.bs->attach_ue({static_cast<std::uint16_t>(100 + u), 1, 0, 15, 28});
+      (void)p.bs->attach_ue({static_cast<std::uint16_t>(100 + u), 1, 0, 15, 28});
     auto conn = TcpTransport::connect(reactor, "127.0.0.1", port);
     FLEXRIC_ASSERT(conn.is_ok(), "bench: connect failed");
     if (kind == ControllerKind::flexran) {
@@ -83,7 +83,7 @@ inline void run_agent_farm(ControllerKind kind, std::uint16_t port,
               fmt});
       p.bundle =
           std::make_unique<ran::BsFunctionBundle>(*p.bs, *p.agent, fmt);
-      p.agent->add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
+      (void)p.agent->add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
     }
     pairs.push_back(std::move(p));
   }
@@ -127,7 +127,7 @@ inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
     Nanos cpu0 = thread_cpu_now();
     if (kind == ControllerKind::flexran) {
       baseline::flexran::Controller ctrl(reactor);
-      ctrl.listen(0);
+      (void)ctrl.listen(0);
       // Polling application, as FlexRAN requires (1 ms scans).
       std::uint64_t scanned = 0;
       ctrl.add_poller(1, [&scanned](const auto& ribs) {
@@ -158,8 +158,8 @@ inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
       out.retained_bytes = retained;
     } else if (kind == ControllerKind::oran) {
       baseline::oran::E2Termination e2term(reactor);
-      e2term.listen_e2(0);
-      e2term.listen_rmr(0);
+      (void)e2term.listen_e2(0);
+      (void)e2term.listen_rmr(0);
       auto xconn =
           TcpTransport::connect(reactor, "127.0.0.1", e2term.rmr_port());
       FLEXRIC_ASSERT(xconn.is_ok(), "bench: xapp connect failed");
@@ -174,7 +174,7 @@ inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
         while (oran_subscribe_all && subscribed < num_agents &&
                e2term.stats().e2_msgs_rx >
                    static_cast<std::uint64_t>(subscribed)) {
-          xapp.subscribe(
+          (void)xapp.subscribe(
               e2sm::mac::Sm::kId,
               e2sm::sm_encode(
                   e2sm::EventTrigger{e2sm::TriggerKind::periodic, 1},
@@ -199,7 +199,7 @@ inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
       mon_cfg.retain_on_disconnect = true;
       auto monitor = std::make_shared<ctrl::MonitorIApp>(mon_cfg);
       ric.add_iapp(monitor);
-      ric.listen(0);
+      (void)ric.listen(0);
       port_promise.set_value(ric.port());
       while (!stop.load(std::memory_order_relaxed)) reactor.run_once(1);
       out.cpu_percent = cpu_percent(

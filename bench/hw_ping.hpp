@@ -22,11 +22,11 @@ class HwPingRig {
       : sm_fmt_(sm_fmt),
         server_(reactor_, {21, e2ap_fmt, {}}),
         agent_(reactor_, {{1, 10, e2ap::NodeType::gnb}, e2ap_fmt}) {
-    agent_.register_function(std::make_shared<ran::HwFunction>(sm_fmt));
+    (void)agent_.register_function(std::make_shared<ran::HwFunction>(sm_fmt));
     FLEXRIC_ASSERT(server_.listen(0).is_ok(), "bench: listen failed");
     auto conn = TcpTransport::connect(reactor_, "127.0.0.1", server_.port());
     FLEXRIC_ASSERT(conn.is_ok(), "bench: connect failed");
-    agent_.add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
+    (void)agent_.add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
     wait([this] { return server_.ran_db().num_agents() == 1; });
 
     server::SubCallbacks cbs;
@@ -51,7 +51,7 @@ class HwPingRig {
     Nanos t0 = mono_now();
     ping.sent_ns = static_cast<std::uint64_t>(t0);
     last_pong_.reset();
-    server_.send_control(agent_id(), e2sm::hw::Sm::kId, {},
+    (void)server_.send_control(agent_id(), e2sm::hw::Sm::kId, {},
                          e2sm::sm_encode(ping, sm_fmt_), {},
                          /*ack_requested=*/false);
     while (!last_pong_ || last_pong_->seq != seq) reactor_.run_once(1);

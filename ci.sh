@@ -11,7 +11,14 @@
 # drivers (fuzz/), the telemetry store suite (test_telemetry — built into
 # both legs via flexric_telemetry), and the repo lint gate (tools/lint.py).
 #
-# Usage: ./ci.sh [jobs] [--quick] [--chaos]
+# Every leg also runs the static-analysis gates: tools/analyze (the
+# reactor-affinity & lambda-lifetime analyzer, CTest targets `analyze` and
+# `analyze_fixtures`) builds and runs in each configuration; the asan-ubsan
+# leg additionally compiles the FLEXRIC_AFFINITY_GUARDS runtime checks in
+# (FLEXRIC_SANITIZE implies guards via the AUTO default), so test_affinity's
+# death tests execute there.
+#
+# Usage: ./ci.sh [jobs] [--quick] [--chaos] [--tidy]
 #   --quick   configure FLEXRIC_FUZZ_ITERS=1000 for a fast local smoke run;
 #             without it the fuzz battery keeps the CI default (100k).
 #   --chaos   add a resilience soak after the matrix: test_resilience over a
@@ -19,15 +26,21 @@
 #             build AND under TSan — the reconnect/heartbeat/replay machinery
 #             is all timer-driven callbacks, exactly where a latent data race
 #             would hide. A failure prints the seed that reproduces it.
+#   --tidy    opt-in clang-tidy lane over src/ using the .clang-tidy config
+#             (bugprone-*, performance-*, misc-unused-*) and the plain leg's
+#             compile_commands.json. Skipped with a notice when clang-tidy is
+#             not installed, so the core matrix never depends on it.
 set -eu
 
 jobs=""
 fuzz_iters=100000
 chaos=0
+tidy=0
 for arg in "$@"; do
   case "$arg" in
     --quick) fuzz_iters=1000 ;;
     --chaos) chaos=1 ;;
+    --tidy) tidy=1 ;;
     *) jobs=$arg ;;
   esac
 done
@@ -59,10 +72,26 @@ run_chaos_leg() {
     "$build_dir/tests/test_resilience" --gtest_brief=1
 }
 
+run_tidy_lane() {
+  build_dir=$1
+  if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "==== [tidy] clang-tidy not installed; skipping (opt-in lane) ===="
+    return 0
+  fi
+  echo "==== [tidy] clang-tidy over src/ (compile_commands: $build_dir) ===="
+  # shellcheck disable=SC2046
+  clang-tidy -p "$build_dir" --quiet \
+    $(find "$root/src" -name '*.cpp' | sort)
+}
+
 run_leg plain "$root/build" \
   -DFLEXRIC_SANITIZE=""
 run_leg asan-ubsan "$root/build-asan" \
   -DFLEXRIC_SANITIZE="address;undefined"
+
+if [ "$tidy" -eq 1 ]; then
+  run_tidy_lane "$root/build"
+fi
 
 if [ "$chaos" -eq 1 ]; then
   run_chaos_leg plain-chaos "$root/build"

@@ -37,18 +37,18 @@ int main() {
   agent::E2Agent cu(reactor, {{1, 55, e2ap::NodeType::cu}, kFmt});
   auto rrc_fn = std::make_shared<ran::RrcFunction>(bs, kFmt);
   auto pdcp_fn = std::make_shared<ran::PdcpStatsFunction>(bs, kFmt);
-  cu.register_function(rrc_fn);
-  cu.register_function(pdcp_fn);
+  (void)cu.register_function(rrc_fn);
+  (void)cu.register_function(pdcp_fn);
 
   agent::E2Agent du(reactor, {{1, 55, e2ap::NodeType::du}, kFmt});
   auto mac_fn = std::make_shared<ran::MacStatsFunction>(bs, kFmt);
   auto rlc_fn = std::make_shared<ran::RlcStatsFunction>(bs, kFmt);
   auto slice_fn = std::make_shared<ran::SliceCtrlFunction>(bs, kFmt);
   auto assoc_fn = std::make_shared<ran::AssocFunction>(kFmt);
-  du.register_function(mac_fn);
-  du.register_function(rlc_fn);
-  du.register_function(slice_fn);
-  du.register_function(assoc_fn);
+  (void)du.register_function(mac_fn);
+  (void)du.register_function(rlc_fn);
+  (void)du.register_function(slice_fn);
+  (void)du.register_function(assoc_fn);
 
   // --- Infrastructure controller: primary controller of BOTH agents -------
   server::E2Server infra(reactor, {1, kFmt, {}});
@@ -70,10 +70,10 @@ int main() {
 
   auto [cu_a, cu_s] = LocalTransport::make_pair(reactor);
   infra.attach(cu_s);
-  cu.add_controller(cu_a);  // controller index 0 at the CU
+  (void)cu.add_controller(cu_a);  // controller index 0 at the CU
   auto [du_a, du_s] = LocalTransport::make_pair(reactor);
   infra.attach(du_s);
-  du.add_controller(du_a);  // controller index 0 at the DU
+  (void)du.add_controller(du_a);  // controller index 0 at the DU
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
   if (!infra_app->formed) {
     std::printf("RAN entity never formed\n");
@@ -84,7 +84,7 @@ int main() {
   server::E2Server specialized(reactor, {2, kFmt, {}});
   auto [sp_a, sp_s] = LocalTransport::make_pair(reactor);
   specialized.attach(sp_s);
-  du.add_controller(sp_a);
+  (void)du.add_controller(sp_a);
   for (int i = 0; i < 80; ++i) reactor.run_once(0);
 
   std::size_t visible_ues = 0;
@@ -93,7 +93,7 @@ int main() {
     auto msg = e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message, kFmt);
     if (msg) visible_ues = msg->ues.size();
   };
-  specialized.subscribe(
+  (void)specialized.subscribe(
       specialized.ran_db().agents().front(), e2sm::mac::Sm::kId,
       e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::periodic, 1},
                       kFmt),
@@ -113,13 +113,13 @@ int main() {
     assoc.kind = e2sm::assoc::CtrlKind::associate;
     assoc.rnti = ev->rnti;
     assoc.controller_index = 1;  // the specialized controller at the DU
-    infra.send_control(infra_app->du_agent, e2sm::assoc::Sm::kId, {},
+    (void)infra.send_control(infra_app->du_agent, e2sm::assoc::Sm::kId, {},
                        e2sm::sm_encode(assoc, kFmt), {},
                        /*ack_requested=*/false);
     std::printf("[infra] (4) UE-to-controller association configured at the "
                 "DU agent\n");
   };
-  infra.subscribe(infra_app->cu_agent, e2sm::rrc::Sm::kId,
+  (void)infra.subscribe(infra_app->cu_agent, e2sm::rrc::Sm::kId,
                   e2sm::sm_encode(
                       e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
                       kFmt),
@@ -144,7 +144,7 @@ int main() {
   std::printf("[demo]  specialized controller sees %zu UE(s) before attach\n",
               before);
   std::printf("[demo]  (1) UE rnti=100 attaches with PLMN %u\n", kServicePlmn);
-  bs.attach_ue({100, kServicePlmn, 0, 15, 20});
+  (void)bs.attach_ue({100, kServicePlmn, 0, 15, 20});
   run_ms(20, now);
   std::printf("[demo]  (5) specialized controller now sees %zu UE(s)\n",
               visible_ues);

@@ -64,7 +64,7 @@ int main() {
 
   // Three UEs with fixed MCS 20 (the paper's NR setup).
   for (std::uint16_t rnti : {100, 101, 102})
-    bs.attach_ue({rnti, 20899, 0, 15, 20});
+    (void)bs.attach_ue({rnti, 20899, 0, 15, 20});
 
   // --- Run 2 simulated seconds of saturated downlink ----------------------
   Nanos now = 0;

@@ -41,7 +41,7 @@ int main() {
                              {"opB", kPlmnB, 0.5, 20}});
   auto [a_side, s_side] = LocalTransport::make_pair(reactor);
   virt.southbound().attach(s_side);
-  agent.add_controller(a_side);
+  (void)agent.add_controller(a_side);
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
 
   // Tenant controllers (the §6.1.2 slicing controller, reused unmodified).
@@ -55,17 +55,17 @@ int main() {
   tenant_b.add_iapp(slicing_b);
   auto [na, ta] = LocalTransport::make_pair(reactor);
   tenant_a.attach(ta);
-  virt.connect_tenant(0, na);
+  (void)virt.connect_tenant(0, na);
   auto [nb, tb] = LocalTransport::make_pair(reactor);
   tenant_b.attach(tb);
-  virt.connect_tenant(1, nb);
+  (void)virt.connect_tenant(1, nb);
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
 
   // Four UEs, two per operator (identified by PLMN).
-  bs.attach_ue({1, kPlmnA, 0, 15, 28});
-  bs.attach_ue({2, kPlmnA, 0, 15, 28});
-  bs.attach_ue({3, kPlmnB, 0, 15, 28});
-  bs.attach_ue({4, kPlmnB, 0, 15, 28});
+  (void)bs.attach_ue({1, kPlmnA, 0, 15, 28});
+  (void)bs.attach_ue({2, kPlmnA, 0, 15, 28});
+  (void)bs.attach_ue({3, kPlmnB, 0, 15, 28});
+  (void)bs.attach_ue({4, kPlmnB, 0, 15, 28});
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
 
   Nanos now = 0;
@@ -109,11 +109,11 @@ int main() {
   auto cfg_a = ctrl::SlicingIApp::ctrl_from_json(*ctrl::Json::parse(
       R"({"algo":"nvs","slices":[{"id":1,"label":"gold","share":0.66},
                                   {"id":2,"label":"silver","share":0.33}]})"));
-  slicing_a->configure(tenant_a.ran_db().agents().front(), *cfg_a);
+  (void)slicing_a->configure(tenant_a.ran_db().agents().front(), *cfg_a);
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
   auto assoc_a = ctrl::SlicingIApp::ctrl_from_json(*ctrl::Json::parse(
       R"({"assoc":[{"rnti":1,"slice":1},{"rnti":2,"slice":2}]})"));
-  slicing_a->configure(tenant_a.ran_db().agents().front(), *assoc_a);
+  (void)slicing_a->configure(tenant_a.ran_db().agents().front(), *assoc_a);
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
 
   run_saturated(3000, true);
@@ -130,7 +130,7 @@ int main() {
   auto steal = ctrl::SlicingIApp::ctrl_from_json(
       *ctrl::Json::parse(R"({"assoc":[{"rnti":3,"slice":1}]})"));
   bool steal_rejected = false;
-  slicing_a->configure(tenant_a.ran_db().agents().front(), *steal,
+  (void)slicing_a->configure(tenant_a.ran_db().agents().front(), *steal,
                        [&](const e2sm::slice::CtrlOutcome& o) {
                          steal_rejected = !o.success;
                        });

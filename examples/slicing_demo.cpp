@@ -43,10 +43,10 @@ struct Deployment {
         functions(bs, agent, kFmt) {
     ric.add_iapp(slicing);
     slicing->mount_rest(http);
-    http.listen(0);
+    (void)http.listen(0);
     auto [a_side, s_side] = LocalTransport::make_pair(reactor);
     ric.attach(s_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     for (int i = 0; i < 50; ++i) reactor.run_once(0);
   }
 
@@ -96,14 +96,14 @@ int rest_post(Deployment& d, const std::string& path,
 
 int main() {
   Deployment d;
-  for (std::uint16_t rnti : {1, 2}) d.bs.attach_ue({rnti, 20899, 0, 15, 20});
+  for (std::uint16_t rnti : {1, 2}) (void)d.bs.attach_ue({rnti, 20899, 0, 15, 20});
   for (int i = 0; i < 20; ++i) d.reactor.run_once(0);
 
   std::printf("== Slicing demo (cf. paper Fig. 13a) ==\n");
   d.run(1000);
   d.print_throughputs("t1: no slicing, 2 UEs (equal share)");
 
-  d.bs.attach_ue({3, 20899, 0, 15, 20});
+  (void)d.bs.attach_ue({3, 20899, 0, 15, 20});
   d.run(1000);
   d.print_throughputs("t2: UE 3 arrives (UE 1 drops below 50%)");
 

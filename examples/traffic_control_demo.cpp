@@ -82,10 +82,10 @@ Scenario run_scenario(bool with_xapp) {
 
   auto [a_side, s_side] = LocalTransport::make_pair(reactor);
   ric.attach(s_side);
-  agent.add_controller(a_side);
+  (void)agent.add_controller(a_side);
   for (int i = 0; i < 50; ++i) reactor.run_once(0);
 
-  bs.attach_ue({100, 20899, 0, 15, 28});
+  (void)bs.attach_ue({100, 20899, 0, 15, 28});
   flows::TrafficManager tm(bs, {});
   flows::VoipSource voip(1, voip_tuple());
   flows::CubicSource bulk(2, bulk_tuple(), /*start=*/5 * kSecond);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/affinity.hpp"
 #include "common/log.hpp"
 
 namespace flexric::agent {
@@ -31,6 +32,7 @@ E2Agent::~E2Agent() {
 }
 
 Status E2Agent::register_function(std::shared_ptr<RanFunction> fn) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   const std::uint16_t id = fn->descriptor().id;
   if (find_function(id) != nullptr)
     return {Errc::already_exists, "RAN function id in use"};
@@ -40,6 +42,7 @@ Status E2Agent::register_function(std::shared_ptr<RanFunction> fn) {
 }
 
 Status E2Agent::add_function_live(std::shared_ptr<RanFunction> fn) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   e2ap::RanFunctionItem item = fn->descriptor();
   FLEXRIC_TRY(register_function(std::move(fn)));
   e2ap::ServiceUpdate update;
@@ -47,11 +50,12 @@ Status E2Agent::add_function_live(std::shared_ptr<RanFunction> fn) {
   update.added.push_back(std::move(item));
   for (auto& [id, conn] : conns_)
     if (conn.state == ConnState::established)
-      send(id, e2ap::Msg{update});
+      (void)send(id, e2ap::Msg{update});
   return Status::ok();
 }
 
 Status E2Agent::remove_function_live(std::uint16_t ran_function_id) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   auto it = std::find_if(functions_.begin(), functions_.end(),
                          [&](const auto& f) {
                            return f->descriptor().id == ran_function_id;
@@ -66,7 +70,7 @@ Status E2Agent::remove_function_live(std::uint16_t ran_function_id) {
   update.removed.push_back(ran_function_id);
   for (auto& [id, conn] : conns_)
     if (conn.state == ConnState::established)
-      send(id, e2ap::Msg{update});
+      (void)send(id, e2ap::Msg{update});
   return Status::ok();
 }
 
@@ -78,6 +82,7 @@ RanFunction* E2Agent::find_function(std::uint16_t ran_function_id) {
 
 Result<ControllerId> E2Agent::add_controller(
     std::shared_ptr<MsgTransport> transport) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   ControllerId id = next_conn_id_++;
   Conn& conn = conns_[id];
   conn.transport = std::move(transport);
@@ -90,6 +95,7 @@ Result<ControllerId> E2Agent::add_controller(
 
 Result<ControllerId> E2Agent::add_controller(TransportFactory factory,
                                              ResilienceConfig rc) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   if (!factory)
     return Error{Errc::malformed, "null transport factory"};
   ControllerId id = next_conn_id_++;
@@ -139,6 +145,7 @@ Status E2Agent::wire_transport(ControllerId id) {
   if (conn.factory && conn.rc.setup_timeout > 0) {
     conn.setup_timer = reactor_.add_timer(
         conn.rc.setup_timeout,
+        // lint: allow(posted-lambda-lifetime) setup_timer is cancelled by cancel_conn_timers() before this agent is destroyed
         [this, id] {
           auto it = conns_.find(id);
           if (it == conns_.end()) return;
@@ -181,6 +188,7 @@ void E2Agent::schedule_reconnect(ControllerId id) {
   conn.backoff_prev = delay;
   LOG_DEBUG("agent", "controller %u: retrying in %lld ms", id,
             static_cast<long long>(delay / kMilli));
+  // lint: allow(posted-lambda-lifetime) retry_timer is cancelled by cancel_conn_timers() before this agent is destroyed
   conn.retry_timer = reactor_.add_timer(
       delay, [this, id] { try_reconnect(id); }, /*periodic=*/false);
 }
@@ -217,6 +225,7 @@ void E2Agent::start_heartbeat(ControllerId id) {
   if (conn.hb_timer != 0) reactor_.cancel_timer(conn.hb_timer);
   conn.hb_outstanding = false;
   conn.hb_missed = 0;
+  // lint: allow(posted-lambda-lifetime) hb_timer is cancelled by cancel_conn_timers() before this agent is destroyed
   conn.hb_timer = reactor_.add_timer(
       conn.rc.heartbeat_period, [this, id] { heartbeat_tick(id); },
       /*periodic=*/true);
@@ -247,7 +256,7 @@ void E2Agent::heartbeat_tick(ControllerId id) {
   hb.trans_id = next_trans_id_++;
   conn.hb_outstanding = true;
   stats_.heartbeats_tx++;
-  send(id, e2ap::Msg{hb});
+  (void)send(id, e2ap::Msg{hb});
 }
 
 void E2Agent::cancel_conn_timers(Conn& conn) {
@@ -265,6 +274,7 @@ void E2Agent::set_state(ControllerId id, Conn& conn, ConnState s) {
 }
 
 void E2Agent::remove_controller(ControllerId id) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
   cancel_conn_timers(it->second);
@@ -305,11 +315,13 @@ bool E2Agent::ue_visible(std::uint16_t rnti, ControllerId origin) const {
 
 Status E2Agent::send_indication(ControllerId origin,
                                 const e2ap::Indication& ind) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   return send(origin, e2ap::Msg{ind});
 }
 
 std::uint64_t E2Agent::start_timer(std::int64_t period_ns,
                                    std::function<void()> cb) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   return reactor_.add_timer(period_ns, std::move(cb), /*periodic=*/true);
 }
 
@@ -341,7 +353,7 @@ void E2Agent::on_message(ControllerId id, BytesView wire) {
     // E2AP conformance: report the protocol error to the peer.
     e2ap::ErrorIndication err;
     err.cause = {e2ap::Cause::Group::protocol, 0 /*transfer-syntax-error*/};
-    send(id, e2ap::Msg{err});
+    (void)send(id, e2ap::Msg{err});
     return;
   }
   std::visit(
@@ -403,7 +415,7 @@ void E2Agent::handle(ControllerId id, const e2ap::SubscriptionRequest& m) {
     fail.request = m.request;
     fail.ran_function_id = m.ran_function_id;
     fail.cause = {e2ap::Cause::Group::ric, 0 /*ran-function-id-invalid*/};
-    send(id, e2ap::Msg{fail});
+    (void)send(id, e2ap::Msg{fail});
     return;
   }
   auto outcome = fn->on_subscription(m, id);
@@ -412,7 +424,7 @@ void E2Agent::handle(ControllerId id, const e2ap::SubscriptionRequest& m) {
     fail.request = m.request;
     fail.ran_function_id = m.ran_function_id;
     fail.cause = {e2ap::Cause::Group::ric, 1 /*action-not-supported*/};
-    send(id, e2ap::Msg{fail});
+    (void)send(id, e2ap::Msg{fail});
     return;
   }
   e2ap::SubscriptionResponse resp;
@@ -420,7 +432,7 @@ void E2Agent::handle(ControllerId id, const e2ap::SubscriptionRequest& m) {
   resp.ran_function_id = m.ran_function_id;
   resp.admitted = outcome->admitted;
   resp.not_admitted = outcome->not_admitted;
-  send(id, e2ap::Msg{resp});
+  (void)send(id, e2ap::Msg{resp});
 }
 
 void E2Agent::handle(ControllerId id,
@@ -431,13 +443,13 @@ void E2Agent::handle(ControllerId id,
     fail.request = m.request;
     fail.ran_function_id = m.ran_function_id;
     fail.cause = {e2ap::Cause::Group::ric, 2 /*request-id-unknown*/};
-    send(id, e2ap::Msg{fail});
+    (void)send(id, e2ap::Msg{fail});
     return;
   }
   e2ap::SubscriptionDeleteResponse resp;
   resp.request = m.request;
   resp.ran_function_id = m.ran_function_id;
-  send(id, e2ap::Msg{resp});
+  (void)send(id, e2ap::Msg{resp});
 }
 
 void E2Agent::handle(ControllerId id, const e2ap::ControlRequest& m) {
@@ -447,7 +459,7 @@ void E2Agent::handle(ControllerId id, const e2ap::ControlRequest& m) {
     fail.request = m.request;
     fail.ran_function_id = m.ran_function_id;
     fail.cause = {e2ap::Cause::Group::ric, 0};
-    send(id, e2ap::Msg{fail});
+    (void)send(id, e2ap::Msg{fail});
     return;
   }
   auto outcome = fn->on_control(m, id);
@@ -456,7 +468,7 @@ void E2Agent::handle(ControllerId id, const e2ap::ControlRequest& m) {
     fail.request = m.request;
     fail.ran_function_id = m.ran_function_id;
     fail.cause = {e2ap::Cause::Group::ric, 3 /*control-failed*/};
-    send(id, e2ap::Msg{fail});
+    (void)send(id, e2ap::Msg{fail});
     return;
   }
   if (m.ack_requested) {
@@ -464,7 +476,7 @@ void E2Agent::handle(ControllerId id, const e2ap::ControlRequest& m) {
     ack.request = m.request;
     ack.ran_function_id = m.ran_function_id;
     ack.outcome = std::move(*outcome);
-    send(id, e2ap::Msg{ack});
+    (void)send(id, e2ap::Msg{ack});
   }
 }
 
@@ -472,7 +484,7 @@ void E2Agent::handle(ControllerId id, const e2ap::ResetRequest& m) {
   for (auto& f : functions_) f->on_controller_detached(id);
   e2ap::ResetResponse resp;
   resp.trans_id = m.trans_id;
-  send(id, e2ap::Msg{resp});
+  (void)send(id, e2ap::Msg{resp});
 }
 
 }  // namespace flexric::agent

@@ -36,6 +36,7 @@ const char* conn_state_name(ConnState s) noexcept;
 using TransportFactory =
     std::function<Result<std::shared_ptr<MsgTransport>>()>;
 
+// @affine(reactor)
 class E2Agent final : public AgentServices {
  public:
   struct Config {

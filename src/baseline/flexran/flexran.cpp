@@ -32,7 +32,7 @@ Agent::Agent(ran::BaseStation& bs, std::shared_ptr<MsgTransport> transport,
   hello.bs_id = bs_id_;
   hello.rat = bs_.config().rat == ran::Rat::lte ? "lte" : "nr";
   hello.num_prbs = bs_.config().num_prbs;
-  transport_->send(encode_msg(MsgKind::hello, hello));
+  (void)transport_->send(encode_msg(MsgKind::hello, hello));
 }
 
 void Agent::on_message(BytesView wire) {
@@ -48,7 +48,7 @@ void Agent::on_message(BytesView wire) {
       auto echo = e2sm::sm_decode<Echo>(frame->body, WireFormat::proto);
       if (!echo) break;
       stats_.echo_rx++;
-      transport_->send(encode_msg(MsgKind::echo_reply, *echo));
+      (void)transport_->send(encode_msg(MsgKind::echo_reply, *echo));
       break;
     }
     case MsgKind::hello_ack:
@@ -96,7 +96,7 @@ void Agent::on_tti(Nanos now) {
   Buffer wire = encode_msg(MsgKind::stats_report, report);
   stats_.reports_tx++;
   stats_.bytes_tx += wire.size();
-  transport_->send(wire);
+  (void)transport_->send(wire);
 }
 
 // ---------------------------------------------------------------------------
@@ -106,6 +106,8 @@ void Agent::on_tti(Nanos now) {
 Controller::Controller(Reactor& reactor) : reactor_(reactor) {}
 
 Controller::~Controller() {
+  // The poller lambdas capture `this`; kill them before the members unwind.
+  for (Reactor::TimerId id : poller_timers_) reactor_.cancel_timer(id);
   // Detach callbacks before the connection map unwinds: a transport's close
   // handler must not mutate conns_ mid-destruction.
   for (auto& [id, t] : conns_) {
@@ -134,17 +136,19 @@ void Controller::request_stats(std::uint32_t period_ms) {
   StatsRequest req;
   req.period_ms = period_ms;
   Buffer wire = encode_msg(MsgKind::stats_request, req);
-  for (auto& [id, t] : conns_) t->send(wire);
+  for (auto& [id, t] : conns_) (void)t->send(wire);
 }
 
 void Controller::add_poller(
     std::uint32_t period_ms,
     std::function<void(const std::map<std::uint32_t, Rib>&)> fn) {
-  reactor_.add_timer(static_cast<Nanos>(period_ms) * kMilli,
-                     [this, fn = std::move(fn)]() {
-                       stats_.poll_scans++;
-                       fn(ribs_);
-                     });
+  poller_timers_.push_back(
+      // lint: allow(posted-lambda-lifetime) timer id is recorded in poller_timers_ and cancelled in ~Controller
+      reactor_.add_timer(static_cast<Nanos>(period_ms) * kMilli,
+                         [this, fn = std::move(fn)]() {
+                           stats_.poll_scans++;
+                           fn(ribs_);
+                         }));
 }
 
 Status Controller::send_echo(

@@ -94,6 +94,7 @@ class Controller {
 
   Reactor& reactor_;
   std::unique_ptr<TcpListener> listener_;
+  std::vector<Reactor::TimerId> poller_timers_;  // cancelled in ~Controller
   std::map<std::uint64_t, std::shared_ptr<MsgTransport>> conns_;
   std::uint64_t next_conn_ = 1;
   std::map<std::uint32_t, Rib> ribs_;

@@ -88,7 +88,7 @@ void E2Termination::on_agent_message(std::uint64_t conn, BytesView wire) {
       for (const auto& f : setup.ran_functions)
         resp.accepted.push_back(f.id);
       auto out = codec_.encode(e2ap::Msg{std::move(resp)});
-      if (out) agents_[conn]->send(*out);
+      if (out) (void)agents_[conn]->send(*out);
       return;
     }
     case e2ap::MsgType::indication: {
@@ -106,14 +106,14 @@ void E2Termination::on_agent_message(std::uint64_t conn, BytesView wire) {
                               static_cast<std::int32_t>(ind.request.instance),
                               wire);
       stats_.rmr_forwards++;
-      it->second->send(rmr);
+      (void)it->second->send(rmr);
       return;
     }
     default: {
       // Subscription/control responses etc.: route to the requesting xApp.
       Buffer rmr = rmr_encode(RmrType::e2ap_pdu, -1, wire);
       stats_.rmr_forwards++;
-      if (!xapps_.empty()) xapps_.begin()->second->send(rmr);
+      if (!xapps_.empty()) (void)xapps_.begin()->second->send(rmr);
       return;
     }
   }
@@ -151,7 +151,7 @@ void E2Termination::on_xapp_message(std::uint64_t conn, BytesView wire) {
   if (it == agents_.end() && !agents_.empty()) it = agents_.begin();
   if (it == agents_.end()) return;
   Buffer copy(rmr->payload.begin(), rmr->payload.end());  // RMR copy-out
-  it->second->send(copy);
+  (void)it->second->send(copy);
 }
 
 // ---------------------------------------------------------------------------

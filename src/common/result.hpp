@@ -48,8 +48,11 @@ struct Error {
   }
 };
 
-/// Status of a fallible operation without a payload.
-class Status {
+/// Status of a fallible operation without a payload. [[nodiscard]] at class
+/// level: silently dropping an error is the bug class the analyzer's
+/// nodiscard-status rule exists for; deliberate fire-and-forget call sites
+/// must say so with a (void) cast.
+class [[nodiscard]] Status {
  public:
   Status() = default;  // ok
   Status(Errc code, std::string msg = {}) : err_{code, std::move(msg)} {}
@@ -70,7 +73,7 @@ class Status {
 /// Result<T>: either a value or an Error. Minimal expected-like type: the SDK
 /// targets toolchains without std::expected.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Error err) : v_(std::move(err)) {}  // NOLINT(google-explicit-constructor)

@@ -12,31 +12,48 @@
 #include <memory>
 #include <string>
 
+#include "common/affinity.hpp"
 #include "common/buffer.hpp"
 #include "transport/reactor.hpp"
 
 namespace flexric::ctrl {
 
+// @affine(reactor)
 class Broker {
  public:
   using Handler = std::function<void(const std::string& topic, BytesView)>;
 
   explicit Broker(Reactor& reactor) : reactor_(reactor) {}
+  ~Broker() { *alive_ = false; }
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
 
   /// Subscribe to an exact topic; returns a token for unsubscribe.
   std::uint64_t subscribe(const std::string& topic, Handler handler) {
+    FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
     std::uint64_t id = next_id_++;
     subs_[id] = {topic, std::move(handler)};
     return id;
   }
 
-  void unsubscribe(std::uint64_t id) { subs_.erase(id); }
+  void unsubscribe(std::uint64_t id) {
+    FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
+    subs_.erase(id);
+  }
 
   /// Publish: handlers run on the next reactor iteration (broker hop).
+  /// The posted task holds a weak alive token, not the broker: destroying
+  /// the Broker with publishes still in flight silently voids them instead
+  /// of dereferencing a dead `this` (same pattern as TcpTransport's corked
+  /// flush, transport.cpp).
   void publish(const std::string& topic, BytesView payload) {
+    FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
     Buffer copy(payload.begin(), payload.end());
     published_++;
-    reactor_.post([this, topic, copy = std::move(copy)]() {
+    reactor_.post([this, topic, copy = std::move(copy),
+                   alive = std::weak_ptr<bool>(alive_)]() {
+      auto a = alive.lock();
+      if (!a || !*a) return;  // broker died while the hop was in flight
       for (auto& [id, sub] : subs_)
         if (sub.topic == topic) sub.handler(topic, copy);
     });
@@ -58,6 +75,7 @@ class Broker {
   std::map<std::uint64_t, Sub> subs_;
   std::uint64_t next_id_ = 1;
   std::uint64_t published_ = 0;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace flexric::ctrl

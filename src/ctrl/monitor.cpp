@@ -93,7 +93,7 @@ void MonitorIApp::subscribe_stats(server::AgentId agent, std::uint16_t fn_id) {
         cfg_.broker->publish("stats/pdcp", ind.message);
     }
   };
-  server_->subscribe(agent, fn_id, e2sm::sm_encode(trigger, cfg_.sm_format),
+  (void)server_->subscribe(agent, fn_id, e2sm::sm_encode(trigger, cfg_.sm_format),
                      {action}, std::move(cbs));
 }
 

@@ -29,7 +29,7 @@ class RelayController::RelayFunction final : public agent::RanFunction {
       e2ap::Indication up = ind;
       up.request = north_req;  // restore the upper controller's request id
       up.ran_function_id = fn_id;
-      if (services_ != nullptr) services_->send_indication(origin, up);
+      if (services_ != nullptr) (void)services_->send_indication(origin, up);
     };
     auto handle = relay_.server_->subscribe(
         south_agent_, desc_.id, req.event_trigger, req.actions,
@@ -48,7 +48,7 @@ class RelayController::RelayFunction final : public agent::RanFunction {
     auto it = south_subs_.find({origin, req.request});
     if (it == south_subs_.end())
       return {Errc::not_found, "unknown subscription"};
-    relay_.server_->unsubscribe(it->second);
+    (void)relay_.server_->unsubscribe(it->second);
     south_subs_.erase(it);
     return Status::ok();
   }
@@ -65,7 +65,7 @@ class RelayController::RelayFunction final : public agent::RanFunction {
   void on_controller_detached(agent::ControllerId origin) override {
     for (auto it = south_subs_.begin(); it != south_subs_.end();) {
       if (it->first.first == origin) {
-        relay_.server_->unsubscribe(it->second);
+        (void)relay_.server_->unsubscribe(it->second);
         it = south_subs_.erase(it);
       } else {
         ++it;

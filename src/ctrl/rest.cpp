@@ -133,6 +133,7 @@ void HttpServer::close() {
 
 void HttpServer::accept_ready() {
   while (true) {
+    // lint: allow(blocking-in-handler) SOCK_NONBLOCK accept: returns EAGAIN instead of blocking the loop
     int cfd = ::accept4(listen_fd_, nullptr, nullptr,
                         SOCK_CLOEXEC | SOCK_NONBLOCK);
     if (cfd < 0) return;
@@ -172,6 +173,7 @@ void HttpServer::conn_ready(int fd) {
   ConnState& conn = *it->second;
   char chunk[16384];
   while (true) {
+    // lint: allow(blocking-in-handler) conn fds are SOCK_NONBLOCK (accept_ready): recv returns EAGAIN, never blocks
     ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n > 0) {
       conn.rx.append(chunk, static_cast<std::size_t>(n));
@@ -257,6 +259,7 @@ Result<HttpResponse> HttpClient::request(const std::string& host,
   std::string raw;
   char chunk[16384];
   while (true) {
+    // lint: allow(blocking-in-handler) synchronous HTTP client helper for tests/tools; never runs on the reactor thread
     ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
     if (n > 0) {
       raw.append(chunk, static_cast<std::size_t>(n));

@@ -48,7 +48,7 @@ void SlicingIApp::subscribe_status(server::AgentId agent) {
                                                            cfg_.sm_format);
     if (msg) status_[agent] = std::move(*msg);
   };
-  server_->subscribe(agent, e2sm::slice::Sm::kId,
+  (void)server_->subscribe(agent, e2sm::slice::Sm::kId,
                      e2sm::sm_encode(trigger, cfg_.sm_format), {action},
                      std::move(cbs));
 }
@@ -69,7 +69,7 @@ void SlicingIApp::subscribe_rrc(server::AgentId agent) {
       ues_.erase(ev->rnti);
     if (on_ue_event_) on_ue_event_(*ev, agent);
   };
-  server_->subscribe(agent, e2sm::rrc::Sm::kId,
+  (void)server_->subscribe(agent, e2sm::rrc::Sm::kId,
                      e2sm::sm_encode(trigger, cfg_.sm_format), {action},
                      std::move(cbs));
 }

@@ -173,7 +173,7 @@ void TcXapp::apply_policy() {
   add_q.drb_id = cfg_.drb_id;
   add_q.queue.qid = cfg_.new_qid;
   add_q.queue.kind = QueueKind::fifo;
-  manager_.send_ctrl(*agent, add_q);
+  (void)manager_.send_ctrl(*agent, add_q);
   // Action 2: segregate the low-latency flow by its 5-tuple.
   CtrlMsg add_f;
   add_f.kind = CtrlKind::add_filter;
@@ -182,14 +182,14 @@ void TcXapp::apply_policy() {
   add_f.filter.filter_id = 1;
   add_f.filter.match = cfg_.low_latency_flow;
   add_f.filter.dst_qid = cfg_.new_qid;
-  manager_.send_ctrl(*agent, add_f);
+  (void)manager_.send_ctrl(*agent, add_f);
   // Round-robin scheduler across the queues.
   CtrlMsg sched;
   sched.kind = CtrlKind::sched_conf;
   sched.rnti = cfg_.rnti;
   sched.drb_id = cfg_.drb_id;
   sched.sched.kind = SchedKind::rr;
-  manager_.send_ctrl(*agent, sched);
+  (void)manager_.send_ctrl(*agent, sched);
   // Action 3: the 5G-BDP pacer keeps the DRB buffer uncongested.
   CtrlMsg pacer;
   pacer.kind = CtrlKind::pacer_conf;
@@ -197,7 +197,7 @@ void TcXapp::apply_policy() {
   pacer.drb_id = cfg_.drb_id;
   pacer.pacer.kind = PacerKind::bdp;
   pacer.pacer.target_ms = cfg_.pacer_target_ms;
-  manager_.send_ctrl(*agent, pacer);
+  (void)manager_.send_ctrl(*agent, pacer);
 }
 
 }  // namespace flexric::ctrl

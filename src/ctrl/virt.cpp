@@ -195,7 +195,7 @@ class VirtController::VirtSliceFunction final : public agent::RanFunction {
     up.request = north_req;
     up.ran_function_id = desc_.id;
     up.message = e2sm::sm_encode(out, virt_.cfg_.sm_format);
-    if (services_ != nullptr) services_->send_indication(origin, up);
+    if (services_ != nullptr) (void)services_->send_indication(origin, up);
   }
 
   VirtController& virt_;
@@ -241,7 +241,7 @@ class VirtController::VirtMacFunction final : public agent::RanFunction {
       up.request = north_req;
       up.ran_function_id = desc_.id;
       up.message = e2sm::sm_encode(*msg, virt_.cfg_.sm_format);
-      if (services_ != nullptr) services_->send_indication(origin, up);
+      if (services_ != nullptr) (void)services_->send_indication(origin, up);
     };
     auto handle = virt_.server_->subscribe(*virt_.south_agent_,
                                            e2sm::mac::Sm::kId,
@@ -315,7 +315,7 @@ class VirtController::VirtRrcFunction final : public agent::RanFunction {
       ind.sn = sub.sn++;
       ind.type = e2ap::ActionType::report;
       ind.message = e2sm::sm_encode(ev, virt_.cfg_.sm_format);
-      services_->send_indication(sub.origin, ind);
+      (void)services_->send_indication(sub.origin, ind);
     }
   }
 
@@ -372,9 +372,9 @@ VirtController::VirtController(Reactor& reactor, Config cfg,
     tenant->slice_fn = std::make_shared<VirtSliceFunction>(*this, *tenant);
     tenant->mac_fn = std::make_shared<VirtMacFunction>(*this, *tenant);
     tenant->rrc_fn = std::make_shared<VirtRrcFunction>(*this, *tenant);
-    tenant->north_agent->register_function(tenant->slice_fn);
-    tenant->north_agent->register_function(tenant->mac_fn);
-    tenant->north_agent->register_function(tenant->rrc_fn);
+    (void)tenant->north_agent->register_function(tenant->slice_fn);
+    (void)tenant->north_agent->register_function(tenant->mac_fn);
+    (void)tenant->north_agent->register_function(tenant->rrc_fn);
     tenants_.push_back(std::move(tenant));
     ++idx;
   }
@@ -393,7 +393,7 @@ void VirtController::on_south_agent(const server::AgentInfo& info) {
                                                         cfg_.sm_format);
     if (ev) on_rrc_event(*ev);
   };
-  server_->subscribe(info.id, e2sm::rrc::Sm::kId,
+  (void)server_->subscribe(info.id, e2sm::rrc::Sm::kId,
                      e2sm::sm_encode(trigger, cfg_.sm_format), {action},
                      std::move(cbs));
 }

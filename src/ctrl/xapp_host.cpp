@@ -25,7 +25,7 @@ void XappHostIApp::unregister_xapp(XappId id) {
       }
     }
     if (it->second.attached.empty()) {
-      server_->unsubscribe(it->second.handle);
+      (void)server_->unsubscribe(it->second.handle);
       it = e2_subs_.erase(it);
     } else {
       ++it;
@@ -75,7 +75,7 @@ Status XappHostIApp::unsubscribe_xapp(std::uint64_t token) {
   sit->second.attached.erase(token);
   if (sit->second.attached.empty()) {
     // Last consumer gone: tear the E2 subscription down.
-    server_->unsubscribe(sit->second.handle);
+    (void)server_->unsubscribe(sit->second.handle);
     e2_subs_.erase(sit);
   }
   return Status::ok();

@@ -72,7 +72,7 @@ void PeriodicReportBase::on_tti(Nanos now) {
     ind.header = std::move(payload->first);
     ind.message = std::move(payload->second);
     if (services_ != nullptr)
-      services_->send_indication(sub.origin, ind);
+      (void)services_->send_indication(sub.origin, ind);
   }
 }
 
@@ -260,7 +260,7 @@ void RrcFunction::emit(const e2sm::rrc::IndicationMsg& ev) {
     ind.type = e2ap::ActionType::report;
     ind.header = e2sm::sm_encode(hdr, fmt_);
     ind.message = e2sm::sm_encode(ev, fmt_);
-    services_->send_indication(sub.origin, ind);
+    (void)services_->send_indication(sub.origin, ind);
   }
 }
 
@@ -512,7 +512,7 @@ Result<Buffer> HwFunction::on_control(const e2ap::ControlRequest& req,
   ind.type = e2ap::ActionType::report;
   ind.header = e2sm::sm_encode(hdr, fmt_);
   ind.message = e2sm::sm_encode(pong, fmt_);
-  if (services_ != nullptr) services_->send_indication(origin, ind);
+  if (services_ != nullptr) (void)services_->send_indication(origin, ind);
   return Buffer{};  // empty control outcome
 }
 
@@ -558,13 +558,13 @@ BsFunctionBundle::BsFunctionBundle(BaseStation& bs, agent::E2Agent& agent,
   rrc_ = std::make_shared<RrcFunction>(bs, sm_fmt);
   slice_ = std::make_shared<SliceCtrlFunction>(bs, sm_fmt);
   tc_ = std::make_shared<TcCtrlFunction>(bs, sm_fmt);
-  agent.register_function(mac_);
-  agent.register_function(rlc_);
-  agent.register_function(pdcp_);
-  agent.register_function(kpm_);
-  agent.register_function(rrc_);
-  agent.register_function(slice_);
-  agent.register_function(tc_);
+  (void)agent.register_function(mac_);
+  (void)agent.register_function(rlc_);
+  (void)agent.register_function(pdcp_);
+  (void)agent.register_function(kpm_);
+  (void)agent.register_function(rrc_);
+  (void)agent.register_function(slice_);
+  (void)agent.register_function(tc_);
 }
 
 void BsFunctionBundle::on_tti(Nanos now) {

@@ -1,5 +1,6 @@
 #include "server/server.hpp"
 
+#include "common/affinity.hpp"
 #include "common/log.hpp"
 
 namespace flexric::server {
@@ -17,6 +18,7 @@ E2Server::~E2Server() {
 }
 
 Status E2Server::listen(std::uint16_t port) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   listener_ = std::make_unique<TcpListener>(
       reactor_, [this](std::unique_ptr<TcpTransport> t) {
         attach(std::shared_ptr<MsgTransport>(std::move(t)));
@@ -29,6 +31,7 @@ std::uint16_t E2Server::port() const noexcept {
 }
 
 void E2Server::attach(std::shared_ptr<MsgTransport> transport) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   AgentId id = next_agent_id_++;
   // The handlers route through a shared cell, not a captured id: when a
   // returning agent is rebound to its old AgentId the cell is rewritten
@@ -45,6 +48,7 @@ void E2Server::attach(std::shared_ptr<MsgTransport> transport) {
 }
 
 void E2Server::add_iapp(std::shared_ptr<IApp> app) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   app->on_start(*this);
   // Replay already-connected agents so late-added iApps see the full RAN.
   for (AgentId id : db_.agents())
@@ -57,6 +61,7 @@ Result<SubHandle> E2Server::subscribe(AgentId agent,
                                       Buffer event_trigger,
                                       std::vector<e2ap::Action> actions,
                                       SubCallbacks cbs) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   auto it = conns_.find(agent);
   if (it == conns_.end()) return Error{Errc::not_found, "unknown agent"};
   e2ap::SubscriptionRequest req;
@@ -81,6 +86,7 @@ Result<SubHandle> E2Server::subscribe(AgentId agent,
 }
 
 Status E2Server::unsubscribe(const SubHandle& h) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   auto it = subs_.find(h);
   if (it == subs_.end()) return {Errc::not_found, "unknown subscription"};
   e2ap::SubscriptionDeleteRequest req;
@@ -95,6 +101,7 @@ Status E2Server::unsubscribe(const SubHandle& h) {
 Status E2Server::send_control(AgentId agent, std::uint16_t ran_function_id,
                               Buffer header, Buffer message,
                               CtrlCallbacks cbs, bool ack_requested) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   auto it = conns_.find(agent);
   if (it == conns_.end()) return {Errc::not_found, "unknown agent"};
   e2ap::ControlRequest req;
@@ -242,6 +249,7 @@ void E2Server::ensure_liveness_timer() {
   if (period <= 0) return;
   if (period < kMilli) period = kMilli;
   liveness_timer_ =
+      // lint: allow(posted-lambda-lifetime) liveness_timer_ is cancelled in ~E2Server before `this` goes away
       reactor_.add_timer(period, [this] { liveness_scan(); }, /*periodic=*/true);
 }
 
@@ -264,7 +272,7 @@ void E2Server::replay_subscriptions(AgentId id) {
     req.actions = entry.actions;
     entry.replaying = true;
     stats_.subs_replayed++;
-    send(id, e2ap::Msg{std::move(req)});
+    (void)send(id, e2ap::Msg{std::move(req)});
   }
 }
 
@@ -282,7 +290,7 @@ void E2Server::on_message(AgentId id, BytesView wire) {
     // E2AP conformance: report the protocol error to the peer.
     e2ap::ErrorIndication err;
     err.cause = {e2ap::Cause::Group::protocol, 0 /*transfer-syntax-error*/};
-    send(id, e2ap::Msg{err});
+    (void)send(id, e2ap::Msg{err});
     return;
   }
   std::visit(
@@ -343,7 +351,7 @@ void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
   resp.trans_id = m.trans_id;
   resp.ric_id = cfg_.ric_id;
   for (const auto& f : m.ran_functions) resp.accepted.push_back(f.id);
-  send(id, e2ap::Msg{std::move(resp)});
+  (void)send(id, e2ap::Msg{std::move(resp)});
 
   if (reconnected) {
     for (auto& app : iapps_) app->on_agent_reconnected(info);
@@ -422,7 +430,7 @@ void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
     stats_.heartbeats_rx++;
     e2ap::ServiceUpdateAck ack;
     ack.trans_id = m.trans_id;
-    send(id, e2ap::Msg{std::move(ack)});
+    (void)send(id, e2ap::Msg{std::move(ack)});
     return;
   }
   // Update the RAN DB and acknowledge everything (no policy at the server).
@@ -442,7 +450,7 @@ void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
   ack.trans_id = m.trans_id;
   for (const auto& f : m.added) ack.accepted.push_back(f.id);
   for (const auto& f : m.modified) ack.accepted.push_back(f.id);
-  send(id, e2ap::Msg{std::move(ack)});
+  (void)send(id, e2ap::Msg{std::move(ack)});
 }
 
 }  // namespace flexric::server

@@ -74,6 +74,7 @@ struct SubHandle {
   auto operator<=>(const SubHandle&) const = default;
 };
 
+// @affine(reactor)
 class E2Server {
  public:
   struct Config {

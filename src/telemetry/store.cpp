@@ -100,6 +100,7 @@ bool TelemetryStore::evict_one() {
 }
 
 Status TelemetryStore::record(const SeriesKey& key, Nanos t, double v) {
+  FLEXRIC_ASSERT_AFFINITY(affinity_);
   auto it = series_.find(key);
   if (it == series_.end()) {
     while (sizeof(*this) + (series_.size() + 1) * per_series_cost_ >
@@ -125,6 +126,7 @@ const TimeSeries* TelemetryStore::find(const SeriesKey& key) const {
 Result<std::vector<RawSample>> TelemetryStore::raw_range(const SeriesKey& key,
                                                          Nanos t0,
                                                          Nanos t1) const {
+  FLEXRIC_ASSERT_AFFINITY(affinity_);
   const TimeSeries* s = find(key);
   if (s == nullptr) return Errc::not_found;
   return s->raw_range(t0, t1);
@@ -132,6 +134,7 @@ Result<std::vector<RawSample>> TelemetryStore::raw_range(const SeriesKey& key,
 
 Result<std::vector<RawSample>> TelemetryStore::latest(const SeriesKey& key,
                                                       std::size_t n) const {
+  FLEXRIC_ASSERT_AFFINITY(affinity_);
   const TimeSeries* s = find(key);
   if (s == nullptr) return Errc::not_found;
   return s->latest(n);
@@ -140,6 +143,7 @@ Result<std::vector<RawSample>> TelemetryStore::latest(const SeriesKey& key,
 Result<std::vector<Rollup>> TelemetryStore::rollups(const SeriesKey& key,
                                                     int tier, Nanos t0,
                                                     Nanos t1) const {
+  FLEXRIC_ASSERT_AFFINITY(affinity_);
   const TimeSeries* s = find(key);
   if (s == nullptr) return Errc::not_found;
   if (tier != 1 && tier != 2) return Errc::unsupported;
@@ -148,6 +152,7 @@ Result<std::vector<Rollup>> TelemetryStore::rollups(const SeriesKey& key,
 
 Result<WindowAggregate> TelemetryStore::window_aggregate(
     const SeriesKey& key, Nanos t0, Nanos t1, QuerySource source) const {
+  FLEXRIC_ASSERT_AFFINITY(affinity_);
   const TimeSeries* s = find(key);
   if (s == nullptr) return Errc::not_found;
 

@@ -26,6 +26,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/affinity.hpp"
 #include "common/result.hpp"
 #include "telemetry/series.hpp"
 
@@ -118,6 +119,7 @@ struct WindowAggregate {
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
 };
 
+// @affine(reactor)
 class TelemetryStore {
  public:
   explicit TelemetryStore(StoreConfig cfg);
@@ -180,6 +182,9 @@ class TelemetryStore {
   bool evict_one();
 
   StoreConfig cfg_;
+  /// No Reactor reference here, so the stamp lazily binds to the first
+  /// calling thread (check_or_bind); mutable because const queries check it.
+  mutable ReactorAffinity affinity_;
   std::size_t per_series_cost_ = 0;
   std::map<SeriesKey, Entry> series_;
   std::uint64_t write_seq_ = 0;

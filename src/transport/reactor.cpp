@@ -116,6 +116,9 @@ int Reactor::next_timeout_ms(int requested) const {
 }
 
 int Reactor::run_once(int timeout_ms) {
+  // The thread pumping the loop owns every reactor-affine object; re-stamp
+  // on each entry so handing the loop to a worker thread re-binds cleanly.
+  if constexpr (kAffinityGuardsEnabled) affinity_.bind_to_current_thread();
   int handled = drain_tasks();
   handled += fire_due_timers();
 

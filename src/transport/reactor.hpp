@@ -17,6 +17,7 @@
 #include <queue>
 #include <vector>
 
+#include "common/affinity.hpp"
 #include "common/clock.hpp"
 #include "common/result.hpp"
 
@@ -73,6 +74,15 @@ class Reactor {
     return !tasks_.empty();
   }
 
+  /// Owning-thread stamp, re-bound on every entry to run()/run_once() so
+  /// ownership follows whoever pumps the loop. Reactor-affine classes
+  /// (`@affine(reactor)`) check it via FLEXRIC_ASSERT_AFFINITY in their
+  /// public entry points; see common/affinity.hpp and DESIGN.md §10.
+  [[nodiscard]] ReactorAffinity& affinity() noexcept { return affinity_; }
+  [[nodiscard]] const ReactorAffinity& affinity() const noexcept {
+    return affinity_;
+  }
+
  private:
   struct Timer {
     Nanos deadline;
@@ -96,6 +106,7 @@ class Reactor {
   std::map<TimerId, std::function<void()>> timer_cbs_;  // absent = cancelled
   TimerId next_timer_id_ = 1;
   std::queue<std::function<void()>> tasks_;
+  ReactorAffinity affinity_;
 };
 
 }  // namespace flexric

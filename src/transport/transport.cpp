@@ -108,6 +108,7 @@ std::string TcpTransport::peer_name() const {
 }
 
 Status TcpTransport::send(BytesView msg, StreamId stream) {
+  FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   if (fd_ < 0) return {Errc::io, "transport closed"};
   if (msg.size() > kMaxFrameSize) return {Errc::capacity, "message too large"};
   // Backpressure a stalled peer: reject instead of queueing without bound.
@@ -125,7 +126,7 @@ void TcpTransport::schedule_flush() {
     auto a = alive.lock();
     if (!a || !*a) return;
     flush_scheduled_ = false;
-    if (fd_ >= 0) flush_write();
+    if (fd_ >= 0) (void)flush_write();
   });
 }
 
@@ -157,7 +158,7 @@ void TcpTransport::update_epoll_mask() {
   if (fd_ < 0) return;
   std::uint32_t mask = EPOLLIN;
   if (tx_off_ < txbuf_.size()) mask |= EPOLLOUT;
-  reactor_.mod_fd(fd_, mask);
+  (void)reactor_.mod_fd(fd_, mask);
 }
 
 void TcpTransport::on_events(std::uint32_t events) {
@@ -165,7 +166,7 @@ void TcpTransport::on_events(std::uint32_t events) {
     close();
     return;
   }
-  if (events & EPOLLOUT) flush_write();
+  if (events & EPOLLOUT) (void)flush_write();
   if (events & EPOLLIN) read_ready();
 }
 

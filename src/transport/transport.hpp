@@ -81,6 +81,7 @@ class MsgTransport {
 // TCP with SCTP-like framing
 // ---------------------------------------------------------------------------
 
+// @affine(reactor)
 class TcpTransport final : public MsgTransport {
  public:
   /// Wrap an already-connected socket (takes ownership of fd).

@@ -1,0 +1,16 @@
+// Known-bad fixture: a sleep inside a lambda handed to the reactor. The
+// lambda itself is lifetime-clean (no `this`), but its body would stall the
+// loop thread for every connected peer.
+#include <chrono>
+#include <functional>
+#include <thread>
+
+struct Reactor {
+  void post(std::function<void()> fn);
+};
+
+void schedule_nap(Reactor& r) {
+  r.post([] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  });
+}

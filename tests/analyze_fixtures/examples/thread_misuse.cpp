@@ -1,0 +1,16 @@
+// Known-bad fixture: an object of a `// @affine(reactor)` class driven from a
+// raw std::thread lambda — exactly the wrong-thread entry the runtime guard
+// aborts on in FLEXRIC_AFFINITY_GUARDS builds.
+#include <thread>
+
+// @affine(reactor)
+class MiniServer {
+ public:
+  void attach(int id);
+};
+
+void demo() {
+  MiniServer srv;
+  std::thread worker([&] { srv.attach(1); });
+  worker.join();
+}

@@ -1,0 +1,22 @@
+// Known-bad fixture: a class stamps FLEXRIC_ASSERT_AFFINITY in a method but
+// its declaration carries no `// @affine(reactor)` annotation, so call sites
+// cannot know the single-thread contract exists.
+namespace fixture {
+
+struct ReactorAffinity {
+  bool check_or_bind();
+};
+
+class StatsCache {
+ public:
+  void record(int v) {
+    FLEXRIC_ASSERT_AFFINITY(affinity_);
+    last_ = v;
+  }
+
+ private:
+  ReactorAffinity affinity_;
+  int last_ = 0;
+};
+
+}  // namespace fixture

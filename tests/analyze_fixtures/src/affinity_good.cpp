@@ -1,0 +1,21 @@
+// Known-good fixture: the annotation and the guard stamp agree.
+namespace fixture {
+
+struct ReactorAffinity {
+  bool check_or_bind();
+};
+
+// @affine(reactor)
+class GoodCache {
+ public:
+  void record(int v) {
+    FLEXRIC_ASSERT_AFFINITY(affinity_);
+    last_ = v;
+  }
+
+ private:
+  ReactorAffinity affinity_;
+  int last_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Known-bad fixture: blocking primitives in reactor-affine code (the `src`
+// category outside src/transport/). Handlers run on the loop thread; a sleep,
+// a blocking recv or a condition_variable wait stalls every peer.
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace fixture {
+
+void handler_tick() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+long drain(int fd) {
+  char buf[64];
+  return ::recv(fd, buf, sizeof buf, 0);
+}
+
+void wait_done(std::condition_variable& cv, std::mutex& m, bool& done) {
+  std::unique_lock<std::mutex> lk(m);
+  cv.wait(lk, [&] { return done; });
+}
+
+}  // namespace fixture

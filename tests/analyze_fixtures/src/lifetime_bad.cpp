@@ -1,0 +1,27 @@
+// Known-bad fixture: the pre-fix Broker::publish shape. A lambda posted to
+// the reactor captures `this` (or a raw pointer) with no alive token, so
+// destroying the owner with the task still queued is a use-after-free.
+#include <functional>
+
+namespace fixture {
+
+struct Reactor {
+  void post(std::function<void()> fn);
+};
+
+class Broker {
+ public:
+  void publish(int topic) {
+    reactor_.post([this, topic]() { deliver(topic); });
+  }
+  void defer_bump() {
+    reactor_.post([p = &stats_]() { ++*p; });
+  }
+
+ private:
+  void deliver(int topic);
+  Reactor& reactor_;
+  int stats_ = 0;
+};
+
+}  // namespace fixture

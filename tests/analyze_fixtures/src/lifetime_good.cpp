@@ -1,0 +1,29 @@
+// Known-good fixture: the alive-token pattern from transport.cpp. The posted
+// lambda captures a weak_ptr guard next to `this` and early-returns when the
+// owner has died, so the capture of `this` is safe.
+#include <functional>
+#include <memory>
+
+namespace fixture {
+
+struct Reactor {
+  void post(std::function<void()> fn);
+};
+
+class Flusher {
+ public:
+  void schedule() {
+    reactor_.post([this, alive = std::weak_ptr<bool>(alive_)] {
+      auto a = alive.lock();
+      if (!a || !*a) return;
+      flush();
+    });
+  }
+
+ private:
+  void flush();
+  Reactor& reactor_;
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace fixture

@@ -1,0 +1,26 @@
+// Known-bad fixture: Status/Result return values dropped on the floor. The
+// registry is built from these very declarations, so the rule must flag the
+// two bare calls and accept the handled/voided ones.
+namespace fixture {
+
+struct Status {
+  bool is_ok() const;
+};
+template <typename T>
+struct Result {
+  T take();
+};
+
+Status send_frame(int fd);
+Result<int> parse_header(int fd);
+
+void pump(int fd) {
+  send_frame(fd);
+  parse_header(fd);
+  (void)send_frame(fd);
+  if (send_frame(fd).is_ok()) return;
+  Status st = send_frame(fd);
+  (void)st.is_ok();
+}
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture for the suppression syntax: a `lint: allow(<rule>) <reason>` on the
+// finding line or the line above silences it. Expected findings: none.
+namespace fixture {
+
+void legacy_poll() {
+  // lint: allow(blocking-in-handler) fixture: documents the suppression syntax
+  ::usleep(100);
+}
+
+}  // namespace fixture

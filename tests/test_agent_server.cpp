@@ -54,7 +54,7 @@ class StubFunction final : public agent::RanFunction {
     ind.ran_function_id = desc_.id;
     ind.action_id = 1;
     ind.message = std::move(payload);
-    services_->send_indication(origin, ind);
+    (void)services_->send_indication(origin, ind);
   }
 
   int subs = 0, deletes = 0, controls = 0;
@@ -237,7 +237,7 @@ TEST(AgentServer, ControlToUnknownFunctionFails) {
   bool failed = false;
   server::CtrlCallbacks cbs;
   cbs.on_failure = [&](const e2ap::ControlFailure&) { failed = true; };
-  w.server.send_control(1, 999, {}, {}, cbs);
+  (void)w.server.send_control(1, 999, {}, {}, cbs);
   ASSERT_TRUE(pump_until(w.reactor, [&] { return failed; }));
 }
 
@@ -427,7 +427,7 @@ TEST(MultiController, ControllerDetachClearsFunctionsState) {
   auto fn = std::make_shared<StubFunction>(200);
   agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::gnb},
                                  WireFormat::flat});
-  agent.register_function(fn);
+  (void)agent.register_function(fn);
   auto [a1, s1] = LocalTransport::make_pair(reactor);
   ctrl.attach(s1);
   auto id = agent.add_controller(a1);
@@ -450,7 +450,7 @@ TEST(AgentServer, WorksOverTcpWithPerCodec) {
   auto fn = std::make_shared<StubFunction>(200);
   agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::gnb},
                                  WireFormat::per});
-  agent.register_function(fn);
+  (void)agent.register_function(fn);
   auto conn = TcpTransport::connect(reactor, "127.0.0.1", server.port());
   ASSERT_TRUE(conn.is_ok());
   ASSERT_TRUE(
@@ -464,7 +464,7 @@ TEST(AgentServer, WorksOverTcpWithPerCodec) {
   server::CtrlCallbacks cbs;
   cbs.on_ack = [&](const e2ap::ControlAck& ack) { outcome = ack.outcome; };
   server::AgentId aid = server.ran_db().agents().front();
-  server.send_control(aid, 200, {}, Buffer{1, 2, 3}, cbs);
+  (void)server.send_control(aid, 200, {}, Buffer{1, 2, 3}, cbs);
   ASSERT_TRUE(pump_until(reactor, [&] { return !outcome.empty(); }));
   EXPECT_EQ(outcome, (Buffer{1, 2, 3}));
 }

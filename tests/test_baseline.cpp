@@ -94,7 +94,7 @@ TEST(FlexRan, HelloCreatesRibEntry) {
 
 TEST(FlexRan, StatsFlowIntoRibHistory) {
   FlexRanWorld w;
-  w.bs.attach_ue({100, 1, 0, 15, 28});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 28});
   w.controller.request_stats(1);
   pump(w.reactor);
   w.run_ttis(50);
@@ -110,7 +110,7 @@ TEST(FlexRan, StatsFlowIntoRibHistory) {
 
 TEST(FlexRan, RibHistoryIsBounded) {
   FlexRanWorld w;
-  w.bs.attach_ue({100, 1, 0, 15, 28});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 28});
   w.controller.request_stats(1);
   pump(w.reactor);
   w.run_ttis(static_cast<int>(flexran::Controller::kHistoryDepth) + 200);
@@ -134,7 +134,7 @@ TEST(FlexRan, PollerScansEvenWithoutNewData) {
 TEST(FlexRan, EchoMeasuresRtt) {
   FlexRanWorld w;
   std::optional<Nanos> rtt;
-  w.controller.send_echo(1, Buffer(100, 0x55),
+  (void)w.controller.send_echo(1, Buffer(100, 0x55),
                          [&](const flexran::Echo& echo, Nanos rx) {
                            rtt = rx - static_cast<Nanos>(echo.sent_ns);
                          });
@@ -179,7 +179,7 @@ struct OranWorld {
     // agent -> E2T hop.
     auto [a_side, t_side] = LocalTransport::make_pair(reactor);
     e2term.attach_agent(t_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     // E2T -> xApp hop (the second hop).
     auto [x_side, r_side] = LocalTransport::make_pair(reactor);
     e2term.attach_xapp(r_side);
@@ -208,7 +208,7 @@ TEST(OranRic, SetupIsTerminatedAtE2T) {
 
 TEST(OranRic, IndicationsAreDecodedTwice) {
   OranWorld w;
-  w.bs.attach_ue({100, 1, 0, 15, 28});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 28});
   ASSERT_TRUE(
       w.xapp->subscribe(e2sm::mac::Sm::kId,
                         e2sm::sm_encode(e2sm::EventTrigger{
@@ -233,8 +233,8 @@ TEST(OranRic, IndicationsAreDecodedTwice) {
 
 TEST(OranRic, RegistryRoutesBySubscription) {
   OranWorld w;
-  w.bs.attach_ue({100, 1, 0, 15, 28});
-  w.xapp->subscribe(e2sm::mac::Sm::kId,
+  (void)w.bs.attach_ue({100, 1, 0, 15, 28});
+  (void)w.xapp->subscribe(e2sm::mac::Sm::kId,
                     e2sm::sm_encode(e2sm::EventTrigger{
                                         e2sm::TriggerKind::periodic, 1},
                                     WireFormat::per),
@@ -253,12 +253,12 @@ TEST(OranRic, ControlTraversesBothHops) {
   Reactor reactor;
   agent::E2Agent agent(reactor,
                        {{1, 11, e2ap::NodeType::enb}, WireFormat::per});
-  agent.register_function(
+  (void)agent.register_function(
       std::make_shared<ran::HwFunction>(WireFormat::per));
   oran::E2Termination e2term(reactor);
   auto [a_side, t_side] = LocalTransport::make_pair(reactor);
   e2term.attach_agent(t_side);
-  agent.add_controller(a_side);
+  (void)agent.add_controller(a_side);
   auto [x_side, r_side] = LocalTransport::make_pair(reactor);
   e2term.attach_xapp(r_side);
   oran::OranXapp xapp(reactor, x_side, WireFormat::per);
@@ -269,7 +269,7 @@ TEST(OranRic, ControlTraversesBothHops) {
   xapp.set_on_indication([&](const e2ap::Indication& ind) {
     pong = *e2sm::sm_decode<e2sm::hw::Pong>(ind.message, WireFormat::per);
   });
-  xapp.subscribe(e2sm::hw::Sm::kId,
+  (void)xapp.subscribe(e2sm::hw::Sm::kId,
                  e2sm::sm_encode(
                      e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
                      WireFormat::per),
@@ -278,7 +278,7 @@ TEST(OranRic, ControlTraversesBothHops) {
   e2sm::hw::Ping ping;
   ping.seq = 5;
   ping.payload = Buffer(100, 0x42);
-  xapp.send_control(e2sm::hw::Sm::kId, {},
+  (void)xapp.send_control(e2sm::hw::Sm::kId, {},
                     e2sm::sm_encode(ping, WireFormat::per));
   ASSERT_TRUE(pump_until(reactor, [&] { return pong.has_value(); }));
   EXPECT_EQ(pong->seq, 5u);

@@ -118,6 +118,25 @@ TEST(Broker, DeliveryIsAsynchronous) {
   EXPECT_TRUE(delivered);
 }
 
+// Regression for the posted-lambda use-after-free: publish() queues a task on
+// the reactor; destroying the Broker before the loop turns must void the
+// delivery (weak alive token), not dereference the dead broker. Under ASan
+// the old `[this, ...]` capture made this test crash.
+TEST(Broker, DestroyWithPublishInFlightIsSafe) {
+  Reactor reactor;
+  int got = 0;
+  {
+    Broker broker(reactor);
+    broker.subscribe("t", [&](const std::string&, BytesView) { got++; });
+    Buffer p{1};
+    broker.publish("t", p);
+    broker.publish("t", p);
+    EXPECT_EQ(broker.published(), 2u);
+  }  // broker dies with both deliveries still queued
+  pump(reactor);
+  EXPECT_EQ(got, 0);  // voided, not delivered — and no use-after-free
+}
+
 // ---------------------------------------------------------------------------
 // REST server + client
 // ---------------------------------------------------------------------------
@@ -219,7 +238,7 @@ struct MonitorWorld {
   void connect() {
     auto [a_side, s_side] = LocalTransport::make_pair(reactor);
     server.attach(s_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     test::pump_until(reactor,
                      [this] { return server.ran_db().num_agents() == 1; });
   }
@@ -238,8 +257,8 @@ TEST(Monitor, SubscribesAndPopulatesDb) {
   auto monitor = std::make_shared<MonitorIApp>(MonitorIApp::Config{kFmt, 1});
   w.server.add_iapp(monitor);
   w.connect();
-  w.bs.attach_ue({100, 1, 0, 15, 20});
-  w.bs.attach_ue({101, 1, 0, 15, 20});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)w.bs.attach_ue({101, 1, 0, 15, 20});
   w.run_ttis(20);
   pump(w.reactor, 5);
 
@@ -264,7 +283,7 @@ TEST(Monitor, RepublishesToBroker) {
   broker.subscribe("stats/rlc",
                    [&](const std::string&, BytesView) { published++; });
   w.connect();
-  w.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 20});
   w.run_ttis(10);
   pump(w.reactor, 5);
   EXPECT_GT(published, 5);
@@ -321,7 +340,7 @@ TEST(SlicingIApp, ConfiguresSlicesAndLearnsUes) {
       std::make_shared<SlicingIApp>(SlicingIApp::Config{kFmt, 10});
   w.server.add_iapp(slicing);
   w.connect();
-  w.bs.attach_ue({100, 20899, 1, 15, 20});
+  (void)w.bs.attach_ue({100, 20899, 1, 15, 20});
   pump(w.reactor, 5);
   // UE discovery through RRC events.
   ASSERT_EQ(slicing->ues().size(), 1u);
@@ -394,7 +413,7 @@ TEST(TcXappPolicy, AppliesSegregationWhenSojournExceedsLimit) {
   TcXapp xapp(broker, *manager, xcfg);
 
   w.connect();
-  w.bs.attach_ue({100, 1, 0, 15, 3});  // low MCS: easy to bloat
+  (void)w.bs.attach_ue({100, 1, 0, 15, 3});  // low MCS: easy to bloat
   EXPECT_FALSE(xapp.applied());
 
   // Overload the bearer: sojourn climbs past the limit, the xApp reacts.

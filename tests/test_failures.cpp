@@ -36,7 +36,7 @@ struct Stack {
     agent_side = a;
     server_side = s;
     server.attach(s);
-    agent.add_controller(a);
+    (void)agent.add_controller(a);
     test::pump_until(reactor,
                      [this] { return server.ran_db().num_agents() == 1; });
   }
@@ -60,7 +60,7 @@ struct Stack {
 
 TEST(Failures, AgentDisconnectCleansServerState) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   int got = 0;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication&) { got++; };
@@ -93,9 +93,9 @@ TEST(Failures, AgentDisconnectCleansServerState) {
 
 TEST(Failures, ControllerDisconnectTearsDownAgentSubscriptions) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   server::SubCallbacks cbs;
-  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
   EXPECT_EQ(s.bundle.mac().num_subscriptions(), 1u);
@@ -109,9 +109,9 @@ TEST(Failures, ControllerDisconnectTearsDownAgentSubscriptions) {
 
 TEST(Failures, ResetClearsSubscriptionsAndResponds) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   server::SubCallbacks cbs;
-  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
   EXPECT_EQ(s.bundle.mac().num_subscriptions(), 1u);
@@ -121,7 +121,7 @@ TEST(Failures, ResetClearsSubscriptionsAndResponds) {
   reset.cause = {e2ap::Cause::Group::misc, 0};
   auto wire = e2ap::codec_for(kFmt).encode(e2ap::Msg{reset});
   ASSERT_TRUE(wire.is_ok());
-  s.server_side->send(*wire);
+  (void)s.server_side->send(*wire);
   pump(s.reactor, 10);
   EXPECT_EQ(s.bundle.mac().num_subscriptions(), 0u);
 }
@@ -129,15 +129,15 @@ TEST(Failures, ResetClearsSubscriptionsAndResponds) {
 TEST(Failures, GarbageOnTheWireIsIgnored) {
   Stack s;
   Buffer garbage{0xDE, 0xAD, 0xBE, 0xEF, 0x42};
-  s.server_side->send(garbage);  // towards the agent
-  s.agent_side->send(garbage);   // towards the server
+  (void)s.server_side->send(garbage);  // towards the agent
+  (void)s.agent_side->send(garbage);   // towards the server
   pump(s.reactor, 10);
   // Both sides alive and functional.
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   int got = 0;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication&) { got++; };
-  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
   s.run_ttis(5);
@@ -149,7 +149,7 @@ TEST(Failures, MalformedEventTriggerYieldsSubscriptionFailure) {
   bool failed = false;
   server::SubCallbacks cbs;
   cbs.on_failure = [&](const e2ap::SubscriptionFailure&) { failed = true; };
-  s.server.subscribe(1, e2sm::mac::Sm::kId, Buffer{0xFF, 0xFF},
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, Buffer{0xFF, 0xFF},
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
 }
@@ -159,7 +159,7 @@ TEST(Failures, MalformedControlPayloadYieldsControlFailure) {
   bool failed = false;
   server::CtrlCallbacks cbs;
   cbs.on_failure = [&](const e2ap::ControlFailure&) { failed = true; };
-  s.server.send_control(1, e2sm::slice::Sm::kId, {}, Buffer{0x01}, cbs);
+  (void)s.server.send_control(1, e2sm::slice::Sm::kId, {}, Buffer{0x01}, cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
 }
 
@@ -190,14 +190,14 @@ TEST(ServiceUpdate, LiveFunctionAdditionReachesRanDb) {
 
 TEST(ServiceUpdate, LiveAdditionIsSubscribableImmediately) {
   Stack s;
-  s.agent.add_function_live(std::make_shared<ran::HwFunction>(kFmt));
+  (void)s.agent.add_function_live(std::make_shared<ran::HwFunction>(kFmt));
   pump(s.reactor, 10);
   bool responded = false;
   server::SubCallbacks cbs;
   cbs.on_response = [&](const e2ap::SubscriptionResponse&) {
     responded = true;
   };
-  s.server.subscribe(
+  (void)s.server.subscribe(
       1, e2sm::hw::Sm::kId,
       e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
                       kFmt),
@@ -216,7 +216,7 @@ TEST(ServiceUpdate, LiveRemovalWithdrawsFunction) {
   bool failed = false;
   server::SubCallbacks cbs;
   cbs.on_failure = [&](const e2ap::SubscriptionFailure&) { failed = true; };
-  s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.periodic(1),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
   EXPECT_FALSE(s.agent.remove_function_live(9999).is_ok());
@@ -243,15 +243,15 @@ TEST(AssocSm, CtrlRoundTrip) {
 TEST(AssocSm, OnlyPrimaryControllerMayConfigure) {
   Reactor reactor;
   agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::du}, kFmt});
-  agent.register_function(std::make_shared<ran::AssocFunction>(kFmt));
+  (void)agent.register_function(std::make_shared<ran::AssocFunction>(kFmt));
   server::E2Server primary(reactor, {1, kFmt});
   server::E2Server secondary(reactor, {2, kFmt});
   auto [a0, s0] = LocalTransport::make_pair(reactor);
   primary.attach(s0);
-  agent.add_controller(a0);
+  (void)agent.add_controller(a0);
   auto [a1, s1] = LocalTransport::make_pair(reactor);
   secondary.attach(s1);
-  agent.add_controller(a1);
+  (void)agent.add_controller(a1);
   pump_until(reactor, [&] {
     return primary.ran_db().num_agents() == 1 &&
            secondary.ran_db().num_agents() == 1;
@@ -268,7 +268,7 @@ TEST(AssocSm, OnlyPrimaryControllerMayConfigure) {
                ->success;
     };
     cbs.on_failure = [&](const e2ap::ControlFailure&) { ok = false; };
-    from.send_control(1, e2sm::assoc::Sm::kId, {},
+    (void)from.send_control(1, e2sm::assoc::Sm::kId, {},
                       e2sm::sm_encode(msg, kFmt), cbs);
     pump_until(reactor, [&] { return ok.has_value(); });
     return ok.value_or(false);
@@ -284,23 +284,23 @@ TEST(Disaggregated, Fig4AssociationFlow) {
   ran::BaseStation bs(nr_cell());
   // CU: RRC; DU: MAC + ASSOC. Same (plmn, nb_id) => one RAN entity.
   agent::E2Agent cu(reactor, {{1, 55, e2ap::NodeType::cu}, kFmt});
-  cu.register_function(std::make_shared<ran::RrcFunction>(bs, kFmt));
+  (void)cu.register_function(std::make_shared<ran::RrcFunction>(bs, kFmt));
   agent::E2Agent du(reactor, {{1, 55, e2ap::NodeType::du}, kFmt});
   auto mac_fn = std::make_shared<ran::MacStatsFunction>(bs, kFmt);
-  du.register_function(mac_fn);
-  du.register_function(std::make_shared<ran::AssocFunction>(kFmt));
+  (void)du.register_function(mac_fn);
+  (void)du.register_function(std::make_shared<ran::AssocFunction>(kFmt));
 
   server::E2Server infra(reactor, {1, kFmt});
   auto [c0, s0] = LocalTransport::make_pair(reactor);
   infra.attach(s0);
-  cu.add_controller(c0);
+  (void)cu.add_controller(c0);
   auto [d0, s1] = LocalTransport::make_pair(reactor);
   infra.attach(s1);
-  du.add_controller(d0);
+  (void)du.add_controller(d0);
   server::E2Server specialized(reactor, {2, kFmt});
   auto [d1, s2] = LocalTransport::make_pair(reactor);
   specialized.attach(s2);
-  du.add_controller(d1);
+  (void)du.add_controller(d1);
   pump_until(reactor, [&] {
     return infra.ran_db().num_agents() == 2 &&
            specialized.ran_db().num_agents() == 1;
@@ -316,7 +316,7 @@ TEST(Disaggregated, Fig4AssociationFlow) {
     seen = e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message, kFmt)
                ->ues.size();
   };
-  specialized.subscribe(
+  (void)specialized.subscribe(
       1, e2sm::mac::Sm::kId,
       e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::periodic, 1},
                       kFmt),
@@ -330,10 +330,10 @@ TEST(Disaggregated, Fig4AssociationFlow) {
     e2sm::assoc::CtrlMsg assoc;
     assoc.rnti = ev->rnti;
     assoc.controller_index = 1;
-    infra.send_control(*entity->du, e2sm::assoc::Sm::kId, {},
+    (void)infra.send_control(*entity->du, e2sm::assoc::Sm::kId, {},
                        e2sm::sm_encode(assoc, kFmt), {}, false);
   };
-  infra.subscribe(*entity->cu, e2sm::rrc::Sm::kId,
+  (void)infra.subscribe(*entity->cu, e2sm::rrc::Sm::kId,
                   e2sm::sm_encode(
                       e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
                       kFmt),
@@ -353,7 +353,7 @@ TEST(Disaggregated, Fig4AssociationFlow) {
   ASSERT_TRUE(seen.has_value());
   EXPECT_EQ(*seen, 0u);  // invisible before association
 
-  bs.attach_ue({100, 20899, 0, 15, 20});  // Fig. 4 step (1)
+  (void)bs.attach_ue({100, 20899, 0, 15, 20});  // Fig. 4 step (1)
   pump(reactor, 10);                      // steps (2)-(4)
   run_ttis(10);                           // step (5)
   EXPECT_EQ(*seen, 1u);

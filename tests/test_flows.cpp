@@ -150,7 +150,7 @@ struct PathWorld {
     cfg.ul_owd = 10 * kMilli;
     cfg.ul_jitter = 8 * kMilli;
     tm = std::make_unique<TrafficManager>(bs, cfg);
-    bs.attach_ue({100, 1, 0, 15, 28});
+    (void)bs.attach_ue({100, 1, 0, 15, 28});
   }
   void run(Nanos duration, Nanos start = 0) {
     for (Nanos now = start; now < start + duration; now += kMilli) {

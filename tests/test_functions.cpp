@@ -76,7 +76,7 @@ TEST(Functions, AgentAdvertisesAllBundledSms) {
 
 TEST(Functions, MacStatsPeriodicReports) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   std::vector<e2sm::mac::IndicationMsg> reports;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication& ind) {
@@ -99,11 +99,11 @@ TEST(Functions, MacStatsPeriodicReports) {
 
 TEST(Functions, ReportPeriodIsHonored) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   int count = 0;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication&) { count++; };
-  s.server.subscribe(1, e2sm::mac::Sm::kId, s.trigger(10),
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.trigger(10),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
   s.run_ttis(100);
@@ -114,7 +114,7 @@ TEST(Functions, ReportPeriodIsHonored) {
 
 TEST(Functions, HarqOnlyWhenRequested) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   std::optional<e2sm::mac::IndicationMsg> with, without;
   auto subscribe = [&](bool harq, auto& out) {
     e2sm::mac::ActionDef def;
@@ -123,7 +123,7 @@ TEST(Functions, HarqOnlyWhenRequested) {
     cbs.on_indication = [&out](const e2ap::Indication& ind) {
       out = *e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message, kFmt);
     };
-    s.server.subscribe(1, e2sm::mac::Sm::kId, s.trigger(1),
+    (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.trigger(1),
                        {{1, e2ap::ActionType::report,
                          e2sm::sm_encode(def, kFmt)}},
                        cbs);
@@ -144,7 +144,7 @@ TEST(Functions, HarqOnlyWhenRequested) {
 
 TEST(Functions, SubscriptionDeleteStopsReports) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   int count = 0;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication&) { count++; };
@@ -165,7 +165,7 @@ TEST(Functions, OnEventTriggerRejectedByPeriodicSm) {
   bool failed = false;
   server::SubCallbacks cbs;
   cbs.on_failure = [&](const e2ap::SubscriptionFailure&) { failed = true; };
-  s.server.subscribe(1, e2sm::mac::Sm::kId,
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId,
                      s.trigger(0, e2sm::TriggerKind::on_event),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
@@ -173,7 +173,7 @@ TEST(Functions, OnEventTriggerRejectedByPeriodicSm) {
 
 TEST(Functions, RlcAndPdcpAndKpmReports) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   std::optional<e2sm::rlc::IndicationMsg> rlc;
   std::optional<e2sm::pdcp::IndicationMsg> pdcp;
   std::optional<e2sm::kpm::IndicationMsg> kpm;
@@ -187,11 +187,11 @@ TEST(Functions, RlcAndPdcpAndKpmReports) {
   kpm_cbs.on_indication = [&](const e2ap::Indication& ind) {
     kpm = *e2sm::sm_decode<e2sm::kpm::IndicationMsg>(ind.message, kFmt);
   };
-  s.server.subscribe(1, e2sm::rlc::Sm::kId, s.trigger(5),
+  (void)s.server.subscribe(1, e2sm::rlc::Sm::kId, s.trigger(5),
                      {{1, e2ap::ActionType::report, {}}}, rlc_cbs);
-  s.server.subscribe(1, e2sm::pdcp::Sm::kId, s.trigger(5),
+  (void)s.server.subscribe(1, e2sm::pdcp::Sm::kId, s.trigger(5),
                      {{1, e2ap::ActionType::report, {}}}, pdcp_cbs);
-  s.server.subscribe(1, e2sm::kpm::Sm::kId, s.trigger(10),
+  (void)s.server.subscribe(1, e2sm::kpm::Sm::kId, s.trigger(10),
                      {{1, e2ap::ActionType::report, {}}}, kpm_cbs);
   pump(s.reactor);
   s.run_ttis(50, [&](Nanos) {
@@ -215,12 +215,12 @@ TEST(Functions, RrcEventsReachSubscriber) {
     events.push_back(
         *e2sm::sm_decode<e2sm::rrc::IndicationMsg>(ind.message, kFmt));
   };
-  s.server.subscribe(1, e2sm::rrc::Sm::kId,
+  (void)s.server.subscribe(1, e2sm::rrc::Sm::kId,
                      s.trigger(0, e2sm::TriggerKind::on_event),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
-  s.bs.attach_ue({100, 20899, 5, 15, 20});
-  s.bs.detach_ue(100);
+  (void)s.bs.attach_ue({100, 20899, 5, 15, 20});
+  (void)s.bs.detach_ue(100);
   pump(s.reactor, 5);
   ASSERT_EQ(events.size(), 2u);
   EXPECT_EQ(events[0].kind, e2sm::rrc::EventKind::attach);
@@ -239,14 +239,14 @@ TEST(Functions, RrcDetachOnlyFilter) {
     kinds.push_back(
         e2sm::sm_decode<e2sm::rrc::IndicationMsg>(ind.message, kFmt)->kind);
   };
-  s.server.subscribe(1, e2sm::rrc::Sm::kId,
+  (void)s.server.subscribe(1, e2sm::rrc::Sm::kId,
                      s.trigger(0, e2sm::TriggerKind::on_event),
                      {{1, e2ap::ActionType::report,
                        e2sm::sm_encode(def, kFmt)}},
                      cbs);
   pump(s.reactor);
-  s.bs.attach_ue({100, 1, 0, 15, 20});
-  s.bs.detach_ue(100);
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.detach_ue(100);
   pump(s.reactor, 5);
   ASSERT_EQ(kinds.size(), 1u);
   EXPECT_EQ(kinds[0], e2sm::rrc::EventKind::detach);
@@ -254,7 +254,7 @@ TEST(Functions, RrcDetachOnlyFilter) {
 
 TEST(Functions, SliceControlViaE2AppliesAndAcks) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   e2sm::slice::CtrlMsg msg;
   msg.kind = e2sm::slice::CtrlKind::add_mod;
   msg.algo = e2sm::slice::Algo::nvs;
@@ -269,7 +269,7 @@ TEST(Functions, SliceControlViaE2AppliesAndAcks) {
     success =
         e2sm::sm_decode<e2sm::slice::CtrlOutcome>(ack.outcome, kFmt)->success;
   };
-  s.server.send_control(1, e2sm::slice::Sm::kId, {},
+  (void)s.server.send_control(1, e2sm::slice::Sm::kId, {},
                         e2sm::sm_encode(msg, kFmt), cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return success.has_value(); }));
   EXPECT_TRUE(*success);
@@ -292,7 +292,7 @@ TEST(Functions, SliceControlRejectionReportedInOutcome) {
   cbs.on_ack = [&](const e2ap::ControlAck& ack) {
     outcome = *e2sm::sm_decode<e2sm::slice::CtrlOutcome>(ack.outcome, kFmt);
   };
-  s.server.send_control(1, e2sm::slice::Sm::kId, {},
+  (void)s.server.send_control(1, e2sm::slice::Sm::kId, {},
                         e2sm::sm_encode(msg, kFmt), cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return outcome.has_value(); }));
   EXPECT_FALSE(outcome->success);
@@ -301,13 +301,13 @@ TEST(Functions, SliceControlRejectionReportedInOutcome) {
 
 TEST(Functions, SliceStatusReports) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   std::optional<e2sm::slice::IndicationMsg> status;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication& ind) {
     status = *e2sm::sm_decode<e2sm::slice::IndicationMsg>(ind.message, kFmt);
   };
-  s.server.subscribe(1, e2sm::slice::Sm::kId, s.trigger(10),
+  (void)s.server.subscribe(1, e2sm::slice::Sm::kId, s.trigger(10),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
   s.run_ttis(30);
@@ -318,7 +318,7 @@ TEST(Functions, SliceStatusReports) {
 
 TEST(Functions, TcControlInstallsQueueFilterPacer) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   auto send_tc = [&](e2sm::tc::CtrlMsg msg) {
     std::optional<bool> ok;
     server::CtrlCallbacks cbs;
@@ -326,7 +326,7 @@ TEST(Functions, TcControlInstallsQueueFilterPacer) {
       ok = e2sm::sm_decode<e2sm::tc::CtrlOutcome>(ack.outcome, kFmt)->success;
     };
     cbs.on_failure = [&](const e2ap::ControlFailure&) { ok = false; };
-    s.server.send_control(1, e2sm::tc::Sm::kId, {},
+    (void)s.server.send_control(1, e2sm::tc::Sm::kId, {},
                           e2sm::sm_encode(msg, kFmt), cbs);
     pump_until(s.reactor, [&] { return ok.has_value(); });
     return ok.value_or(false);
@@ -367,13 +367,13 @@ TEST(Functions, TcControlInstallsQueueFilterPacer) {
 
 TEST(Functions, TcStatsReports) {
   Stack s;
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
   std::optional<e2sm::tc::IndicationMsg> stats;
   server::SubCallbacks cbs;
   cbs.on_indication = [&](const e2ap::Indication& ind) {
     stats = *e2sm::sm_decode<e2sm::tc::IndicationMsg>(ind.message, kFmt);
   };
-  s.server.subscribe(1, e2sm::tc::Sm::kId, s.trigger(10),
+  (void)s.server.subscribe(1, e2sm::tc::Sm::kId, s.trigger(10),
                      {{1, e2ap::ActionType::report, {}}}, cbs);
   pump(s.reactor);
   s.run_ttis(30, [&](Nanos) {
@@ -389,11 +389,11 @@ TEST(Functions, TcStatsReports) {
 TEST(Functions, HwPingPongRoundTrip) {
   Reactor reactor;
   agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::gnb}, kFmt});
-  agent.register_function(std::make_shared<ran::HwFunction>(kFmt));
+  (void)agent.register_function(std::make_shared<ran::HwFunction>(kFmt));
   server::E2Server server(reactor, {21, kFmt});
   auto [a_side, s_side] = LocalTransport::make_pair(reactor);
   server.attach(s_side);
-  agent.add_controller(a_side);
+  (void)agent.add_controller(a_side);
   pump_until(reactor, [&] { return server.ran_db().num_agents() == 1; });
 
   // Install the pong path (subscription), then ping via control.
@@ -402,7 +402,7 @@ TEST(Functions, HwPingPongRoundTrip) {
   cbs.on_indication = [&](const e2ap::Indication& ind) {
     pong = *e2sm::sm_decode<e2sm::hw::Pong>(ind.message, kFmt);
   };
-  server.subscribe(1, e2sm::hw::Sm::kId,
+  (void)server.subscribe(1, e2sm::hw::Sm::kId,
                    e2sm::sm_encode(
                        e2sm::EventTrigger{e2sm::TriggerKind::on_event, 0},
                        kFmt),
@@ -413,7 +413,7 @@ TEST(Functions, HwPingPongRoundTrip) {
   ping.seq = 7;
   ping.sent_ns = 1234;
   ping.payload = Buffer(100, 0x5A);
-  server.send_control(1, e2sm::hw::Sm::kId, {},
+  (void)server.send_control(1, e2sm::hw::Sm::kId, {},
                       e2sm::sm_encode(ping, kFmt), {},
                       /*ack_requested=*/false);
   ASSERT_TRUE(pump_until(reactor, [&] { return pong.has_value(); }));
@@ -425,18 +425,18 @@ TEST(Functions, HwPingPongRoundTrip) {
 TEST(Functions, HwPingWithoutSubscriptionFails) {
   Reactor reactor;
   agent::E2Agent agent(reactor, {{1, 10, e2ap::NodeType::gnb}, kFmt});
-  agent.register_function(std::make_shared<ran::HwFunction>(kFmt));
+  (void)agent.register_function(std::make_shared<ran::HwFunction>(kFmt));
   server::E2Server server(reactor, {21, kFmt});
   auto [a_side, s_side] = LocalTransport::make_pair(reactor);
   server.attach(s_side);
-  agent.add_controller(a_side);
+  (void)agent.add_controller(a_side);
   pump_until(reactor, [&] { return server.ran_db().num_agents() == 1; });
 
   bool failed = false;
   server::CtrlCallbacks cbs;
   cbs.on_failure = [&](const e2ap::ControlFailure&) { failed = true; };
   e2sm::hw::Ping ping;
-  server.send_control(1, e2sm::hw::Sm::kId, {}, e2sm::sm_encode(ping, kFmt),
+  (void)server.send_control(1, e2sm::hw::Sm::kId, {}, e2sm::sm_encode(ping, kFmt),
                       cbs);
   ASSERT_TRUE(pump_until(reactor, [&] { return failed; }));
 }
@@ -453,8 +453,8 @@ TEST(Functions, SecondControllerSeesOnlyAssociatedUes) {
   ASSERT_TRUE(s.agent.add_controller(a_side).is_ok());
   pump_until(s.reactor, [&] { return second.ran_db().num_agents() == 1; });
 
-  s.bs.attach_ue({100, 1, 0, 15, 20});
-  s.bs.attach_ue({101, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({101, 1, 0, 15, 20});
   s.agent.associate_ue(101, 1);  // expose only UE 101 to controller 1
 
   std::optional<e2sm::mac::IndicationMsg> first_view, second_view;
@@ -466,9 +466,9 @@ TEST(Functions, SecondControllerSeesOnlyAssociatedUes) {
     second_view =
         *e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message, kFmt);
   };
-  s.server.subscribe(1, e2sm::mac::Sm::kId, s.trigger(1),
+  (void)s.server.subscribe(1, e2sm::mac::Sm::kId, s.trigger(1),
                      {{1, e2ap::ActionType::report, {}}}, cbs1);
-  second.subscribe(1, e2sm::mac::Sm::kId, s.trigger(1),
+  (void)second.subscribe(1, e2sm::mac::Sm::kId, s.trigger(1),
                    {{1, e2ap::ActionType::report, {}}}, cbs2);
   pump(s.reactor);
   s.run_ttis(10);
@@ -486,9 +486,9 @@ TEST(Functions, SliceAssocForInvisibleUeRejected) {
   server::E2Server second(s.reactor, {22, kFmt});
   auto [a_side, s_side] = LocalTransport::make_pair(s.reactor);
   second.attach(s_side);
-  s.agent.add_controller(a_side);
+  (void)s.agent.add_controller(a_side);
   pump_until(s.reactor, [&] { return second.ran_db().num_agents() == 1; });
-  s.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)s.bs.attach_ue({100, 1, 0, 15, 20});
 
   // Controller 1 (not primary) tries to associate UE 100 it cannot see.
   e2sm::slice::CtrlMsg add;
@@ -504,7 +504,7 @@ TEST(Functions, SliceAssocForInvisibleUeRejected) {
     add_ok =
         e2sm::sm_decode<e2sm::slice::CtrlOutcome>(ack.outcome, kFmt)->success;
   };
-  second.send_control(1, e2sm::slice::Sm::kId, {},
+  (void)second.send_control(1, e2sm::slice::Sm::kId, {},
                       e2sm::sm_encode(add, kFmt), add_cbs);
   pump_until(s.reactor, [&] { return add_ok.has_value(); });
   EXPECT_TRUE(add_ok.value_or(false));
@@ -515,7 +515,7 @@ TEST(Functions, SliceAssocForInvisibleUeRejected) {
   bool failed = false;
   server::CtrlCallbacks cbs;
   cbs.on_failure = [&](const e2ap::ControlFailure&) { failed = true; };
-  second.send_control(1, e2sm::slice::Sm::kId, {},
+  (void)second.send_control(1, e2sm::slice::Sm::kId, {},
                       e2sm::sm_encode(assoc, kFmt), cbs);
   ASSERT_TRUE(pump_until(s.reactor, [&] { return failed; }));
 }

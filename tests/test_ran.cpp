@@ -148,7 +148,7 @@ TEST(BaseStation, AttachDetachEmitsRrcEvents) {
 
 TEST(BaseStation, DownlinkPacketsDeliveredInOrder) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
   std::vector<std::uint32_t> delivered;
   bs.set_on_delivery([&](std::uint16_t rnti, const Packet& p, Nanos) {
     EXPECT_EQ(rnti, 100);
@@ -167,7 +167,7 @@ TEST(BaseStation, DownlinkPacketsDeliveredInOrder) {
 
 TEST(BaseStation, ThroughputApproachesCellCapacity) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
   bs.set_on_delivery([](std::uint16_t, const Packet&, Nanos) {});
   Nanos now = 0;
   // Saturate: offer more than the cell can carry for 2 simulated seconds.
@@ -190,8 +190,8 @@ TEST(BaseStation, UnknownUeRejectsPackets) {
 
 TEST(BaseStation, MacStatsShapeAndPeriodReset) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
-  bs.attach_ue({101, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({101, 1, 0, 15, 20});
   Nanos now = 0;
   for (int t = 0; t < 10; ++t) {
     now += kMilli;
@@ -212,8 +212,8 @@ TEST(BaseStation, MacStatsShapeAndPeriodReset) {
 
 TEST(BaseStation, MacStatsRntiFilter) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
-  bs.attach_ue({101, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({101, 1, 0, 15, 20});
   auto stats = bs.mac_stats(false, {101});
   ASSERT_EQ(stats.ues.size(), 1u);
   EXPECT_EQ(stats.ues[0].rnti, 101);
@@ -221,7 +221,7 @@ TEST(BaseStation, MacStatsRntiFilter) {
 
 TEST(BaseStation, RlcStatsReflectBacklogAndSojourn) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 3});  // low MCS: slow drain
+  (void)bs.attach_ue({100, 1, 0, 15, 3});  // low MCS: slow drain
   Nanos now = 0;
   for (int t = 0; t < 100; ++t) {
     now += kMilli;
@@ -240,7 +240,7 @@ TEST(BaseStation, RlcStatsReflectBacklogAndSojourn) {
 
 TEST(BaseStation, PdcpStatsCountSdus) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
   for (int i = 0; i < 5; ++i) bs.deliver_downlink(100, 1, make_packet(500));
   auto stats = bs.pdcp_stats({});
   ASSERT_EQ(stats.bearers.size(), 1u);
@@ -250,7 +250,7 @@ TEST(BaseStation, PdcpStatsCountSdus) {
 
 TEST(BaseStation, KpmReportsCellMetrics) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
   Nanos now = 0;
   for (int t = 0; t < 1000; ++t) {
     now += kMilli;
@@ -271,7 +271,7 @@ TEST(BaseStation, KpmReportsCellMetrics) {
 
 TEST(BaseStation, SecondDrbCreatedOnDemand) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
   EXPECT_EQ(bs.tc_chain(100, 2), nullptr);
   ASSERT_TRUE(bs.deliver_downlink(100, 2, make_packet(100)));
   EXPECT_NE(bs.tc_chain(100, 2), nullptr);
@@ -281,8 +281,8 @@ TEST(BaseStation, SecondDrbCreatedOnDemand) {
 
 TEST(BaseStation, SliceConfigAffectsServiceThroughMac) {
   BaseStation bs(nr_cell());
-  bs.attach_ue({100, 1, 0, 15, 20});
-  bs.attach_ue({101, 1, 0, 15, 20});
+  (void)bs.attach_ue({100, 1, 0, 15, 20});
+  (void)bs.attach_ue({101, 1, 0, 15, 20});
   e2sm::slice::CtrlMsg msg;
   msg.kind = e2sm::slice::CtrlKind::add_mod;
   msg.algo = e2sm::slice::Algo::nvs;
@@ -317,7 +317,7 @@ TEST(BaseStation, VaryingChannelChangesMcs) {
   CellConfig cfg = nr_cell();
   cfg.vary_channel = true;
   BaseStation bs(cfg, /*seed=*/3);
-  bs.attach_ue({100, 1, 0, 8, std::nullopt});
+  (void)bs.attach_ue({100, 1, 0, 8, std::nullopt});
   std::set<std::uint8_t> mcs_seen;
   Nanos now = 0;
   for (int t = 0; t < 3000; ++t) {

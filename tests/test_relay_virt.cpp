@@ -40,10 +40,10 @@ struct RelayWorld {
   server::E2Server top{reactor, {99, kFmt}};  // the upper controller
 
   RelayWorld() {
-    agent.register_function(std::make_shared<ran::HwFunction>(kFmt));
+    (void)agent.register_function(std::make_shared<ran::HwFunction>(kFmt));
     auto [a_side, s_side] = LocalTransport::make_pair(reactor);
     relay.southbound().attach(s_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     test::pump_until(reactor, [this] { return relay.southbound_ready(); });
     auto [n_side, t_side] = LocalTransport::make_pair(reactor);
     top.attach(t_side);
@@ -71,17 +71,17 @@ TEST(Relay, Fig14bCuDuExposedAsOneMonolithicNode) {
   Reactor reactor;
   ran::BaseStation bs({ran::Rat::nr, 1, 106, kMilli, 20, false});
   agent::E2Agent cu(reactor, {{9, 321, e2ap::NodeType::cu}, kFmt});
-  cu.register_function(std::make_shared<ran::PdcpStatsFunction>(bs, kFmt));
+  (void)cu.register_function(std::make_shared<ran::PdcpStatsFunction>(bs, kFmt));
   agent::E2Agent du(reactor, {{9, 321, e2ap::NodeType::du}, kFmt});
-  du.register_function(std::make_shared<ran::MacStatsFunction>(bs, kFmt));
+  (void)du.register_function(std::make_shared<ran::MacStatsFunction>(bs, kFmt));
 
   RelayController relay(reactor, {kFmt, {9, 999, e2ap::NodeType::gnb}});
   auto [c0, s0] = LocalTransport::make_pair(reactor);
   relay.southbound().attach(s0);
-  cu.add_controller(c0);
+  (void)cu.add_controller(c0);
   auto [d0, s1] = LocalTransport::make_pair(reactor);
   relay.southbound().attach(s1);
-  du.add_controller(d0);
+  (void)du.add_controller(d0);
   pump_until(reactor, [&] {
     return relay.southbound().ran_db().num_agents() == 2;
   });
@@ -133,7 +133,7 @@ TEST(Relay, PingTraversesTwoHops) {
   e2sm::hw::Ping ping;
   ping.seq = 99;
   ping.payload = Buffer(1500, 0x3C);
-  w.top.send_control(1, e2sm::hw::Sm::kId, {}, e2sm::sm_encode(ping, kFmt),
+  (void)w.top.send_control(1, e2sm::hw::Sm::kId, {}, e2sm::sm_encode(ping, kFmt),
                      {}, /*ack_requested=*/false);
   ASSERT_TRUE(pump_until(w.reactor, [&] { return pong.has_value(); }));
   EXPECT_EQ(pong->seq, 99u);
@@ -155,7 +155,7 @@ TEST(Relay, UnsubscribeTearsDownSouthbound) {
   pump(w.reactor, 10);
   // Ping after unsubscribe: the pong has no path (no sub at the agent).
   e2sm::hw::Ping ping;
-  w.top.send_control(1, e2sm::hw::Sm::kId, {}, e2sm::sm_encode(ping, kFmt),
+  (void)w.top.send_control(1, e2sm::hw::Sm::kId, {}, e2sm::sm_encode(ping, kFmt),
                      {}, false);
   pump(w.reactor, 10);
   EXPECT_EQ(indications, 0);
@@ -233,7 +233,7 @@ struct VirtWorld {
     // Shared BS agent -> virt controller southbound.
     auto [a_side, s_side] = LocalTransport::make_pair(reactor);
     virt.southbound().attach(s_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     test::pump_until(reactor, [this] { return virt.southbound_ready(); });
     // Virtual E2 nodes -> tenant controllers.
     auto [na, ta] = LocalTransport::make_pair(reactor);
@@ -276,9 +276,9 @@ TEST(Virt, TenantsSeeTheirVirtualNode) {
 
 TEST(Virt, UeAttributionByPlmn) {
   VirtWorld w;
-  w.bs.attach_ue({1, 100, 0, 15, 28});  // op A subscriber
-  w.bs.attach_ue({2, 100, 0, 15, 28});
-  w.bs.attach_ue({3, 200, 0, 15, 28});  // op B subscriber
+  (void)w.bs.attach_ue({1, 100, 0, 15, 28});  // op A subscriber
+  (void)w.bs.attach_ue({2, 100, 0, 15, 28});
+  (void)w.bs.attach_ue({3, 200, 0, 15, 28});  // op B subscriber
   pump(w.reactor, 10);
   EXPECT_EQ(w.virt.tenant_ues(0), (std::set<std::uint16_t>{1, 2}));
   EXPECT_EQ(w.virt.tenant_ues(1), (std::set<std::uint16_t>{3}));
@@ -286,7 +286,7 @@ TEST(Virt, UeAttributionByPlmn) {
 
 TEST(Virt, SliceConfigIsRescaledAndForwarded) {
   VirtWorld w;
-  w.bs.attach_ue({1, 100, 0, 15, 28});
+  (void)w.bs.attach_ue({1, 100, 0, 15, 28});
   pump(w.reactor, 10);
   server::AgentId va = w.tenant_a.ran_db().agents().front();
 
@@ -300,7 +300,7 @@ TEST(Virt, SliceConfigIsRescaledAndForwarded) {
   conf.nvs.capacity_share = 0.66;
   msg.slices = {conf};
   std::optional<bool> ok;
-  w.slicing_a->configure(va, msg, [&](const e2sm::slice::CtrlOutcome& o) {
+  (void)w.slicing_a->configure(va, msg, [&](const e2sm::slice::CtrlOutcome& o) {
     ok = o.success;
   });
   ASSERT_TRUE(pump_until(w.reactor, [&] { return ok.has_value(); }));
@@ -334,7 +334,7 @@ TEST(Virt, TenantCannotExceedVirtualAdmission) {
   msg.slices = {s1, s2};
   std::optional<bool> ok;
   server::CtrlCallbacks unused;
-  w.slicing_a->configure(va, msg, [&](const e2sm::slice::CtrlOutcome& o) {
+  (void)w.slicing_a->configure(va, msg, [&](const e2sm::slice::CtrlOutcome& o) {
     ok = o.success;
   });
   // The virtual slice function rejects -> control failure or ack(false).
@@ -347,7 +347,7 @@ TEST(Virt, TenantCannotExceedVirtualAdmission) {
 
 TEST(Virt, TenantCannotTouchForeignUes) {
   VirtWorld w;
-  w.bs.attach_ue({3, 200, 0, 15, 28});  // op B's UE
+  (void)w.bs.attach_ue({3, 200, 0, 15, 28});  // op B's UE
   pump(w.reactor, 10);
   server::AgentId va = w.tenant_a.ran_db().agents().front();
   // Tenant A first creates a slice, then tries to grab op B's UE.
@@ -358,14 +358,14 @@ TEST(Virt, TenantCannotTouchForeignUes) {
   conf.id = 1;
   conf.nvs.capacity_share = 0.5;
   add.slices = {conf};
-  w.slicing_a->configure(va, add);
+  (void)w.slicing_a->configure(va, add);
   pump(w.reactor, 10);
 
   e2sm::slice::CtrlMsg assoc;
   assoc.kind = e2sm::slice::CtrlKind::assoc_ue;
   assoc.assoc = {{3, 1}};
   std::optional<bool> ok;
-  w.slicing_a->configure(va, assoc, [&](const e2sm::slice::CtrlOutcome& o) {
+  (void)w.slicing_a->configure(va, assoc, [&](const e2sm::slice::CtrlOutcome& o) {
     ok = o.success;
   });
   pump(w.reactor, 20);
@@ -376,8 +376,8 @@ TEST(Virt, TenantCannotTouchForeignUes) {
 
 TEST(Virt, MacStatsPartitionedPerTenant) {
   VirtWorld w;
-  w.bs.attach_ue({1, 100, 0, 15, 28});
-  w.bs.attach_ue({3, 200, 0, 15, 28});
+  (void)w.bs.attach_ue({1, 100, 0, 15, 28});
+  (void)w.bs.attach_ue({3, 200, 0, 15, 28});
   pump(w.reactor, 10);
 
   std::optional<e2sm::mac::IndicationMsg> view_a, view_b;
@@ -386,7 +386,7 @@ TEST(Virt, MacStatsPartitionedPerTenant) {
     cbs.on_indication = [&out](const e2ap::Indication& ind) {
       out = *e2sm::sm_decode<e2sm::mac::IndicationMsg>(ind.message, kFmt);
     };
-    tenant.subscribe(
+    (void)tenant.subscribe(
         tenant.ran_db().agents().front(), e2sm::mac::Sm::kId,
         e2sm::sm_encode(e2sm::EventTrigger{e2sm::TriggerKind::periodic, 1},
                         kFmt),
@@ -411,8 +411,8 @@ TEST(Virt, IsolationAcrossTenantsUnderSaturation) {
   // virtual slice (= 50 % physical). Both saturate: each ends up with half
   // of the 50-PRB cell.
   VirtWorld w;
-  w.bs.attach_ue({1, 100, 0, 15, 28});
-  w.bs.attach_ue({3, 200, 0, 15, 28});
+  (void)w.bs.attach_ue({1, 100, 0, 15, 28});
+  (void)w.bs.attach_ue({3, 200, 0, 15, 28});
   pump(w.reactor, 10);
 
   for (std::size_t tenant_idx : {0u, 1u}) {
@@ -425,12 +425,12 @@ TEST(Virt, IsolationAcrossTenantsUnderSaturation) {
     conf.id = 1;
     conf.nvs.capacity_share = 1.0;
     add.slices = {conf};
-    slicing->configure(tenant.ran_db().agents().front(), add);
+    (void)slicing->configure(tenant.ran_db().agents().front(), add);
     pump(w.reactor, 10);
     e2sm::slice::CtrlMsg assoc;
     assoc.kind = e2sm::slice::CtrlKind::assoc_ue;
     assoc.assoc = {{static_cast<std::uint16_t>(tenant_idx == 0 ? 1 : 3), 1}};
-    slicing->configure(tenant.ran_db().agents().front(), assoc);
+    (void)slicing->configure(tenant.ran_db().agents().front(), assoc);
     pump(w.reactor, 10);
   }
 

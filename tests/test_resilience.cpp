@@ -76,7 +76,7 @@ class ChaosStub final : public agent::RanFunction {
     ind.ran_function_id = desc_.id;
     ind.action_id = 1;
     ind.message = std::move(payload);
-    services_->send_indication(origin, ind);
+    (void)services_->send_indication(origin, ind);
   }
 
   int subs = 0;

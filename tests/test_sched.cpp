@@ -207,10 +207,10 @@ TEST(Nvs, IsolationNewUeCannotStealFromSlicedUe) {
   // Fig. 13a: the white UE keeps 50 % despite a third UE arriving.
   MacScheduler mac(nr106());
   for (std::uint16_t rnti : {1, 2, 3}) mac.add_ue(rnti);
-  mac.apply(add_slices({capacity_slice(1, 0.5), capacity_slice(2, 0.5)}));
-  mac.apply(assoc(1, 1));
-  mac.apply(assoc(2, 2));
-  mac.apply(assoc(3, 2));  // the arriving UE joins slice 2
+  (void)mac.apply(add_slices({capacity_slice(1, 0.5), capacity_slice(2, 0.5)}));
+  (void)mac.apply(assoc(1, 1));
+  (void)mac.apply(assoc(2, 2));
+  (void)mac.apply(assoc(3, 2));  // the arriving UE joins slice 2
   std::vector<UeInput> ues = {{1, 20, 1 << 20}, {2, 20, 1 << 20},
                               {3, 20, 1 << 20}};
   auto share = run_saturated(mac, ues, 5000, 106);
@@ -223,9 +223,9 @@ TEST(Nvs, WorkConservationIdleSliceYieldsResources) {
   MacScheduler mac(nr106());
   mac.add_ue(1);
   mac.add_ue(2);
-  mac.apply(add_slices({capacity_slice(1, 0.66), capacity_slice(2, 0.34)}));
-  mac.apply(assoc(1, 1));
-  mac.apply(assoc(2, 2));
+  (void)mac.apply(add_slices({capacity_slice(1, 0.66), capacity_slice(2, 0.34)}));
+  (void)mac.apply(assoc(1, 1));
+  (void)mac.apply(assoc(2, 2));
   std::vector<UeInput> ues = {{1, 20, 1 << 20}, {2, 20, 0}};  // slice 2 idle
   auto share = run_saturated(mac, ues, 2000, 106);
   EXPECT_NEAR(share[1], 1.0, 0.02);
@@ -238,10 +238,10 @@ TEST(Nvs, RateSliceEquivalentToCapacitySlice) {
   mac.add_ue(1);
   mac.add_ue(2);
   // 30 Mbps over 60 Mbps reference = 50 % share; capacity slice 50 %.
-  mac.apply(add_slices(
+  (void)mac.apply(add_slices(
       {rate_slice(1, 30.0, 60.0), capacity_slice(2, 0.5)}));
-  mac.apply(assoc(1, 1));
-  mac.apply(assoc(2, 2));
+  (void)mac.apply(assoc(1, 1));
+  (void)mac.apply(assoc(2, 2));
   std::vector<UeInput> ues = {{1, 20, 1 << 20}, {2, 20, 1 << 20}};
   auto share = run_saturated(mac, ues, 8000, 106);
   EXPECT_NEAR(share[1], 0.5, 0.08);
@@ -285,8 +285,8 @@ TEST(Nvs, ModifyingSliceReplacesItsShareInAdmission) {
 TEST(Nvs, DeleteSliceReassociatesUesToDefault) {
   MacScheduler mac(nr106());
   mac.add_ue(1);
-  mac.apply(add_slices({capacity_slice(1, 0.5)}));
-  mac.apply(assoc(1, 1));
+  (void)mac.apply(add_slices({capacity_slice(1, 0.5)}));
+  (void)mac.apply(assoc(1, 1));
   EXPECT_EQ(mac.slice_of(1), 1u);
   CtrlMsg del;
   del.kind = CtrlKind::del;
@@ -313,8 +313,8 @@ TEST(Nvs, UnassociatedUesServedWhenSlicesIdle) {
   MacScheduler mac(nr106());
   mac.add_ue(1);  // stays in default slice
   mac.add_ue(2);
-  mac.apply(add_slices({capacity_slice(1, 0.5)}));
-  mac.apply(assoc(2, 1));
+  (void)mac.apply(add_slices({capacity_slice(1, 0.5)}));
+  (void)mac.apply(assoc(2, 1));
   // Slice 1 idle: default-slice UE 1 gets the cell.
   std::vector<UeInput> ues = {{1, 20, 1 << 20}, {2, 20, 0}};
   auto share = run_saturated(mac, ues, 500, 106);
@@ -350,8 +350,8 @@ TEST(StaticRb, PartitionIsRespectedAndNotShared) {
   s2.static_rb = {15, 10};
   msg.slices = {s1, s2};
   ASSERT_TRUE(mac.apply(msg).is_ok());
-  mac.apply(assoc(1, 1));
-  mac.apply(assoc(2, 2));
+  (void)mac.apply(assoc(1, 1));
+  (void)mac.apply(assoc(2, 2));
   // Slice 2 idle: static partitioning wastes its PRBs (no sharing).
   std::vector<UeInput> ues = {{1, 28, 1 << 20}, {2, 28, 0}};
   auto share = run_saturated(mac, ues, 200, 25);
@@ -382,9 +382,9 @@ TEST(SliceStatus, ReportsSharesAndAssociations) {
   MacScheduler mac(nr106());
   mac.add_ue(1);
   mac.add_ue(2);
-  mac.apply(add_slices({capacity_slice(1, 0.75), capacity_slice(2, 0.25)}));
-  mac.apply(assoc(1, 1));
-  mac.apply(assoc(2, 2));
+  (void)mac.apply(add_slices({capacity_slice(1, 0.75), capacity_slice(2, 0.25)}));
+  (void)mac.apply(assoc(1, 1));
+  (void)mac.apply(assoc(2, 2));
   std::vector<UeInput> ues = {{1, 20, 1 << 20}, {2, 20, 1 << 20}};
   for (int t = 0; t < 2000; ++t) mac.schedule(ues);
 

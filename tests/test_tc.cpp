@@ -75,8 +75,8 @@ TEST(TcChain, AddDelQueue) {
 
 TEST(TcChain, NonEmptyQueueCannotBeDeleted) {
   TcChain chain;
-  chain.add_queue(fifo(1));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   chain.enqueue(pkt(100, 5000), 0);
   EXPECT_FALSE(chain.del_queue(1).is_ok());
 }
@@ -84,7 +84,7 @@ TEST(TcChain, NonEmptyQueueCannotBeDeleted) {
 TEST(TcChain, FilterRequiresExistingQueue) {
   TcChain chain;
   EXPECT_FALSE(chain.add_filter(filter_port(1, 5000, 9)).is_ok());
-  chain.add_queue(fifo(9));
+  (void)chain.add_queue(fifo(9));
   EXPECT_TRUE(chain.add_filter(filter_port(1, 5000, 9)).is_ok());
   EXPECT_FALSE(chain.add_filter(filter_port(1, 6000, 9)).is_ok());  // dup id
   EXPECT_TRUE(chain.del_filter(1).is_ok());
@@ -93,8 +93,8 @@ TEST(TcChain, FilterRequiresExistingQueue) {
 
 TEST(TcChain, DeletingQueueDropsItsFilters) {
   TcChain chain;
-  chain.add_queue(fifo(1));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   ASSERT_TRUE(chain.del_queue(1).is_ok());
   // Packets for port 5000 now land in the default queue.
   ASSERT_TRUE(chain.enqueue(pkt(100, 5000), 0));
@@ -109,15 +109,15 @@ TEST(TcChain, DeletingQueueDropsItsFilters) {
 
 TEST(Classifier, FiveTupleExactAndWildcard) {
   TcChain chain;
-  chain.add_queue(fifo(1));
-  chain.add_queue(fifo(2));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1));
+  (void)chain.add_queue(fifo(2));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   FilterConf any_udp;
   any_udp.filter_id = 2;
   any_udp.match.proto = 17;  // all UDP
   any_udp.dst_qid = 2;
   any_udp.precedence = 10;  // after the port filter
-  chain.add_filter(any_udp);
+  (void)chain.add_filter(any_udp);
 
   chain.enqueue(pkt(100, 5000, 17), 0);  // port filter wins
   chain.enqueue(pkt(100, 6000, 17), 0);  // udp wildcard
@@ -133,11 +133,11 @@ TEST(Classifier, FiveTupleExactAndWildcard) {
 
 TEST(Classifier, PrecedenceOrdersFilters) {
   TcChain chain;
-  chain.add_queue(fifo(1));
-  chain.add_queue(fifo(2));
+  (void)chain.add_queue(fifo(1));
+  (void)chain.add_queue(fifo(2));
   // Two filters match port 5000; the lower precedence wins.
-  chain.add_filter(filter_port(1, 5000, 1, /*prec=*/5));
-  chain.add_filter(filter_port(2, 5000, 2, /*prec=*/1));
+  (void)chain.add_filter(filter_port(1, 5000, 1, /*prec=*/5));
+  (void)chain.add_filter(filter_port(2, 5000, 2, /*prec=*/1));
   chain.enqueue(pkt(100, 5000), 0);
   for (const auto& s : chain.stats_snapshot(false)) {
     if (s.qid == 2) EXPECT_EQ(s.backlog_pkts, 1u);
@@ -151,8 +151,8 @@ TEST(Classifier, PrecedenceOrdersFilters) {
 
 TEST(TcQueue, FifoLimitDrops) {
   TcChain chain;
-  chain.add_queue(fifo(1, /*limit=*/2'000));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1, /*limit=*/2'000));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   EXPECT_TRUE(chain.enqueue(pkt(1000, 5000), 0));
   EXPECT_TRUE(chain.enqueue(pkt(1000, 5000), 0));
   EXPECT_FALSE(chain.enqueue(pkt(1000, 5000), 0));
@@ -172,8 +172,8 @@ TEST(TcQueue, SojournMeasuredAtDequeue) {
 
 TEST(TcQueue, ConservationEnqueuedEqualsDequeuedPlusBacklogPlusDrops) {
   TcChain chain;
-  chain.add_queue(fifo(1, 5'000));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1, 5'000));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   ran::RlcEntity rlc;
   std::uint64_t offered = 0, accepted = 0;
   Nanos now = 0;
@@ -202,8 +202,8 @@ TEST(TcQueue, CodelDropsPersistentlyLatePackets) {
   QueueConf q;
   q.qid = 1;
   q.kind = QueueKind::codel;
-  chain.add_queue(q);
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(q);
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   ran::RlcEntity rlc(1'000'000);
   // Continuous overload: offer 2 pkt/ms while the pacer releases ~1 pkt/ms.
   // The queue stays persistently above the CoDel target, so after the
@@ -229,8 +229,8 @@ TEST(TcQueue, CodelDropsPersistentlyLatePackets) {
 
 TEST(TcSched, RrAlternatesBetweenQueues) {
   TcChain chain;
-  chain.add_queue(fifo(1));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   chain.set_sched({SchedKind::rr, {}});
   Nanos now = 0;
   for (int i = 0; i < 10; ++i) {
@@ -247,8 +247,8 @@ TEST(TcSched, RrAlternatesBetweenQueues) {
 
 TEST(TcSched, PrioServesLowQidFirst) {
   TcChain chain;
-  chain.add_queue(fifo(1));
-  chain.add_filter(filter_port(1, 5000, 1));
+  (void)chain.add_queue(fifo(1));
+  (void)chain.add_filter(filter_port(1, 5000, 1));
   chain.set_sched({SchedKind::prio, {}});
   chain.set_pacer({PacerKind::bdp, 1.0, 1.0});
   Nanos now = kMilli;

@@ -539,7 +539,7 @@ struct MonitorWorld {
   void connect() {
     auto [a_side, s_side] = LocalTransport::make_pair(reactor);
     server.attach(s_side);
-    agent.add_controller(a_side);
+    (void)agent.add_controller(a_side);
     test::pump_until(reactor,
                      [this] { return server.ran_db().num_agents() == 1; });
   }
@@ -562,7 +562,7 @@ TEST(MonitorTelemetry, DecodedModeFeedsStore) {
   auto monitor = std::make_shared<ctrl::MonitorIApp>(cfg);
   w.server.add_iapp(monitor);
   w.connect();
-  w.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 20});
   w.run_ttis(20);
   pump(w.reactor, 5);
 
@@ -591,7 +591,7 @@ TEST(MonitorTelemetry, ZeroCopyModeFeedsStoreFromRawBytes) {
   auto monitor = std::make_shared<ctrl::MonitorIApp>(cfg);
   w.server.add_iapp(monitor);
   w.connect();
-  w.bs.attach_ue({100, 1, 0, 15, 20});
+  (void)w.bs.attach_ue({100, 1, 0, 15, 20});
   w.run_ttis(20);
   pump(w.reactor, 5);
 

@@ -99,7 +99,7 @@ TEST(LocalTransport, StreamIdsPreserved) {
   StreamId seen = 0;
   b->set_on_message([&](StreamId s, BytesView) { seen = s; });
   Buffer msg{1};
-  a->send(msg, 5);
+  (void)a->send(msg, 5);
   pump(reactor);
   EXPECT_EQ(seen, 5);
 }
@@ -204,7 +204,7 @@ TEST(TcpTransport, StreamIdTravelsWithFrame) {
   StreamId seen = 0;
   pair.server_side->set_on_message([&](StreamId s, BytesView) { seen = s; });
   Buffer msg{7};
-  pair.client_side->send(msg, 42);
+  (void)pair.client_side->send(msg, 42);
   test::pump_until(pair.reactor, [&] { return seen == 42; });
   EXPECT_EQ(seen, 42);
 }
@@ -223,12 +223,12 @@ TEST(TcpTransport, BidirectionalTraffic) {
   int client_got = 0, server_got = 0;
   pair.server_side->set_on_message([&](StreamId, BytesView b) {
     server_got++;
-    pair.server_side->send(b);  // echo
+    (void)pair.server_side->send(b);  // echo
   });
   pair.client_side->set_on_message([&](StreamId, BytesView) { client_got++; });
   for (int i = 0; i < 20; ++i) {
     Buffer msg{static_cast<std::uint8_t>(i)};
-    pair.client_side->send(msg);
+    (void)pair.client_side->send(msg);
   }
   ASSERT_TRUE(
       test::pump_until(pair.reactor, [&] { return client_got == 20; }));

@@ -31,10 +31,10 @@ struct HostWorld {
     server.add_iapp(host);
     auto [a, s] = LocalTransport::make_pair(reactor);
     server.attach(s);
-    agent.add_controller(a);
+    (void)agent.add_controller(a);
     test::pump_until(reactor,
                      [this] { return server.ran_db().num_agents() == 1; });
-    bs.attach_ue({100, 1, 0, 15, 20});
+    (void)bs.attach_ue({100, 1, 0, 15, 20});
   }
   void run_ttis(int n) {
     for (int t = 0; t < n; ++t) {
@@ -130,10 +130,10 @@ TEST(XappHost, LastUnsubscribeTearsDownE2Subscription) {
 TEST(XappHost, UnregisterDetachesEverything) {
   HostWorld w;
   auto x = w.host->register_xapp("a");
-  w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+  (void)w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
                          {{1, e2ap::ActionType::report, {}}},
                          [](const e2ap::Indication&) {});
-  w.host->subscribe_xapp(x, 1, e2sm::rlc::Sm::kId, w.trigger_ms(1),
+  (void)w.host->subscribe_xapp(x, 1, e2sm::rlc::Sm::kId, w.trigger_ms(1),
                          {{1, e2ap::ActionType::report, {}}},
                          [](const e2ap::Indication&) {});
   EXPECT_EQ(w.host->num_e2_subscriptions(), 2u);
@@ -144,7 +144,7 @@ TEST(XappHost, UnregisterDetachesEverything) {
 TEST(XappHost, DatabaseKeepsLatestForLateJoiners) {
   HostWorld w;
   auto x = w.host->register_xapp("early");
-  w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+  (void)w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
                          {{1, e2ap::ActionType::report, {}}},
                          [](const e2ap::Indication&) {});
   pump(w.reactor);
@@ -170,7 +170,7 @@ TEST(XappHost, SubscribeWithUnknownXappRejected) {
 TEST(XappHost, AgentDisconnectDropsItsSubscriptions) {
   HostWorld w;
   auto x = w.host->register_xapp("a");
-  w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
+  (void)w.host->subscribe_xapp(x, 1, e2sm::mac::Sm::kId, w.trigger_ms(1),
                          {{1, e2ap::ActionType::report, {}}},
                          [](const e2ap::Indication&) {});
   pump(w.reactor);

@@ -1,0 +1,243 @@
+// flexric-analyze: reactor-affinity & lambda-lifetime static analyzer.
+//
+// Dependency-free (stdlib only) so it builds everywhere the SDK builds and
+// can run as a CTest gate next to `lint`. See rules.hpp for the rule set and
+// DESIGN.md §10 for the model.
+//
+// Usage:
+//   flexric-analyze --root <repo>          scan src/ bench/ examples/ tests/
+//   flexric-analyze --root <repo> --rule R run only rule R (repeatable)
+//   flexric-analyze --root <repo> --list   print every suppression + reason
+//   flexric-analyze --fix-suggestions ...  append a suggested fix per finding
+//   flexric-analyze --fixtures <dir>       scan <dir> (category = first path
+//                                          component) and diff the findings
+//                                          against <dir>/expected.txt
+//
+// Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/IO error.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using namespace flexric::analyze;
+
+namespace {
+
+bool has_cpp_ext(const fs::path& p) {
+  auto e = p.extension().string();
+  return e == ".cpp" || e == ".hpp" || e == ".cc" || e == ".h";
+}
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string to_rel(const fs::path& p, const fs::path& root) {
+  std::string s = p.lexically_relative(root).generic_string();
+  return s;
+}
+
+/// Load every C++ file under root/<top> into the corpus with category <cat>.
+void load_dir(Corpus& corpus, const fs::path& root, const std::string& top,
+              const std::string& cat) {
+  fs::path dir = root / top;
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return;
+  std::vector<fs::path> paths;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file() || !has_cpp_ext(it->path())) continue;
+    std::string rel = to_rel(it->path(), root);
+    // The fixture corpus intentionally contains violations.
+    if (rel.rfind("tests/analyze_fixtures", 0) == 0) continue;
+    paths.push_back(it->path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    FileUnit f;
+    f.rel = to_rel(p, root);
+    f.category = cat;
+    f.lx = lex(slurp(p));
+    corpus.files.push_back(std::move(f));
+  }
+}
+
+std::string render(const Finding& f, bool with_suggestion) {
+  std::string s =
+      f.file + ":" + std::to_string(f.line) + ": [" + f.rule + "] " + f.message;
+  if (with_suggestion && !f.suggestion.empty()) s += "\n    fix: " + f.suggestion;
+  return s;
+}
+
+int run_fixtures(const fs::path& dir, const std::set<std::string>& rules) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "flexric-analyze: no such fixture dir: %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  Corpus corpus;
+  // Category = first path component under the fixture dir (src/, examples/,
+  // ...), mirroring the real layout so the per-category rule gating applies.
+  std::vector<fs::path> paths;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && has_cpp_ext(it->path()))
+      paths.push_back(it->path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    FileUnit f;
+    f.rel = to_rel(p, dir);
+    auto slash = f.rel.find('/');
+    f.category = slash == std::string::npos ? "src" : f.rel.substr(0, slash);
+    f.lx = lex(slurp(p));
+    corpus.files.push_back(std::move(f));
+  }
+  build_registry(corpus);
+  std::vector<std::string> got;
+  for (const auto& f : run_rules(corpus, rules)) got.push_back(render(f, false));
+
+  std::vector<std::string> want;
+  std::ifstream exp(dir / "expected.txt");
+  if (!exp) {
+    std::fprintf(stderr, "flexric-analyze: missing %s/expected.txt\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  for (std::string line; std::getline(exp, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    want.push_back(line);
+  }
+  std::sort(want.begin(), want.end());
+  std::sort(got.begin(), got.end());
+  if (got == want) {
+    std::printf("fixtures OK: %zu findings matched expected.txt\n", got.size());
+    return 0;
+  }
+  std::printf("fixture mismatch:\n");
+  for (const auto& g : got)
+    if (!std::binary_search(want.begin(), want.end(), g))
+      std::printf("  unexpected: %s\n", g.c_str());
+  for (const auto& w : want)
+    if (!std::binary_search(got.begin(), got.end(), w))
+      std::printf("  missing:    %s\n", w.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  fs::path fixtures;
+  std::set<std::string> rules;
+  bool list_suppressions = false;
+  bool fix_suggestions = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need_val = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flexric-analyze: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--root") {
+      root = need_val("--root");
+    } else if (a == "--fixtures") {
+      fixtures = need_val("--fixtures");
+    } else if (a == "--rule") {
+      std::string r = need_val("--rule");
+      bool known = false;
+      for (const char* k : kAllRules)
+        if (r == k) known = true;
+      if (!known) {
+        std::fprintf(stderr, "flexric-analyze: unknown rule '%s'\n", r.c_str());
+        return 2;
+      }
+      rules.insert(r);
+    } else if (a == "--list") {
+      list_suppressions = true;
+    } else if (a == "--fix-suggestions") {
+      fix_suggestions = true;
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: flexric-analyze --root <repo> [--rule R]... [--list] "
+          "[--fix-suggestions]\n"
+          "       flexric-analyze --fixtures <dir> [--rule R]...\n"
+          "rules:\n");
+      for (const char* k : kAllRules) std::printf("  %s\n", k);
+      return 0;
+    } else {
+      std::fprintf(stderr, "flexric-analyze: unknown argument '%s'\n",
+                   a.c_str());
+      return 2;
+    }
+  }
+  if (rules.empty())
+    for (const char* k : kAllRules) rules.insert(k);
+
+  if (!fixtures.empty()) return run_fixtures(fixtures, rules);
+
+  if (root.empty()) {
+    std::fprintf(stderr, "flexric-analyze: --root (or --fixtures) required\n");
+    return 2;
+  }
+  std::error_code ec;
+  if (!fs::is_directory(root / "src", ec)) {
+    std::fprintf(stderr, "flexric-analyze: %s does not look like the repo root\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  Corpus corpus;
+  load_dir(corpus, root, "src", "src");
+  load_dir(corpus, root, "bench", "bench");
+  load_dir(corpus, root, "examples", "examples");
+  load_dir(corpus, root, "tests", "tests");
+  build_registry(corpus);
+
+  if (list_suppressions) {
+    auto sups = collect_suppressions(corpus);
+    std::printf("%zu suppression(s):\n", sups.size());
+    int missing_reason = 0;
+    for (const auto& s : sups) {
+      std::printf("  %s:%d [%s] %s\n", s.file.c_str(), s.line, s.rule.c_str(),
+                  s.reason.empty() ? "(NO REASON)" : s.reason.c_str());
+      if (s.reason.empty()) ++missing_reason;
+    }
+    if (missing_reason > 0) {
+      std::printf("%d suppression(s) missing a reason — reasons are "
+                  "mandatory\n", missing_reason);
+      return 1;
+    }
+    return 0;
+  }
+
+  auto findings = run_rules(corpus, rules);
+  for (const auto& f : findings)
+    std::printf("%s\n", render(f, fix_suggestions).c_str());
+  if (findings.empty()) {
+    std::printf("flexric-analyze: clean (%zu files, %zu nodiscard fns, %zu "
+                "affine classes)\n",
+                corpus.files.size(), corpus.nodiscard_fns.size(),
+                corpus.affine_classes.size());
+    return 0;
+  }
+  std::printf("flexric-analyze: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,164 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace flexric::analyze {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Two-character operators that must not be split (the rules care about
+// `::`, `->` and friends keeping their identity).
+constexpr const char* kTwoCharOps[] = {
+    "::", "->", "<<", ">>", "<=", ">=", "==", "!=", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--", "##",
+};
+
+}  // namespace
+
+LexedFile lex(std::string_view src) {
+  LexedFile out;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  int line = 1;
+
+  auto add_comment = [&](int at_line, std::string_view text) {
+    std::string& slot = out.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot.append(text);
+  };
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      add_comment(line, src.substr(start, i - start));
+      continue;
+    }
+    // Block comment (may span lines; text lands on every touched line so a
+    // suppression inside it is found from the line it sits on).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      std::size_t start = i;
+      int start_line = line;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      std::string_view body = src.substr(start, i - start);
+      for (int l = start_line; l <= line; ++l) add_comment(l, body);
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: consume the whole logical line (with \-
+    // continuations). Directives are invisible to the rules.
+    if (c == '#') {
+      bool bol = true;  // only a line-leading # starts a directive
+      for (std::size_t j = i; j-- > 0;) {
+        if (src[j] == '\n') break;
+        if (!std::isspace(static_cast<unsigned char>(src[j]))) {
+          bol = false;
+          break;
+        }
+      }
+      if (bol) {
+        while (i < n) {
+          if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+            ++line;
+            i += 2;
+            continue;
+          }
+          if (src[i] == '\n') break;
+          ++i;
+        }
+        continue;
+      }
+      out.tokens.push_back({Tok::punct, "#", line});
+      ++i;
+      continue;
+    }
+    // Raw string literal R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d0 = i + 2;
+      std::size_t dp = d0;
+      while (dp < n && src[dp] != '(') ++dp;
+      std::string close = ")" + std::string(src.substr(d0, dp - d0)) + "\"";
+      std::size_t end = src.find(close, dp);
+      if (end == std::string_view::npos) end = n;
+      for (std::size_t j = i; j < end && j < n; ++j)
+        if (src[j] == '\n') ++line;
+      out.tokens.push_back({Tok::string_lit, "<raw-string>", line});
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        ++j;
+      }
+      out.tokens.push_back({quote == '"' ? Tok::string_lit : Tok::char_lit,
+                            "<literal>", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back(
+          {Tok::identifier, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P'))))
+        ++j;
+      out.tokens.push_back(
+          {Tok::number, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: longest match against the two-char set.
+    if (i + 1 < n) {
+      char pair[3] = {c, src[i + 1], 0};
+      for (const char* op : kTwoCharOps) {
+        if (pair[0] == op[0] && pair[1] == op[1]) {
+          out.tokens.push_back({Tok::punct, op, line});
+          i += 2;
+          goto next;
+        }
+      }
+    }
+    out.tokens.push_back({Tok::punct, std::string(1, c), line});
+    ++i;
+  next:;
+  }
+  out.tokens.push_back({Tok::eof, "", line});
+  return out;
+}
+
+}  // namespace flexric::analyze

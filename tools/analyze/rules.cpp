@@ -1,0 +1,799 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+
+namespace flexric::analyze {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Tok::identifier && t.text == text;
+}
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Tok::punct && t.text == text;
+}
+
+// ---------------------------------------------------------------------------
+// Scope analysis: classify every brace so rules know (a) whether a token is
+// inside a function body and (b) which class owns that function. This is the
+// "real lexer + brace tracking" half the line-regex lint cannot do.
+// ---------------------------------------------------------------------------
+
+enum class ScopeKind { ns, type, func, block };
+
+struct ScopeInfo {
+  /// Per token: number of enclosing function bodies (0 = declaration scope).
+  std::vector<int> func_depth;
+  /// Per token: class owning the innermost enclosing function definition
+  /// ("" for free functions / declaration scope).
+  std::vector<std::string> owner_class;
+};
+
+/// Find the index of the `(` matching the `)` at `close` (walking backward).
+std::size_t match_paren_back(const Tokens& t, std::size_t close) {
+  int depth = 0;
+  for (std::size_t i = close + 1; i-- > 0;) {
+    if (is_punct(t[i], ")")) ++depth;
+    if (is_punct(t[i], "(")) {
+      if (--depth == 0) return i;
+    }
+  }
+  return 0;
+}
+
+/// Find the index of the token after the `)`/`]`/`}` matching the opener at
+/// `open` (forward). Treats ">>" as plain punct (not a closer).
+std::size_t skip_balanced(const Tokens& t, std::size_t open) {
+  const std::string& o = t[open].text;
+  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i < t.size() && t[i].kind != Tok::eof; ++i) {
+    if (t[i].kind == Tok::punct && t[i].text == o) ++depth;
+    if (t[i].kind == Tok::punct && t[i].text == close) {
+      if (--depth == 0) return i + 1;
+    }
+  }
+  return t.size() - 1;
+}
+
+ScopeInfo analyze_scopes(const Tokens& t) {
+  ScopeInfo info;
+  info.func_depth.resize(t.size(), 0);
+  info.owner_class.resize(t.size());
+
+  struct Scope {
+    ScopeKind kind;
+    std::string name;   // class name for type scopes
+    std::string owner;  // owner class for func scopes
+  };
+  std::vector<Scope> stack;
+
+  int fdepth = 0;
+  std::string owner;
+
+  auto recompute_owner = [&] {
+    owner.clear();
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
+      if (it->kind == ScopeKind::func) {
+        owner = it->owner;
+        break;
+      }
+  };
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    info.func_depth[i] = fdepth;
+    info.owner_class[i] = owner;
+    if (is_punct(t[i], "}")) {
+      if (!stack.empty()) {
+        if (stack.back().kind == ScopeKind::func) --fdepth;
+        stack.pop_back();
+        recompute_owner();
+      }
+      continue;
+    }
+    if (!is_punct(t[i], "{")) continue;
+
+    // Classify this '{'.
+    Scope sc{ScopeKind::block, "", ""};
+    if (fdepth > 0) {
+      // Inside a function everything is a block (lambda bodies included);
+      // owner does not change.
+      sc.kind = ScopeKind::block;
+      stack.push_back(sc);
+      continue;
+    }
+    // Look back to the previous ';' / '}' / '{' for classification keywords.
+    std::size_t lo = 0;
+    for (std::size_t j = i; j-- > 0;) {
+      if (is_punct(t[j], ";") || is_punct(t[j], "}") || is_punct(t[j], "{")) {
+        lo = j + 1;
+        break;
+      }
+    }
+    bool saw_ns = false, saw_type = false, saw_eq = false;
+    std::string type_name;
+    for (std::size_t j = lo; j < i; ++j) {
+      if (is_ident(t[j], "namespace")) saw_ns = true;
+      if (is_ident(t[j], "class") || is_ident(t[j], "struct") ||
+          is_ident(t[j], "union") || is_ident(t[j], "enum")) {
+        saw_type = true;
+        // First identifier after the keyword (skip attributes/`class` of
+        // `enum class`).
+        for (std::size_t k = j + 1; k < i; ++k) {
+          if (t[k].kind == Tok::identifier && t[k].text != "final" &&
+              t[k].text != "alignas" && t[k].text != "class") {
+            type_name = t[k].text;
+            break;
+          }
+          if (is_punct(t[k], ":")) break;
+        }
+      }
+      if (is_punct(t[j], "=")) saw_eq = true;
+    }
+    if (saw_ns) {
+      sc.kind = ScopeKind::ns;
+    } else if (saw_type && !saw_eq) {
+      sc.kind = ScopeKind::type;
+      sc.name = type_name;
+    } else if (!saw_eq) {
+      // Function body iff walking back over cv/ref/noexcept/trailing-return
+      // tokens reaches the ')' of a parameter list.
+      std::size_t j = i;
+      bool reached_paren = false;
+      int guard = 0;
+      while (j-- > lo && guard++ < 24) {
+        const Token& p = t[j];
+        if (is_punct(p, ")")) {
+          reached_paren = true;
+          break;
+        }
+        bool skippable =
+            p.kind == Tok::identifier ||  // const, noexcept, override, types
+            is_punct(p, "->") || is_punct(p, "::") || is_punct(p, "&") ||
+            is_punct(p, "&&") || is_punct(p, "<") || is_punct(p, ">") ||
+            is_punct(p, ">>") || is_punct(p, "*") || is_punct(p, ":") ||
+            is_punct(p, ",");  // ctor init lists: `: a_(x), b_(y) {`
+        if (!skippable) break;
+      }
+      if (reached_paren) {
+        sc.kind = ScopeKind::func;
+        // Identify `Class::name(` to attribute the method to its class;
+        // ctor-init-lists mean the ')' found above may be a member
+        // initializer, so walk back over `ident ( ... )` groups until the
+        // parameter list's opener.
+        std::size_t close = j;
+        std::size_t open = match_paren_back(t, close);
+        while (open >= 2 && t[open - 1].kind == Tok::identifier &&
+               (is_punct(t[open - 2], ",") || is_punct(t[open - 2], ":"))) {
+          // `..., member(expr)` — an init-list entry; keep walking back.
+          std::size_t k = open - 2;
+          if (is_punct(t[k], ":")) {
+            // reached `) : first(...)`: the token before ':' closes the
+            // real parameter list.
+            if (k >= 1 && is_punct(t[k - 1], ")")) {
+              close = k - 1;
+              open = match_paren_back(t, close);
+            }
+            break;
+          }
+          // skip backward over the previous init entry's parens
+          std::size_t prev_close = k;
+          while (prev_close-- > 0 && !is_punct(t[prev_close], ")")) {
+          }
+          close = prev_close;
+          open = match_paren_back(t, close);
+        }
+        if (open >= 3 && t[open - 1].kind == Tok::identifier &&
+            is_punct(t[open - 2], "::") &&
+            t[open - 3].kind == Tok::identifier) {
+          sc.owner = t[open - 3].text;  // X::name( → owner X
+        } else if (!stack.empty() && stack.back().kind == ScopeKind::type) {
+          sc.owner = stack.back().name;  // method defined in-class
+        }
+      }
+    }
+    if (sc.kind == ScopeKind::func) ++fdepth;
+    stack.push_back(sc);
+    recompute_owner();
+  }
+  return info;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `lint: allow(<rule>) <reason>` on the line or the line above.
+// ---------------------------------------------------------------------------
+
+/// Parse every allow() out of one comment string.
+void parse_allows(const std::string& comment, int line, const std::string& file,
+                  std::vector<Suppression>* out) {
+  const std::string needle = "lint: allow(";
+  std::size_t pos = 0;
+  while ((pos = comment.find(needle, pos)) != std::string::npos) {
+    std::size_t name_at = pos + needle.size();
+    std::size_t close = comment.find(')', name_at);
+    if (close == std::string::npos) break;
+    Suppression s;
+    s.file = file;
+    s.line = line;
+    s.rule = comment.substr(name_at, close - name_at);
+    std::size_t r = close + 1;
+    while (r < comment.size() && comment[r] == ' ') ++r;
+    s.reason = comment.substr(r);
+    // A reason ending in '*/' came from a block comment; trim the closer.
+    if (s.reason.size() >= 2 &&
+        s.reason.compare(s.reason.size() - 2, 2, "*/") == 0)
+      s.reason.resize(s.reason.size() - 2);
+    while (!s.reason.empty() && s.reason.back() == ' ') s.reason.pop_back();
+    out->push_back(std::move(s));
+    pos = close;
+  }
+}
+
+bool suppressed(const FileUnit& f, int line, const std::string& rule) {
+  for (int l : {line, line - 1}) {
+    auto it = f.lx.comments.find(l);
+    if (it == f.lx.comments.end()) continue;
+    std::vector<Suppression> sups;
+    parse_allows(it->second, l, f.rel, &sups);
+    for (const auto& s : sups)
+      if (s.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Registry pass
+// ---------------------------------------------------------------------------
+
+/// After `Result`, skip `<...>` template args (">>" closes two levels).
+/// Returns the index after the closing '>', or `from` on a parse failure.
+std::size_t skip_template_args(const Tokens& t, std::size_t from) {
+  if (from >= t.size() || !is_punct(t[from], "<")) return from;
+  int depth = 0;
+  for (std::size_t i = from; i < t.size(); ++i) {
+    if (is_punct(t[i], "<")) ++depth;
+    if (is_punct(t[i], ">")) --depth;
+    if (is_punct(t[i], ">>")) depth -= 2;
+    if (depth <= 0) return i + 1;
+  }
+  return from;
+}
+
+void register_file(const FileUnit& f, const ScopeInfo& scopes, Corpus& corpus,
+                   std::set<std::string>* other_ret) {
+  const Tokens& t = f.lx.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    // Affine-class annotations: `// @affine(reactor)` within two lines above
+    // (or on the line of) a class/struct declaration.
+    if ((is_ident(t[i], "class") || is_ident(t[i], "struct")) &&
+        t[i + 1].kind == Tok::identifier) {
+      for (int l = t[i].line - 2; l <= t[i].line; ++l) {
+        auto c = f.lx.comments.find(l);
+        if (c != f.lx.comments.end() &&
+            c->second.find("@affine(reactor)") != std::string::npos) {
+          corpus.affine_classes.insert(t[i + 1].text);
+          break;
+        }
+      }
+    }
+    // Status/Result-returning function declarations at declaration scope.
+    if (scopes.func_depth[i] != 0) continue;
+    bool is_status = is_ident(t[i], "Status");
+    bool is_result = is_ident(t[i], "Result");
+    if (!is_status && !is_result) continue;
+    std::size_t j = i + 1;
+    if (is_result) {
+      std::size_t after = skip_template_args(t, j);
+      if (after == j) continue;  // `Result` without template args: not a type
+      j = after;
+    }
+    // Qualified-id: name (:: name)* then '('. Register the last segment.
+    if (j >= t.size() || t[j].kind != Tok::identifier) continue;
+    std::string name = t[j].text;
+    ++j;
+    while (j + 1 < t.size() && is_punct(t[j], "::") &&
+           t[j + 1].kind == Tok::identifier) {
+      name = t[j + 1].text;
+      j += 2;
+    }
+    if (j < t.size() && is_punct(t[j], "(")) corpus.nodiscard_fns.insert(name);
+  }
+  // Second pass: names also declared with a NON-Status/Result return type.
+  // The registry is name-based (no type inference at call sites), so the
+  // symmetric serde pattern — `void BufWriter::u32(v)` next to
+  // `Result<u32> BufReader::u32()` — would otherwise flag every writer call.
+  // Ambiguous names are subtracted in build_registry.
+  for (std::size_t i = 2; i + 1 < t.size(); ++i) {
+    if (!is_punct(t[i], "(")) continue;
+    if (scopes.func_depth[i] != 0) continue;
+    if (t[i - 1].kind != Tok::identifier) continue;
+    const std::string& name = t[i - 1].text;
+    // Walk back over the qualified-id (`Foo::bar` → before `Foo`).
+    std::size_t j = i - 1;
+    while (j >= 2 && is_punct(t[j - 1], "::") &&
+           t[j - 2].kind == Tok::identifier)
+      j -= 2;
+    if (j == 0) continue;
+    const Token& tail = t[j - 1];
+    if (is_punct(tail, "*") || is_punct(tail, "&")) {
+      other_ret->insert(name);  // pointer/reference return: value optional
+    } else if (tail.kind == Tok::identifier) {
+      if (tail.text != "Status" && tail.text != "Result" &&
+          tail.text != "explicit" && tail.text != "return" &&
+          tail.text != "new")
+        other_ret->insert(name);
+    } else if (is_punct(tail, ">")) {
+      // Templated return type: resolve the head identifier before the '<'.
+      int depth = 0;
+      for (std::size_t k = j; k-- > 0;) {
+        if (is_punct(t[k], ">")) ++depth;
+        if (is_punct(t[k], ">>")) depth += 2;
+        if (is_punct(t[k], "<") && --depth == 0) {
+          if (k >= 1 && t[k - 1].kind == Tok::identifier &&
+              t[k - 1].text != "Result")
+            other_ret->insert(name);
+          break;
+        }
+        if (depth < 0) break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// posted-lambda-lifetime + blocking-in-handler share the lambda finder.
+// ---------------------------------------------------------------------------
+
+constexpr std::array<const char*, 3> kPostFns = {"post", "add_timer",
+                                                 "call_soon"};
+
+bool is_post_fn(const Token& t) {
+  for (const char* f : kPostFns)
+    if (is_ident(t, f)) return true;
+  return false;
+}
+
+struct Capture {
+  std::string name;            // captured variable ("" for default captures)
+  bool by_ref = false;         // &x / & default
+  bool is_this = false;        // `this` (not `*this`, which copies)
+  std::vector<Token> init;     // init-capture tokens after '='
+};
+
+/// Parse the capture list starting at the '[' at `open`. Returns the index
+/// just after the ']' and fills `out`.
+std::size_t parse_captures(const Tokens& t, std::size_t open,
+                           std::vector<Capture>* out) {
+  std::size_t end = skip_balanced(t, open);  // index after ']'
+  std::size_t i = open + 1;
+  while (i < end - 1) {
+    Capture c;
+    if (is_punct(t[i], "&")) {
+      c.by_ref = true;
+      ++i;
+    } else if (is_punct(t[i], "*") && i + 1 < end && is_ident(t[i + 1], "this")) {
+      i += 2;  // *this copies the object: safe, not a this-capture
+      while (i < end - 1 && !is_punct(t[i], ",")) ++i;
+      ++i;
+      continue;
+    } else if (is_punct(t[i], "=")) {
+      ++i;  // default copy capture
+      while (i < end - 1 && !is_punct(t[i], ",")) ++i;
+      ++i;
+      continue;
+    }
+    if (i < end - 1 && is_ident(t[i], "this")) {
+      c.is_this = true;
+      ++i;
+    } else if (i < end - 1 && t[i].kind == Tok::identifier) {
+      c.name = t[i].text;
+      ++i;
+      if (i < end - 1 && is_punct(t[i], "=")) {
+        ++i;
+        int depth = 0;
+        while (i < end - 1 && (depth > 0 || !is_punct(t[i], ","))) {
+          if (is_punct(t[i], "(") || is_punct(t[i], "[") ||
+              is_punct(t[i], "{") || is_punct(t[i], "<"))
+            ++depth;
+          if (is_punct(t[i], ")") || is_punct(t[i], "]") ||
+              is_punct(t[i], "}") || is_punct(t[i], ">"))
+            --depth;
+          c.init.push_back(t[i]);
+          ++i;
+        }
+      }
+    }
+    out->push_back(std::move(c));
+    while (i < end - 1 && !is_punct(t[i], ",")) ++i;
+    if (i < end - 1) ++i;  // past ','
+  }
+  return end;
+}
+
+bool capture_is_alive_token(const Capture& c) {
+  static const char* kAliveNames[] = {"alive", "alive_", "guard",  "guard_",
+                                      "weak",  "weak_",  "self",   "self_",
+                                      "token", "token_", "owner",  "owner_"};
+  for (const char* n : kAliveNames)
+    if (c.name == n) return true;
+  for (std::size_t k = 0; k < c.init.size(); ++k) {
+    if (c.init[k].kind != Tok::identifier) continue;
+    const std::string& s = c.init[k].text;
+    if (s == "weak_ptr" || s == "shared_from_this" || s == "weak_from_this")
+      return true;
+  }
+  return false;
+}
+
+bool capture_is_raw_pointer(const Capture& c) {
+  // Init-captures materializing a raw pointer: `p = x.get()` / `p = &obj`.
+  for (std::size_t k = 0; k + 2 < c.init.size(); ++k) {
+    if ((is_punct(c.init[k], ".") || is_punct(c.init[k], "->")) &&
+        is_ident(c.init[k + 1], "get") && is_punct(c.init[k + 2], "("))
+      return true;
+  }
+  if (!c.init.empty() && is_punct(c.init[0], "&")) return true;
+  return false;
+}
+
+// Blocking primitives. Sleep-family match unqualified; syscall names only
+// when explicitly global-qualified (`::recv`) so method names stay legal.
+bool is_sleep_call(const Tokens& t, std::size_t i) {
+  static const char* kSleep[] = {"sleep_for", "sleep_until", "usleep",
+                                 "nanosleep", "getchar",     "system"};
+  if (t[i].kind != Tok::identifier) return false;
+  bool named = false;
+  for (const char* s : kSleep)
+    if (t[i].text == s) named = true;
+  if (!named) return false;
+  return i + 1 < t.size() && is_punct(t[i + 1], "(");
+}
+
+bool is_global_blocking_syscall(const Tokens& t, std::size_t i) {
+  static const char* kSys[] = {"recv", "recvfrom", "recvmsg", "accept",
+                               "accept4", "select", "poll", "read"};
+  if (t[i].kind != Tok::identifier) return false;
+  bool named = false;
+  for (const char* s : kSys)
+    if (t[i].text == s) named = true;
+  if (!named) return false;
+  if (i == 0 || !is_punct(t[i - 1], "::")) return false;
+  // `::recv` (global) vs `sock::recv` (scoped): global iff no identifier or
+  // closing angle precedes the `::`. Statement keywords (`return ::recv(...)`)
+  // are not qualifiers.
+  if (i >= 2 && (t[i - 2].kind == Tok::identifier || is_punct(t[i - 2], ">"))) {
+    const std::string& q = t[i - 2].text;
+    if (q != "return" && q != "co_return" && q != "else" && q != "do")
+      return false;
+  }
+  return i + 1 < t.size() && is_punct(t[i + 1], "(");
+}
+
+bool is_cv_wait(const Tokens& t, std::size_t i) {
+  if (t[i].kind != Tok::identifier) return false;
+  if (t[i].text != "wait" && t[i].text != "wait_for" &&
+      t[i].text != "wait_until")
+    return false;
+  if (i == 0 || !(is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")))
+    return false;
+  return i + 1 < t.size() && is_punct(t[i + 1], "(");
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+void rule_posted_lambda(const FileUnit& f, std::vector<Finding>* out) {
+  const Tokens& t = f.lx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_post_fn(t[i]) || !is_punct(t[i + 1], "(")) continue;
+    std::size_t call_end = skip_balanced(t, i + 1);
+    for (std::size_t j = i + 2; j < call_end; ++j) {
+      if (!is_punct(t[j], "[")) continue;
+      if (j + 1 < t.size() && is_punct(t[j + 1], "[")) continue;  // attribute
+      if (!(is_punct(t[j - 1], "(") || is_punct(t[j - 1], ",")))
+        continue;  // not in argument position (e.g. a subscript)
+      std::vector<Capture> caps;
+      std::size_t after = parse_captures(t, j, &caps);
+      bool alive = false, has_this = false, has_raw = false;
+      for (const auto& c : caps) {
+        if (capture_is_alive_token(c)) alive = true;
+        if (c.is_this) has_this = true;
+        if (capture_is_raw_pointer(c)) has_raw = true;
+      }
+      if ((has_this || has_raw) && !alive &&
+          !suppressed(f, t[j].line, "posted-lambda-lifetime") &&
+          !suppressed(f, t[i].line, "posted-lambda-lifetime")) {
+        Finding fd;
+        fd.file = f.rel;
+        fd.line = t[j].line;
+        fd.rule = "posted-lambda-lifetime";
+        fd.message = std::string("lambda passed to ") + t[i].text +
+                     "() captures " +
+                     (has_this ? "'this'" : "a raw pointer") +
+                     " without an alive token; the owner may die before the "
+                     "task runs";
+        fd.suggestion =
+            "capture `alive = std::weak_ptr<bool>(alive_)` and return early "
+            "when expired (transport.cpp pattern), or suppress with "
+            "`// lint: allow(posted-lambda-lifetime) <why the owner outlives "
+            "the task>`";
+        out->push_back(std::move(fd));
+      }
+      j = after - 1;
+    }
+  }
+}
+
+void rule_nodiscard(const FileUnit& f, const ScopeInfo& scopes,
+                    const Corpus& corpus, std::vector<Finding>* out) {
+  const Tokens& t = f.lx.tokens;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (scopes.func_depth[i] == 0) continue;
+    if (t[i].kind != Tok::identifier) continue;
+    const Token& prev = t[i - 1];
+    // Chain head must sit at statement position.
+    if (is_punct(prev, ".") || is_punct(prev, "->") || is_punct(prev, "::"))
+      continue;
+    bool stmt_pos = is_punct(prev, ";") || is_punct(prev, "{") ||
+                    is_punct(prev, "}") || is_ident(prev, "else") ||
+                    is_punct(prev, ":");
+    if (!stmt_pos && is_punct(prev, ")")) {
+      // `(void) call()` is the sanctioned explicit discard; any other `)`
+      // before the head is a control-flow header: `if (...) call();`.
+      std::size_t open = match_paren_back(t, i - 1);
+      bool voided = (i - 1) - open == 2 && is_ident(t[open + 1], "void");
+      if (voided) continue;
+      stmt_pos = true;
+    }
+    if (!stmt_pos) continue;
+    // Walk the call chain: a.b()->c(); the final called name decides.
+    std::size_t j = i;
+    std::string last_called;
+    int last_call_line = 0;
+    while (j < t.size()) {
+      if (t[j].kind != Tok::identifier) break;
+      std::string name = t[j].text;
+      ++j;
+      while (j + 1 < t.size() && is_punct(t[j], "::") &&
+             t[j + 1].kind == Tok::identifier) {
+        name = t[j + 1].text;
+        j += 2;
+      }
+      if (j < t.size() && is_punct(t[j], "(")) {
+        int line = t[j].line;
+        j = skip_balanced(t, j);
+        last_called = name;
+        last_call_line = line;
+        if (j < t.size() && (is_punct(t[j], ".") || is_punct(t[j], "->"))) {
+          ++j;
+          continue;
+        }
+        break;
+      }
+      if (j < t.size() && (is_punct(t[j], ".") || is_punct(t[j], "->"))) {
+        ++j;
+        last_called.clear();
+        continue;
+      }
+      last_called.clear();
+      break;
+    }
+    if (last_called.empty() || j >= t.size() || !is_punct(t[j], ";")) continue;
+    if (corpus.nodiscard_fns.count(last_called) == 0) continue;
+    if (suppressed(f, last_call_line, "nodiscard-status")) continue;
+    Finding fd;
+    fd.file = f.rel;
+    fd.line = last_call_line;
+    fd.rule = "nodiscard-status";
+    fd.message = "discarded result of " + last_called +
+                 "() which returns Status/Result";
+    fd.suggestion =
+        "branch on is_ok() / wrap in FLEXRIC_TRY(...), or write "
+        "`(void)" + last_called + "(...)` to document fire-and-forget";
+    out->push_back(std::move(fd));
+  }
+}
+
+void rule_blocking(const FileUnit& f, std::vector<Finding>* out) {
+  const Tokens& t = f.lx.tokens;
+  const bool reactor_affine_file =
+      f.category == "src" && f.rel.rfind("src/transport/", 0) != 0;
+  // (a) blocking primitives anywhere in reactor-affine code.
+  if (reactor_affine_file) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (is_sleep_call(t, i) || is_global_blocking_syscall(t, i) ||
+          is_cv_wait(t, i)) {
+        if (suppressed(f, t[i].line, "blocking-in-handler")) continue;
+        Finding fd;
+        fd.file = f.rel;
+        fd.line = t[i].line;
+        fd.rule = "blocking-in-handler";
+        fd.message = "blocking primitive '" + t[i].text +
+                     "' in reactor-affine code (handlers run on the loop "
+                     "thread; only src/transport/ may touch blocking I/O)";
+        fd.suggestion =
+            "replace with a reactor timer / non-blocking transport call, or "
+            "suppress with `// lint: allow(blocking-in-handler) <reason>`";
+        out->push_back(std::move(fd));
+      }
+    }
+  }
+  // (b) blocking primitives inside any lambda posted to the reactor — this
+  // applies to every category, src/transport/ included.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_post_fn(t[i]) || !is_punct(t[i + 1], "(")) continue;
+    std::size_t call_end = skip_balanced(t, i + 1);
+    for (std::size_t j = i + 2; j < call_end; ++j) {
+      if (!is_punct(t[j], "[") ||
+          !(is_punct(t[j - 1], "(") || is_punct(t[j - 1], ",")))
+        continue;
+      // Skip capture list, optional params/specifiers, then scan the body.
+      std::size_t k = skip_balanced(t, j);
+      if (k < t.size() && is_punct(t[k], "(")) k = skip_balanced(t, k);
+      while (k < t.size() && (is_ident(t[k], "mutable") ||
+                              is_ident(t[k], "noexcept") ||
+                              is_punct(t[k], "->") ||
+                              t[k].kind == Tok::identifier))
+        ++k;
+      if (k >= t.size() || !is_punct(t[k], "{")) continue;
+      std::size_t body_end = skip_balanced(t, k);
+      for (std::size_t b = k; b < body_end; ++b) {
+        if ((is_sleep_call(t, b) || is_global_blocking_syscall(t, b) ||
+             is_cv_wait(t, b)) &&
+            !reactor_affine_file &&  // (a) already reported those
+            !suppressed(f, t[b].line, "blocking-in-handler")) {
+          Finding fd;
+          fd.file = f.rel;
+          fd.line = t[b].line;
+          fd.rule = "blocking-in-handler";
+          fd.message = "blocking primitive '" + t[b].text +
+                       "' inside a lambda passed to " + t[i].text +
+                       "() — it would stall the reactor loop";
+          fd.suggestion =
+              "do the blocking work before posting, or use a timer and "
+              "re-check readiness";
+          out->push_back(std::move(fd));
+        }
+      }
+      j = body_end - 1;
+    }
+  }
+}
+
+void rule_affinity(const FileUnit& f, const ScopeInfo& scopes,
+                   const Corpus& corpus, std::vector<Finding>* out) {
+  const Tokens& t = f.lx.tokens;
+  // Check A (src): a class that stamps FLEXRIC_ASSERT_AFFINITY must be
+  // annotated `// @affine(reactor)` at its declaration.
+  if (f.category == "src") {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!is_ident(t[i], "FLEXRIC_ASSERT_AFFINITY")) continue;
+      if (scopes.func_depth[i] == 0) continue;  // the macro definition
+      const std::string& owner = scopes.owner_class[i];
+      if (owner.empty() || corpus.affine_classes.count(owner) != 0) continue;
+      if (suppressed(f, t[i].line, "affinity-annotation")) continue;
+      Finding fd;
+      fd.file = f.rel;
+      fd.line = t[i].line;
+      fd.rule = "affinity-annotation";
+      fd.message = "class " + owner +
+                   " stamps FLEXRIC_ASSERT_AFFINITY but its declaration "
+                   "lacks a '// @affine(reactor)' annotation";
+      fd.suggestion =
+          "add `// @affine(reactor)` on the line above `class " + owner + "`";
+      out->push_back(std::move(fd));
+    }
+  }
+  // Check B (examples/tests): objects of annotated classes must not be
+  // touched from std::thread lambdas — that is exactly the wrong-thread
+  // call FLEXRIC_ASSERT_AFFINITY aborts on in guarded builds.
+  if (f.category != "examples" && f.category != "tests") return;
+  // Local variables declared with an affine type.
+  std::set<std::string> affine_vars;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::identifier ||
+        corpus.affine_classes.count(t[i].text) == 0)
+      continue;
+    std::size_t j = i + 1;
+    int guard = 0;
+    while (j < t.size() && guard++ < 3 &&
+           (is_punct(t[j], ">") || is_punct(t[j], ">>") ||
+            is_punct(t[j], "*") || is_punct(t[j], "&")))
+      ++j;
+    if (j + 1 < t.size() && t[j].kind == Tok::identifier &&
+        (is_punct(t[j + 1], "=") || is_punct(t[j + 1], ";") ||
+         is_punct(t[j + 1], "(") || is_punct(t[j + 1], "{") ||
+         is_punct(t[j + 1], ",") || is_punct(t[j + 1], ")")))
+      affine_vars.insert(t[j].text);
+  }
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (!(is_ident(t[i], "std") && is_punct(t[i + 1], "::") &&
+          is_ident(t[i + 2], "thread")))
+      continue;
+    // std::thread t(...), std::thread(...), std::thread t{...}
+    std::size_t j = i + 3;
+    if (j < t.size() && t[j].kind == Tok::identifier) ++j;
+    if (j >= t.size() || !(is_punct(t[j], "(") || is_punct(t[j], "{")))
+      continue;
+    std::size_t ctor_end = skip_balanced(t, j);
+    for (std::size_t b = j + 1; b < ctor_end; ++b) {
+      if (t[b].kind != Tok::identifier) continue;
+      bool hit = affine_vars.count(t[b].text) != 0 ||
+                 corpus.affine_classes.count(t[b].text) != 0;
+      if (!hit) continue;
+      if (b > 0 && (is_punct(t[b - 1], ".") || is_punct(t[b - 1], "->")))
+        continue;  // member named like the var
+      if (suppressed(f, t[b].line, "affinity-annotation") ||
+          suppressed(f, t[i].line, "affinity-annotation"))
+        continue;
+      Finding fd;
+      fd.file = f.rel;
+      fd.line = t[b].line;
+      fd.rule = "affinity-annotation";
+      fd.message = "reactor-affine '" + t[b].text +
+                   "' touched from a std::thread lambda; entry points of "
+                   "@affine(reactor) classes must run on the loop thread";
+      fd.suggestion =
+          "marshal the call onto the reactor with reactor.post(), or "
+          "suppress with `// lint: allow(affinity-annotation) <reason>` "
+          "(e.g. a test that proves the guard trips)";
+      out->push_back(std::move(fd));
+      break;  // one finding per thread ctor is enough
+    }
+  }
+}
+
+}  // namespace
+
+void build_registry(Corpus& corpus) {
+  std::set<std::string> other_ret;
+  for (const auto& f : corpus.files) {
+    ScopeInfo scopes = analyze_scopes(f.lx.tokens);
+    register_file(f, scopes, corpus, &other_ret);
+  }
+  // Drop ambiguous names: a call site has no type info, so a name declared
+  // both ways (serde writers vs readers) cannot be checked soundly.
+  for (const auto& name : other_ret) corpus.nodiscard_fns.erase(name);
+}
+
+std::vector<Finding> run_rules(const Corpus& corpus,
+                               const std::set<std::string>& rules) {
+  std::vector<Finding> out;
+  for (const auto& f : corpus.files) {
+    ScopeInfo scopes = analyze_scopes(f.lx.tokens);
+    if (rules.count("posted-lambda-lifetime") &&
+        (f.category == "src" || f.category == "bench" ||
+         f.category == "examples"))
+      rule_posted_lambda(f, &out);
+    if (rules.count("nodiscard-status") &&
+        (f.category == "src" || f.category == "bench" ||
+         f.category == "examples"))
+      rule_nodiscard(f, scopes, corpus, &out);
+    if (rules.count("blocking-in-handler") &&
+        (f.category == "src" || f.category == "bench" ||
+         f.category == "examples"))
+      rule_blocking(f, &out);
+    if (rules.count("affinity-annotation")) rule_affinity(f, scopes, corpus, &out);
+  }
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Suppression> collect_suppressions(const Corpus& corpus) {
+  std::vector<Suppression> out;
+  for (const auto& f : corpus.files)
+    for (const auto& [line, text] : f.lx.comments)
+      parse_allows(text, line, f.rel, &out);
+  return out;
+}
+
+}  // namespace flexric::analyze

@@ -1,0 +1,88 @@
+// Rule engine for the FlexRIC static analyzer.
+//
+// Four rules, all running on the token stream from lexer.hpp with a shared
+// brace/paren scope analysis (not line regexes — see DESIGN.md §10):
+//
+//   posted-lambda-lifetime  a lambda literal passed to post()/add_timer()/
+//                           call_soon() that captures `this` or a raw
+//                           pointer must also capture an alive token
+//                           (std::weak_ptr guard or a capture named alive/
+//                           guard/self/...), else destroying the owner with
+//                           the task in flight is a use-after-free.
+//   nodiscard-status        a statement-position call chain ending in a
+//                           function that returns Status/Result<T> must not
+//                           discard the value; `(void)call()` documents a
+//                           deliberate fire-and-forget. The registry of
+//                           Status/Result-returning function names is built
+//                           from the scanned sources themselves.
+//   blocking-in-handler     sleep/blocking-syscall primitives are banned in
+//                           reactor-affine code (src/ outside src/transport/)
+//                           and inside any lambda posted to the reactor.
+//   affinity-annotation     classes whose methods stamp
+//                           FLEXRIC_ASSERT_AFFINITY must carry a
+//                           `// @affine(reactor)` comment on their
+//                           declaration, and objects of annotated classes
+//                           must not be touched from std::thread lambdas in
+//                           examples/tests.
+//
+// Suppression: `lint: allow(<rule>) <reason>` in a comment on the finding's
+// line or the line directly above. The reason is mandatory (--list audits).
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace flexric::analyze {
+
+struct Finding {
+  std::string file;  // path relative to the scan root
+  int line = 0;
+  std::string rule;
+  std::string message;
+  std::string suggestion;
+};
+
+struct FileUnit {
+  std::string rel;       // repo-relative path, '/' separators
+  std::string category;  // top-level dir: "src", "bench", "examples", "tests"
+  LexedFile lx;
+};
+
+struct Corpus {
+  std::vector<FileUnit> files;
+  /// Names of functions whose return type is Status or Result<...>.
+  std::set<std::string> nodiscard_fns;
+  /// Class names annotated `// @affine(reactor)`.
+  std::set<std::string> affine_classes;
+};
+
+/// One suppression comment found in the corpus.
+struct Suppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string reason;
+};
+
+inline const char* const kAllRules[] = {
+    "posted-lambda-lifetime",
+    "nodiscard-status",
+    "blocking-in-handler",
+    "affinity-annotation",
+};
+
+/// Populate nodiscard_fns and affine_classes from corpus.files.
+void build_registry(Corpus& corpus);
+
+/// Run the selected rules; findings are suppression-filtered and sorted by
+/// (file, line, rule).
+std::vector<Finding> run_rules(const Corpus& corpus,
+                               const std::set<std::string>& rules);
+
+/// Every `lint: allow(...)` suppression in the corpus (for --list).
+std::vector<Suppression> collect_suppressions(const Corpus& corpus);
+
+}  // namespace flexric::analyze
