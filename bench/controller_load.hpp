@@ -34,6 +34,15 @@ struct ControllerLoad {
   std::uint64_t indications = 0;
   std::uint64_t retained_bytes = 0;  ///< controller data-structure footprint
   std::uint64_t rss_delta = 0;       ///< process RSS growth over the run
+  /// Overload-protection ledger (DESIGN.md §11); all zero for the baseline
+  /// controllers and when the admission layer is disabled.
+  std::uint64_t dispatched = 0;
+  std::uint64_t rate_shed = 0;
+  std::uint64_t flood_shed = 0;
+  std::uint64_t queue_shed = 0;
+  std::uint64_t flood_quarantines = 0;
+  std::uint64_t ctrls_deadline_expired = 0;
+  std::uint64_t agent_reported_sheds = 0;
 };
 
 inline WireFormat e2_format(ControllerKind kind) {
@@ -80,7 +89,8 @@ inline void run_agent_farm(ControllerKind kind, std::uint16_t port,
           reactor,
           agent::E2Agent::Config{
               {1, static_cast<std::uint32_t>(a + 1), e2ap::NodeType::enb},
-              fmt});
+              fmt,
+              {}});
       p.bundle =
           std::make_unique<ran::BsFunctionBundle>(*p.bs, *p.agent, fmt);
       (void)p.agent->add_controller(std::shared_ptr<MsgTransport>(std::move(*conn)));
@@ -113,9 +123,10 @@ inline void run_agent_farm(ControllerKind kind, std::uint16_t port,
 }
 
 /// Run the full scenario; returns the measured controller-side load.
-inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
-                                          int ues, int virtual_secs,
-                                          bool oran_subscribe_all = true) {
+inline ControllerLoad run_controller_load(
+    ControllerKind kind, int num_agents, int ues, int virtual_secs,
+    bool oran_subscribe_all = true,
+    const server::OverloadConfig& overload = {}) {
   std::atomic<bool> stop{false};
   std::promise<std::uint16_t> port_promise;
   auto port_future = port_promise.get_future();
@@ -191,7 +202,7 @@ inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
           xapp.db().size() * sizeof(e2sm::mac::UeStats) * 2;
     } else {
       server::E2Server ric(reactor,
-                           {21, e2_format(kind)});
+                           {21, e2_format(kind), {}, overload});
       ctrl::MonitorIApp::Config mon_cfg{e2_format(kind), 1};
       // FB: keep the raw (directly queryable) bytes, no decode step.
       // ASN.1: payloads are unusable unparsed — decode every message.
@@ -214,6 +225,14 @@ inline ControllerLoad run_controller_load(ControllerKind kind, int num_agents,
         for (const auto& [fn, raw] : db.raw) retained += raw.size();
       }
       out.retained_bytes = retained;
+      const server::E2Server::Stats& st = ric.stats();
+      out.dispatched = st.dispatched;
+      out.rate_shed = st.rate_shed;
+      out.flood_shed = st.flood_shed;
+      out.queue_shed = st.queue_shed;
+      out.flood_quarantines = st.flood_quarantines;
+      out.ctrls_deadline_expired = st.ctrls_deadline_expired;
+      out.agent_reported_sheds = st.agent_reported_sheds;
     }
   });
 

@@ -18,28 +18,36 @@
 # (FLEXRIC_SANITIZE implies guards via the AUTO default), so test_affinity's
 # death tests execute there.
 #
-# Usage: ./ci.sh [jobs] [--quick] [--chaos] [--tidy]
-#   --quick   configure FLEXRIC_FUZZ_ITERS=1000 for a fast local smoke run;
-#             without it the fuzz battery keeps the CI default (100k).
-#   --chaos   add a resilience soak after the matrix: test_resilience over a
-#             wide seeded fault schedule (FLEXRIC_CHAOS_SEEDS), on the plain
-#             build AND under TSan — the reconnect/heartbeat/replay machinery
-#             is all timer-driven callbacks, exactly where a latent data race
-#             would hide. A failure prints the seed that reproduces it.
-#   --tidy    opt-in clang-tidy lane over src/ using the .clang-tidy config
-#             (bugprone-*, performance-*, misc-unused-*) and the plain leg's
-#             compile_commands.json. Skipped with a notice when clang-tidy is
-#             not installed, so the core matrix never depends on it.
+# Usage: ./ci.sh [jobs] [--quick] [--chaos] [--overload] [--tidy]
+#   --quick     configure FLEXRIC_FUZZ_ITERS=1000 for a fast local smoke run;
+#               without it the fuzz battery keeps the CI default (100k).
+#   --chaos     add a resilience soak after the matrix: test_resilience over a
+#               wide seeded fault schedule (FLEXRIC_CHAOS_SEEDS), on the plain
+#               build AND under TSan — the reconnect/heartbeat/replay machinery
+#               is all timer-driven callbacks, exactly where a latent data race
+#               would hide. A failure prints the seed that reproduces it.
+#   --overload  add an indication-storm soak: test_overload over a wide seeded
+#               storm schedule (FLEXRIC_STORM_SEEDS sweeps 1x/4x/16x/64x storm
+#               multipliers), on the plain build AND under TSan — admission,
+#               shedding and quarantine all run inside reactor callbacks, the
+#               same place a race would hide. Each seed runs twice and the
+#               traces must match bit-for-bit (DESIGN.md §11).
+#   --tidy      opt-in clang-tidy lane over src/ using the .clang-tidy config
+#               (bugprone-*, performance-*, misc-unused-*) and the plain leg's
+#               compile_commands.json. Skipped with a notice when clang-tidy is
+#               not installed, so the core matrix never depends on it.
 set -eu
 
 jobs=""
 fuzz_iters=100000
 chaos=0
+overload=0
 tidy=0
 for arg in "$@"; do
   case "$arg" in
     --quick) fuzz_iters=1000 ;;
     --chaos) chaos=1 ;;
+    --overload) overload=1 ;;
     --tidy) tidy=1 ;;
     *) jobs=$arg ;;
   esac
@@ -47,9 +55,10 @@ done
 [ -n "$jobs" ] || jobs=$(nproc 2>/dev/null || echo 4)
 root=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
 
-# 64 seeds for the soak (the in-tree default is 12); override by exporting
-# FLEXRIC_CHAOS_SEEDS yourself before invoking ci.sh --chaos.
+# 64 seeds for the soaks (the in-tree default is 12); override by exporting
+# FLEXRIC_CHAOS_SEEDS / FLEXRIC_STORM_SEEDS yourself before invoking ci.sh.
 default_chaos_seeds=$(seq -s, 1 64)
+default_storm_seeds=$(seq -s, 1 64)
 
 run_leg() {
   leg_name=$1
@@ -70,6 +79,14 @@ run_chaos_leg() {
   echo "==== [$leg_name] chaos soak (FLEXRIC_CHAOS_SEEDS=${FLEXRIC_CHAOS_SEEDS:-$default_chaos_seeds}) ===="
   FLEXRIC_CHAOS_SEEDS="${FLEXRIC_CHAOS_SEEDS:-$default_chaos_seeds}" \
     "$build_dir/tests/test_resilience" --gtest_brief=1
+}
+
+run_overload_leg() {
+  leg_name=$1
+  build_dir=$2
+  echo "==== [$leg_name] storm soak (FLEXRIC_STORM_SEEDS=${FLEXRIC_STORM_SEEDS:-$default_storm_seeds}) ===="
+  FLEXRIC_STORM_SEEDS="${FLEXRIC_STORM_SEEDS:-$default_storm_seeds}" \
+    "$build_dir/tests/test_overload" --gtest_brief=1
 }
 
 run_tidy_lane() {
@@ -93,12 +110,22 @@ if [ "$tidy" -eq 1 ]; then
   run_tidy_lane "$root/build"
 fi
 
-if [ "$chaos" -eq 1 ]; then
-  run_chaos_leg plain-chaos "$root/build"
+# The TSan build backs both soaks; build (and ctest) it once even when
+# --chaos and --overload are both requested.
+if [ "$chaos" -eq 1 ] || [ "$overload" -eq 1 ]; then
   run_leg tsan "$root/build-tsan" \
     -DFLEXRIC_SANITIZE="thread"
+fi
+if [ "$chaos" -eq 1 ]; then
+  run_chaos_leg plain-chaos "$root/build"
   run_chaos_leg tsan-chaos "$root/build-tsan"
-  echo "==== ci.sh: matrix + chaos soak passed ===="
+fi
+if [ "$overload" -eq 1 ]; then
+  run_overload_leg plain-overload "$root/build"
+  run_overload_leg tsan-overload "$root/build-tsan"
+fi
+if [ "$chaos" -eq 1 ] || [ "$overload" -eq 1 ]; then
+  echo "==== ci.sh: matrix + soaks passed ===="
 else
   echo "==== ci.sh: both legs passed ===="
 fi

@@ -34,13 +34,13 @@ int main() {
   ran::BaseStation bs({ran::Rat::nr, 1, 106, kMilli, 20, false});
 
   // --- CU and DU agents of the same base station (same plmn/nb_id) --------
-  agent::E2Agent cu(reactor, {{1, 55, e2ap::NodeType::cu}, kFmt});
+  agent::E2Agent cu(reactor, {{1, 55, e2ap::NodeType::cu}, kFmt, {}});
   auto rrc_fn = std::make_shared<ran::RrcFunction>(bs, kFmt);
   auto pdcp_fn = std::make_shared<ran::PdcpStatsFunction>(bs, kFmt);
   (void)cu.register_function(rrc_fn);
   (void)cu.register_function(pdcp_fn);
 
-  agent::E2Agent du(reactor, {{1, 55, e2ap::NodeType::du}, kFmt});
+  agent::E2Agent du(reactor, {{1, 55, e2ap::NodeType::du}, kFmt, {}});
   auto mac_fn = std::make_shared<ran::MacStatsFunction>(bs, kFmt);
   auto rlc_fn = std::make_shared<ran::RlcStatsFunction>(bs, kFmt);
   auto slice_fn = std::make_shared<ran::SliceCtrlFunction>(bs, kFmt);
@@ -51,7 +51,7 @@ int main() {
   (void)du.register_function(assoc_fn);
 
   // --- Infrastructure controller: primary controller of BOTH agents -------
-  server::E2Server infra(reactor, {1, kFmt, {}});
+  server::E2Server infra(reactor, {1, kFmt, {}, {}});
   struct InfraApp final : server::IApp {
     const char* name() const override { return "infra"; }
     void on_ran_formed(const server::RanEntity& e) override {
@@ -81,7 +81,7 @@ int main() {
   }
 
   // --- Specialized controller: attached to the DU only (index 1) ----------
-  server::E2Server specialized(reactor, {2, kFmt, {}});
+  server::E2Server specialized(reactor, {2, kFmt, {}, {}});
   auto [sp_a, sp_s] = LocalTransport::make_pair(reactor);
   specialized.attach(sp_s);
   (void)du.add_controller(sp_a);

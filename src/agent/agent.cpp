@@ -85,6 +85,8 @@ Result<ControllerId> E2Agent::add_controller(
   FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
   ControllerId id = next_conn_id_++;
   Conn& conn = conns_[id];
+  conn.pending.configure(cfg_.overload.indication_queue,
+                         cfg_.overload.shed_policy);
   conn.transport = std::move(transport);
   if (Status st = wire_transport(id); !st.is_ok()) {
     conns_.erase(id);
@@ -100,6 +102,8 @@ Result<ControllerId> E2Agent::add_controller(TransportFactory factory,
     return Error{Errc::malformed, "null transport factory"};
   ControllerId id = next_conn_id_++;
   Conn& conn = conns_[id];
+  conn.pending.configure(cfg_.overload.indication_queue,
+                         cfg_.overload.shed_policy);
   conn.factory = std::move(factory);
   conn.rc = rc;
   // Decorrelate jitter across connections sharing one config.
@@ -257,13 +261,19 @@ void E2Agent::heartbeat_tick(ControllerId id) {
   conn.hb_outstanding = true;
   stats_.heartbeats_tx++;
   (void)send(id, e2ap::Msg{hb});
+  // Ride the heartbeat: drain whatever the link now accepts, then own up to
+  // any sheds since the last report — drops are never silent.
+  flush_pending(id);
+  if (auto cit = conns_.find(id); cit != conns_.end())
+    maybe_report_sheds(id, cit->second);
 }
 
 void E2Agent::cancel_conn_timers(Conn& conn) {
   if (conn.retry_timer != 0) reactor_.cancel_timer(conn.retry_timer);
   if (conn.hb_timer != 0) reactor_.cancel_timer(conn.hb_timer);
   if (conn.setup_timer != 0) reactor_.cancel_timer(conn.setup_timer);
-  conn.retry_timer = conn.hb_timer = conn.setup_timer = 0;
+  if (conn.flush_timer != 0) reactor_.cancel_timer(conn.flush_timer);
+  conn.retry_timer = conn.hb_timer = conn.setup_timer = conn.flush_timer = 0;
   conn.hb_outstanding = false;
 }
 
@@ -316,7 +326,80 @@ bool E2Agent::ue_visible(std::uint16_t rnti, ControllerId origin) const {
 Status E2Agent::send_indication(ControllerId origin,
                                 const e2ap::Indication& ind) {
   FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());
-  return send(origin, e2ap::Msg{ind});
+  auto it = conns_.find(origin);
+  if (it == conns_.end()) return {Errc::io, "controller connection not open"};
+  Conn& conn = it->second;
+  if (cfg_.overload.indication_queue == 0)  // overload buffering disabled
+    return send(origin, e2ap::Msg{ind});
+  // Buffered indications must not be overtaken: only try the wire directly
+  // when the buffer is empty.
+  if (conn.pending.empty()) {
+    Status st = send(origin, e2ap::Msg{ind});
+    if (st.is_ok()) {
+      stats_.indications_tx++;
+      return st;
+    }
+    // Only TX-buffer pressure is absorbed here; other errors (closed conn,
+    // encode failure) keep their pre-overload behavior.
+    if (st.code() != Errc::capacity) return st;
+  }
+  // Fair shedding groups by subscription, so one chatty subscription cannot
+  // starve the others on the same link.
+  const std::uint64_t shed_before = conn.pending.stats().shed();
+  const bool admitted = conn.pending.push(ind.request.instance, ind);
+  stats_.indications_shed += conn.pending.stats().shed() - shed_before;
+  if (admitted) stats_.indications_queued++;
+  ensure_flush_timer(origin, conn);
+  // The message is accounted for (buffered or counted shed + reported on the
+  // next heartbeat): from the RAN function's view the send succeeded.
+  return Status::ok();
+}
+
+void E2Agent::ensure_flush_timer(ControllerId id, Conn& conn) {
+  if (conn.flush_timer != 0 || cfg_.overload.flush_period <= 0) return;
+  conn.flush_timer = reactor_.add_timer(
+      cfg_.overload.flush_period,
+      // lint: allow(posted-lambda-lifetime) flush_timer is cancelled by cancel_conn_timers() before this agent is destroyed
+      [this, id] { flush_pending(id); }, /*periodic=*/true);
+}
+
+void E2Agent::flush_pending(ControllerId id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  while (const auto* front = conn.pending.front()) {
+    Status st = send(id, e2ap::Msg{front->value});
+    if (!st.is_ok()) {
+      // capacity: the link is still backpressured, keep waiting. Any other
+      // error (conn lost mid-flush): the buffer survives for the reconnect.
+      return;
+    }
+    stats_.indications_tx++;
+    stats_.indications_flushed++;
+    (void)conn.pending.pop();
+  }
+  // Drained: stop ticking until backpressure next appears.
+  if (conn.flush_timer != 0) {
+    reactor_.cancel_timer(conn.flush_timer);
+    conn.flush_timer = 0;
+  }
+}
+
+void E2Agent::maybe_report_sheds(ControllerId id, Conn& conn) {
+  if (!cfg_.overload.report_sheds) return;
+  const std::uint64_t total = conn.pending.stats().shed();
+  if (total <= conn.sheds_reported) return;
+  const std::uint64_t delta = total - conn.sheds_reported;
+  e2ap::NodeConfigUpdate report;
+  report.trans_id = next_trans_id_++;
+  BufWriter w;
+  w.u64(delta);
+  report.components.emplace_back(overload::kShedReportComponent, w.take());
+  if (send(id, e2ap::Msg{std::move(report)}).is_ok()) {
+    conn.sheds_reported = total;
+    stats_.shed_reports_tx++;
+  }
+  // On failure the delta stays unreported and the next heartbeat retries.
 }
 
 std::uint64_t E2Agent::start_timer(std::int64_t period_ns,
@@ -388,6 +471,8 @@ void E2Agent::handle(ControllerId id, const e2ap::SetupResponse&) {
   conn.ever_established = true;
   set_state(id, conn, ConnState::established);
   start_heartbeat(id);
+  // Indications buffered across the outage survive the reconnect.
+  if (!conn.pending.empty()) ensure_flush_timer(id, conn);
 }
 
 void E2Agent::handle(ControllerId id, const e2ap::SetupFailure& m) {

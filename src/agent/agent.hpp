@@ -16,12 +16,31 @@
 
 #include "agent/ran_function.hpp"
 #include "codec/wire.hpp"
+#include "common/overload.hpp"
 #include "common/rng.hpp"
 #include "e2ap/codec.hpp"
 #include "transport/resilience.hpp"
 #include "transport/transport.hpp"
 
 namespace flexric::agent {
+
+/// Agent-side overload protection (DESIGN.md §11): when a controller's TX
+/// buffer hits its capacity cap (see TcpTransport::set_max_tx_buffer),
+/// send_indication() queues into a bounded per-controller buffer instead of
+/// surfacing the error, flushes as the link drains, sheds per `shed_policy`
+/// when the buffer itself fills, and reports shed counts alongside the next
+/// heartbeat — drops are visible at the controller, never silent.
+struct OverloadConfig {
+  /// Per-controller indication buffer (IR messages). 0 restores the
+  /// pre-overload behavior: capacity errors return to the caller directly.
+  std::size_t indication_queue = 256;
+  overload::ShedPolicy shed_policy = overload::ShedPolicy::drop_oldest;
+  /// Retry cadence while indications are buffered (0 disables the timer;
+  /// flushes then only happen on heartbeat ticks).
+  Nanos flush_period = 10 * kMilli;
+  /// Piggyback shed-count reports (NodeConfigUpdate) on heartbeat ticks.
+  bool report_sheds = true;
+};
 
 /// Per-connection E2 setup state. `reconnecting` is entered when a resilient
 /// connection (one added with a TransportFactory) loses its transport: the
@@ -42,6 +61,8 @@ class E2Agent final : public AgentServices {
   struct Config {
     e2ap::GlobalNodeId node_id;
     WireFormat e2ap_format = WireFormat::per;  ///< O-RAN default: ASN.1
+    /// Bounded indication buffering + shed reporting (see OverloadConfig).
+    OverloadConfig overload;
   };
 
   E2Agent(Reactor& reactor, Config cfg);
@@ -117,8 +138,23 @@ class E2Agent final : public AgentServices {
     std::uint64_t heartbeats_tx = 0;
     std::uint64_t heartbeat_misses = 0;
     std::uint64_t setup_replays = 0;    ///< E2 Setup resent after reconnect
+    // -- overload accounting (DESIGN.md §11). Exact-reconciliation
+    //    invariant: indications emitted by RAN functions
+    //      == indications_tx + indications_shed + <still buffered>
+    std::uint64_t indications_tx = 0;       ///< put on the wire (direct+flush)
+    std::uint64_t indications_queued = 0;   ///< buffered under backpressure
+    std::uint64_t indications_flushed = 0;  ///< drained from buffer to wire
+    std::uint64_t indications_shed = 0;     ///< dropped by the bounded buffer
+    std::uint64_t shed_reports_tx = 0;      ///< NodeConfigUpdate reports sent
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Per-controller indication buffer accounting (nullptr: no such conn).
+  [[nodiscard]] const overload::BoundedQueue<e2ap::Indication>*
+  pending_indications(ControllerId id) const {
+    auto it = conns_.find(id);
+    return it == conns_.end() ? nullptr : &it->second.pending;
+  }
 
  private:
   struct Conn {
@@ -136,6 +172,10 @@ class E2Agent final : public AgentServices {
     bool hb_outstanding = false;     ///< probe sent, ack not yet seen
     std::uint32_t hb_missed = 0;
     bool ever_established = false;   ///< distinguishes replay from first setup
+    // -- overload: bounded indication buffer (DESIGN.md §11) --
+    overload::BoundedQueue<e2ap::Indication> pending;
+    Reactor::TimerId flush_timer = 0;
+    std::uint64_t sheds_reported = 0;  ///< shed count already told to the peer
   };
 
   void on_message(ControllerId id, BytesView wire);
@@ -159,6 +199,12 @@ class E2Agent final : public AgentServices {
   void try_reconnect(ControllerId id);
   void start_heartbeat(ControllerId id);
   void heartbeat_tick(ControllerId id);
+  // -- overload machinery (all on the reactor thread) --
+  void ensure_flush_timer(ControllerId id, Conn& conn);
+  /// Drain buffered indications until the transport pushes back again.
+  void flush_pending(ControllerId id);
+  /// Tell the controller about sheds it has not heard of yet.
+  void maybe_report_sheds(ControllerId id, Conn& conn);
   void cancel_conn_timers(Conn& conn);
   void set_state(ControllerId id, Conn& conn, ConnState s);
 

@@ -25,15 +25,21 @@ const char* reason_phrase(int code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
 
 /// Parse "METHOD /path HTTP/1.1\r\nheaders\r\n\r\nbody". Returns false when
-/// more data is needed; sets `error` for malformed requests.
-bool parse_request(const std::string& raw, HttpRequest* out, bool* error) {
+/// more data is needed; sets `error` for malformed requests and `too_large`
+/// when the declared Content-Length exceeds `max_body` (the caller answers
+/// 413 without waiting for the oversized body to actually arrive).
+bool parse_request(const std::string& raw, HttpRequest* out, bool* error,
+                   std::size_t max_body, bool* too_large) {
   *error = false;
+  *too_large = false;
   std::size_t header_end = raw.find("\r\n\r\n");
   if (header_end == std::string::npos) return false;
   std::size_t line_end = raw.find("\r\n");
@@ -61,6 +67,10 @@ bool parse_request(const std::string& raw, HttpRequest* out, bool* error) {
       content_length = static_cast<std::size_t>(
           std::strtoul(line.c_str() + colon + 1, nullptr, 10));
   }
+  if (content_length > max_body) {
+    *too_large = true;
+    return false;
+  }
   std::size_t body_start = header_end + 4;
   if (raw.size() - body_start < content_length) return false;
   out->body = raw.substr(body_start, content_length);
@@ -72,6 +82,8 @@ std::string serialize_response(const HttpResponse& resp) {
                     reason_phrase(resp.code) + "\r\n";
   out += "Content-Type: " + resp.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  if (resp.retry_after_s > 0)
+    out += "Retry-After: " + std::to_string(resp.retry_after_s) + "\r\n";
   out += "Connection: close\r\n\r\n";
   out += resp.body;
   return out;
@@ -188,7 +200,10 @@ void HttpServer::conn_ready(int fd) {
   }
   HttpRequest req;
   bool error = false;
-  if (!parse_request(conn.rx, &req, &error)) {
+  bool too_large = conn.rx.size() > max_request_;
+  if (!too_large && !parse_request(conn.rx, &req, &error, max_request_,
+                                   &too_large) &&
+      !too_large) {
     if (error) {
       respond(conn, HttpResponse{400, R"({"error":"bad request"})", "application/json"});
       reactor_.del_fd(fd);
@@ -197,12 +212,33 @@ void HttpServer::conn_ready(int fd) {
     }
     return;  // need more data
   }
+  if (too_large) {
+    // Buffered bytes or declared Content-Length over the cap: refuse rather
+    // than buffer unboundedly. Retry-After hints a backoff to the client.
+    HttpResponse rej{413, R"({"error":"payload too large"})",
+                     "application/json"};
+    rej.retry_after_s = 1;
+    respond(conn, rej);
+    reactor_.del_fd(fd);
+    ::close(fd);
+    conns_.erase(fd);
+    return;
+  }
   HttpResponse resp;
   if (const Handler* handler = find_route(req.method, req.path)) {
     (*handler)(req, resp);
   } else {
     resp.code = 404;
     resp.body = R"({"error":"not found"})";
+  }
+  if (resp.body.size() > max_response_) {
+    // An unbounded response is server-side overload, not client error:
+    // shed it visibly instead of shipping (and buffering) the payload.
+    LOG_WARN("rest", "response of %zu bytes exceeds cap %zu; shedding (503)",
+             resp.body.size(), max_response_);
+    resp = HttpResponse{503, R"({"error":"response too large, narrow the query"})",
+                        "application/json"};
+    resp.retry_after_s = 1;
   }
   respond(conn, resp);
   reactor_.del_fd(fd);
@@ -274,7 +310,14 @@ Result<HttpResponse> HttpClient::request(const std::string& host,
   HttpResponse resp;
   resp.code = std::atoi(raw.c_str() + sp + 1);
   std::size_t header_end = raw.find("\r\n\r\n");
-  if (header_end != std::string::npos) resp.body = raw.substr(header_end + 4);
+  if (header_end != std::string::npos) {
+    // Surface the overload backoff hint (413/503) so callers can honor it.
+    const std::string hdrs = raw.substr(0, header_end);
+    std::size_t ra = hdrs.find("Retry-After: ");
+    if (ra != std::string::npos)
+      resp.retry_after_s = std::atoi(hdrs.c_str() + ra + 13);
+    resp.body = raw.substr(header_end + 4);
+  }
   return resp;
 }
 

@@ -27,6 +27,9 @@ struct HttpResponse {
   int code = 200;
   std::string body;
   std::string content_type = "application/json";
+  /// Retry-After header value in seconds; emitted when > 0. Overload
+  /// responses (413/503) use it to hint a backoff to northbound clients.
+  int retry_after_s = 0;
 };
 
 class HttpServer {
@@ -44,6 +47,23 @@ class HttpServer {
   [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
   void close();
 
+  /// Overload caps (DESIGN.md §11). A request whose buffered bytes (headers
+  /// + body) or declared Content-Length exceed the request cap is answered
+  /// with 413 + Retry-After instead of buffering on; a handler response body
+  /// over the response cap is replaced by 503 + Retry-After rather than
+  /// shipping an unbounded payload northbound.
+  void set_max_request_bytes(std::size_t n) noexcept { max_request_ = n; }
+  void set_max_response_bytes(std::size_t n) noexcept { max_response_ = n; }
+  [[nodiscard]] std::size_t max_request_bytes() const noexcept {
+    return max_request_;
+  }
+  [[nodiscard]] std::size_t max_response_bytes() const noexcept {
+    return max_response_;
+  }
+
+  static constexpr std::size_t kDefaultMaxRequest = 1024 * 1024;        // 1 MiB
+  static constexpr std::size_t kDefaultMaxResponse = 64 * 1024 * 1024;  // 64 MiB
+
  private:
   struct ConnState;
   void accept_ready();
@@ -57,6 +77,8 @@ class HttpServer {
   std::uint16_t port_ = 0;
   std::map<std::pair<std::string, std::string>, Handler> routes_;
   std::map<int, std::unique_ptr<ConnState>> conns_;
+  std::size_t max_request_ = kDefaultMaxRequest;
+  std::size_t max_response_ = kDefaultMaxResponse;
 };
 
 /// Blocking HTTP client (curl stand-in). Not for use on a reactor thread

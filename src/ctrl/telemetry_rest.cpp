@@ -17,6 +17,21 @@ void fail(HttpResponse& resp, int code, const std::string& msg) {
   resp.body = Json(o).dump();
 }
 
+/// Cap on samples returned by one raw/latest query. A northbound client
+/// asking for more gets the newest kMaxQuerySamples — response size stays
+/// bounded even against a raw-range query spanning an entire storm (the
+/// HttpServer response cap is the backstop, this keeps well under it).
+constexpr std::size_t kMaxQuerySamples = 4096;
+
+std::vector<telemetry::RawSample> clamp_samples(
+    std::vector<telemetry::RawSample> samples, bool* truncated) {
+  *truncated = samples.size() > kMaxQuerySamples;
+  if (*truncated)
+    samples.erase(samples.begin(),
+                  samples.end() - static_cast<long>(kMaxQuerySamples));
+  return samples;
+}
+
 Json sample_array(const std::vector<telemetry::RawSample>& samples) {
   JsonArray arr;
   arr.reserve(samples.size());
@@ -125,9 +140,13 @@ void TelemetryRest::handle_query(const HttpRequest& req,
       fail(resp, 404, samples.error().to_string());
       return;
     }
-    out["samples"] = sample_array(*samples);
+    bool truncated = false;
+    out["samples"] = sample_array(clamp_samples(std::move(*samples),
+                                                &truncated));
+    if (truncated) out["truncated"] = true;
   } else if (kind == "latest") {
     auto n = static_cast<std::size_t>(q["n"].as_number(16));
+    if (n > kMaxQuerySamples) n = kMaxQuerySamples;
     auto samples = store_.latest(key, n);
     if (!samples.is_ok()) {
       fail(resp, 404, samples.error().to_string());

@@ -20,6 +20,12 @@ class Codec {
   [[nodiscard]] virtual WireFormat format() const noexcept = 0;
   [[nodiscard]] virtual Result<Buffer> encode(const Msg& m) const = 0;
   [[nodiscard]] virtual Result<Msg> decode(BytesView wire) const = 0;
+
+  /// Classify a wire image without a full decode. Both codecs lead with the
+  /// message-type tag, so overload admission (DESIGN.md §11) can sort frames
+  /// into CONTROL vs DATA in O(1) before spending decode cycles on a frame
+  /// that may be shed. Fails with Errc::malformed on an unknown tag.
+  [[nodiscard]] virtual Result<MsgType> peek_type(BytesView wire) const = 0;
 };
 
 /// Shared stateless codec singletons. `proto` is not a valid E2AP encoding —

@@ -784,6 +784,17 @@ class FlatCodec final : public Codec {
     }
     return Error{Errc::malformed, "unknown E2AP message type"};
   }
+
+  [[nodiscard]] Result<MsgType> peek_type(BytesView wire) const override {
+    auto view = FlatView::parse(wire);
+    if (!view) return view.error();
+    FlatView v = *view;
+    auto tag = v.u8();
+    if (!tag) return tag.error();
+    if (*tag >= kNumMsgTypes)
+      return Error{Errc::malformed, "unknown E2AP message type"};
+    return static_cast<MsgType>(*tag);
+  }
 };
 
 }  // namespace

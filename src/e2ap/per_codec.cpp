@@ -704,6 +704,13 @@ class PerCodec final : public Codec {
     }
     return Error{Errc::malformed, "unknown E2AP message type"};
   }
+
+  [[nodiscard]] Result<MsgType> peek_type(BytesView wire) const override {
+    PerReader r(wire);
+    auto tag = r.constrained(0, kNumMsgTypes - 1);
+    if (!tag) return tag.error();
+    return static_cast<MsgType>(*tag);
+  }
 };
 
 }  // namespace

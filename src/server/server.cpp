@@ -6,10 +6,17 @@
 namespace flexric::server {
 
 E2Server::E2Server(Reactor& reactor, Config cfg)
-    : reactor_(reactor), cfg_(cfg), codec_(e2ap::codec_for(cfg.e2ap_format)) {}
+    : reactor_(reactor),
+      cfg_(cfg),
+      codec_(e2ap::codec_for(cfg.e2ap_format)),
+      ingest_(overload::PriorityQueue<Buffer>::Config{
+          cfg.overload.control_queue, cfg.overload.data_queue,
+          cfg.overload.shed_policy}) {}
 
 E2Server::~E2Server() {
+  *alive_ = false;  // posted drain tasks must not touch a dead server
   if (liveness_timer_ != 0) reactor_.cancel_timer(liveness_timer_);
+  for (auto& [h, e] : ctrls_) cancel_ctrl_deadline(e);
   for (auto& [id, conn] : conns_)
     if (conn.transport) {
       conn.transport->set_on_message(nullptr);
@@ -44,6 +51,8 @@ void E2Server::attach(std::shared_ptr<MsgTransport> transport) {
   c.transport = std::move(transport);
   c.route = std::move(route);
   c.last_rx = reactor_.now();
+  c.data_limiter = overload::RateLimiter(cfg_.overload.data_rate,
+                                         cfg_.overload.data_burst);
   ensure_liveness_timer();
 }
 
@@ -111,9 +120,16 @@ Status E2Server::send_control(AgentId agent, std::uint16_t ran_function_id,
   req.header = std::move(header);
   req.message = std::move(message);
   req.ack_requested = ack_requested;
-  if (ack_requested)
-    ctrls_[SubHandle{agent, req.request}] =
-        CtrlEntry{std::move(cbs), ran_function_id};
+  if (ack_requested) {
+    SubHandle h{agent, req.request};
+    CtrlEntry entry{std::move(cbs), ran_function_id};
+    if (cfg_.overload.ctrl_deadline > 0)
+      entry.deadline_timer = reactor_.add_timer(
+          cfg_.overload.ctrl_deadline,
+          // lint: allow(posted-lambda-lifetime) deadline timers are cancelled on txn completion and in ~E2Server
+          [this, h] { ctrl_deadline_expired(h); }, /*periodic=*/false);
+    ctrls_[h] = std::move(entry);
+  }
   return send(agent, e2ap::Msg{std::move(req)});
 }
 
@@ -187,11 +203,38 @@ void E2Server::fail_ctrls(AgentId id) {
     fail.request = it->first.request;
     fail.ran_function_id = it->second.ran_function_id;
     fail.cause = {e2ap::Cause::Group::transport, 0 /*unspecified*/};
+    cancel_ctrl_deadline(it->second);
     CtrlCallbacks cbs = std::move(it->second.cbs);
     it = ctrls_.erase(it);
     stats_.ctrls_failed_on_loss++;
     if (cbs.on_failure) cbs.on_failure(fail);
   }
+}
+
+void E2Server::cancel_ctrl_deadline(CtrlEntry& e) {
+  if (e.deadline_timer != 0) {
+    reactor_.cancel_timer(e.deadline_timer);
+    e.deadline_timer = 0;
+  }
+}
+
+void E2Server::ctrl_deadline_expired(const SubHandle& h) {
+  auto it = ctrls_.find(h);
+  if (it == ctrls_.end()) return;
+  it->second.deadline_timer = 0;  // the firing timer is already gone
+  e2ap::ControlFailure fail;
+  fail.request = h.request;
+  fail.ran_function_id = it->second.ran_function_id;
+  // Deadline budget exhausted: fail fast with a transport cause — from the
+  // iApp's perspective the outcome equals a lost link, and it must not keep
+  // waiting on an answer that may never come (DESIGN.md §11).
+  fail.cause = {e2ap::Cause::Group::transport, 0 /*unspecified*/};
+  CtrlCallbacks cbs = std::move(it->second.cbs);
+  ctrls_.erase(it);
+  stats_.ctrls_deadline_expired++;
+  LOG_WARN("server", "control txn (agent %u, instance %u) missed its deadline",
+           h.agent, h.request.instance);
+  if (cbs.on_failure) cbs.on_failure(fail);
 }
 
 void E2Server::expire_agent(AgentId id) {
@@ -279,10 +322,105 @@ void E2Server::replay_subscriptions(AgentId id) {
 void E2Server::on_message(AgentId id, BytesView wire) {
   stats_.msgs_rx++;
   stats_.bytes_rx += wire.size();
-  if (auto cit = conns_.find(id); cit != conns_.end()) {
+  auto cit = conns_.find(id);
+  if (cit != conns_.end()) {
     cit->second.last_rx = reactor_.now();
     cit->second.quarantined = false;  // any traffic lifts the quarantine
   }
+  const OverloadConfig& ov = cfg_.overload;
+  if (!ov.enabled || cit == conns_.end()) {
+    stats_.dispatched++;
+    dispatch(id, wire);
+    return;
+  }
+
+  // Admission control (DESIGN.md §11). Classify without a full decode —
+  // both codecs lead with the message-type tag — so a frame that will be
+  // shed never costs decode cycles. Unclassifiable frames ride the CONTROL
+  // lane: the drain path's decode reports the protocol error as before.
+  Conn& c = cit->second;
+  const Nanos t_now = reactor_.now();
+  maybe_recover_flood(id, c, t_now);
+  auto type = codec_.peek_type(wire);
+  const bool is_data = type.is_ok() && *type == e2ap::MsgType::indication;
+  if (is_data) {
+    if (c.flood_quarantined) {  // DATA is dropped at the door until cooldown
+      stats_.flood_shed++;
+      return;
+    }
+    if (!c.data_limiter.admit(t_now)) {
+      stats_.rate_shed++;
+      note_flood_drop(id, c, t_now);
+      return;
+    }
+  }
+  // Delta accounting, not the push() result: under drop_oldest / fair the
+  // newcomer is admitted by evicting an already-queued frame, and that
+  // eviction must land in queue_shed too or msgs_rx stops reconciling.
+  const std::uint64_t shed_before = ingest_.shed();
+  (void)ingest_.push(is_data ? overload::MsgClass::data
+                             : overload::MsgClass::control,
+                     id, Buffer(wire.begin(), wire.end()));
+  stats_.queue_shed += ingest_.shed() - shed_before;
+  schedule_drain();
+}
+
+void E2Server::maybe_recover_flood(AgentId id, Conn& c, Nanos t_now) {
+  if (!c.flood_quarantined || t_now < c.flood_until) return;
+  c.flood_quarantined = false;
+  c.flood_drops = 0;
+  // Fresh bucket: the agent earned a clean slate, not a debt.
+  c.data_limiter = overload::RateLimiter(cfg_.overload.data_rate,
+                                         cfg_.overload.data_burst);
+  stats_.flood_recoveries++;
+  LOG_INFO("server", "agent %u recovered from flood-quarantine", id);
+  if (const AgentInfo* info = db_.agent(id))
+    for (auto& app : iapps_) app->on_agent_reconnected(*info);
+}
+
+void E2Server::note_flood_drop(AgentId id, Conn& c, Nanos t_now) {
+  const OverloadConfig& ov = cfg_.overload;
+  if (ov.flood_threshold == 0) return;
+  if (t_now - c.flood_window_start >= ov.flood_window) {
+    c.flood_window_start = t_now;
+    c.flood_drops = 0;
+  }
+  if (++c.flood_drops < ov.flood_threshold) return;
+  // Escalate: throttling is not containing this peer. Quarantine its DATA
+  // entirely for the cooldown; CONTROL still passes so the agent can keep
+  // its session (heartbeats, subscription answers) alive.
+  c.flood_quarantined = true;
+  c.flood_until = t_now + ov.flood_cooldown;
+  c.flood_drops = 0;
+  stats_.flood_quarantines++;
+  LOG_WARN("server", "agent %u flood-quarantined for %lld ms", id,
+           static_cast<long long>(ov.flood_cooldown / kMilli));
+  for (auto& app : iapps_) app->on_agent_quarantined(id);
+}
+
+void E2Server::schedule_drain() {
+  if (drain_scheduled_ || ingest_.empty()) return;
+  drain_scheduled_ = true;
+  reactor_.post([this, alive = alive_] {
+    if (!*alive) return;
+    drain_scheduled_ = false;
+    drain_ingest();
+  });
+}
+
+void E2Server::drain_ingest() {
+  std::size_t budget = cfg_.overload.dispatch_batch;
+  if (budget == 0) budget = 1;
+  while (budget-- > 0) {
+    auto item = ingest_.pop();  // CONTROL strictly before DATA
+    if (!item) return;
+    stats_.dispatched++;
+    dispatch(item->origin, BytesView(item->value));
+  }
+  schedule_drain();  // backlog remains: yield the loop, then continue
+}
+
+void E2Server::dispatch(AgentId id, BytesView wire) {
   auto msg = codec_.decode(wire);
   if (!msg) {
     LOG_WARN("server", "undecodable E2AP message from agent %u: %s", id,
@@ -303,7 +441,8 @@ void E2Server::on_message(AgentId id, BytesView wire) {
                       std::is_same_v<T, e2ap::Indication> ||
                       std::is_same_v<T, e2ap::ControlAck> ||
                       std::is_same_v<T, e2ap::ControlFailure> ||
-                      std::is_same_v<T, e2ap::ServiceUpdate>) {
+                      std::is_same_v<T, e2ap::ServiceUpdate> ||
+                      std::is_same_v<T, e2ap::NodeConfigUpdate>) {
           handle(id, m);
         } else {
           LOG_DEBUG("server", "ignoring %s at server",
@@ -409,6 +548,7 @@ void E2Server::handle(AgentId id, const e2ap::ControlAck& m) {
   SubHandle h{id, m.request};
   auto it = ctrls_.find(h);
   if (it == ctrls_.end()) return;
+  cancel_ctrl_deadline(it->second);
   auto cbs = std::move(it->second.cbs);
   ctrls_.erase(it);
   if (cbs.on_ack) cbs.on_ack(m);
@@ -418,6 +558,7 @@ void E2Server::handle(AgentId id, const e2ap::ControlFailure& m) {
   SubHandle h{id, m.request};
   auto it = ctrls_.find(h);
   if (it == ctrls_.end()) return;
+  cancel_ctrl_deadline(it->second);
   auto cbs = std::move(it->second.cbs);
   ctrls_.erase(it);
   if (cbs.on_failure) cbs.on_failure(m);
@@ -450,6 +591,25 @@ void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
   ack.trans_id = m.trans_id;
   for (const auto& f : m.added) ack.accepted.push_back(f.id);
   for (const auto& f : m.modified) ack.accepted.push_back(f.id);
+  (void)send(id, e2ap::Msg{std::move(ack)});
+}
+
+void E2Server::handle(AgentId id, const e2ap::NodeConfigUpdate& m) {
+  e2ap::NodeConfigUpdateAck ack;
+  ack.trans_id = m.trans_id;
+  for (const auto& [name, blob] : m.components) {
+    if (name == overload::kShedReportComponent) {
+      // Agent-side shed report (one LE u64 delta): the peer had to drop
+      // indications under backpressure and says so — zero silent drops.
+      BufReader r{BytesView(blob)};
+      if (auto delta = r.u64(); delta.is_ok()) {
+        stats_.agent_reported_sheds += *delta;
+        LOG_DEBUG("server", "agent %u reported %llu shed indications", id,
+                  static_cast<unsigned long long>(*delta));
+      }
+    }
+    ack.accepted_components.push_back(name);
+  }
   (void)send(id, e2ap::Msg{std::move(ack)});
 }
 

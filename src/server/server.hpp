@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "codec/wire.hpp"
+#include "common/overload.hpp"
 #include "e2ap/codec.hpp"
 #include "server/ran_db.hpp"
 #include "transport/resilience.hpp"
@@ -26,6 +27,38 @@
 namespace flexric::server {
 
 class E2Server;
+
+/// Server-side overload protection (DESIGN.md §11). Disabled by default:
+/// with `enabled = false` every frame decodes and dispatches inline, exactly
+/// the pre-overload behavior. Enabling it routes ingest through admission
+/// control (per-agent DATA rate limits with flood-quarantine escalation) and
+/// a bounded two-class priority queue, so CONTROL transactions stay timely
+/// while a storm sheds DATA with exact accounting.
+struct OverloadConfig {
+  bool enabled = false;
+  /// Bounded ingest queue, per class. CONTROL drains strictly before DATA.
+  std::size_t control_queue = 1024;
+  std::size_t data_queue = 4096;
+  overload::ShedPolicy shed_policy = overload::ShedPolicy::fair_per_agent;
+  /// Frames decoded+dispatched per reactor turn; the remainder re-posts, so
+  /// timers and fresh CONTROL traffic interleave with a deep backlog.
+  std::size_t dispatch_batch = 64;
+  /// Per-agent DATA admission rate (indications/s; 0 = unlimited) and bucket
+  /// depth (0 = one second's worth).
+  double data_rate = 0.0;
+  double data_burst = 0.0;
+  /// Escalation ladder: this many rate-limited drops inside `flood_window`
+  /// flood-quarantines the agent (on_agent_quarantined fires); its DATA is
+  /// then dropped at the door until `flood_cooldown` passes, after which the
+  /// next frame restores it (on_agent_reconnected). 0 = never escalate.
+  std::uint32_t flood_threshold = 0;
+  Nanos flood_window = kSecond;
+  Nanos flood_cooldown = 5 * kSecond;
+  /// Deadline budget for in-flight RIC control transactions: expiry fails
+  /// the transaction fast with a transport cause instead of waiting forever.
+  /// 0 = no deadline. Applies independently of `enabled`.
+  Nanos ctrl_deadline = 0;
+};
 
 /// Callbacks delivered for one subscription. All run on the reactor thread.
 struct SubCallbacks {
@@ -91,6 +124,8 @@ class E2Server {
       rc.expire_after = 0;
       return rc;
     }();
+    /// Overload protection; OFF by default (see OverloadConfig).
+    OverloadConfig overload;
   };
 
   E2Server(Reactor& reactor, Config cfg);
@@ -150,8 +185,30 @@ class E2Server {
     std::uint64_t quarantines = 0;
     std::uint64_t expiries = 0;
     std::uint64_t ctrls_failed_on_loss = 0;
+    // -- overload accounting (DESIGN.md §11). Exact-reconciliation
+    //    invariant, checked by the storm harness:
+    //      msgs_rx == dispatched + rate_shed + flood_shed + queue_shed
+    //                 + ingest_queued()
+    std::uint64_t dispatched = 0;      ///< frames decoded+dispatched
+    std::uint64_t rate_shed = 0;       ///< DATA shed by the rate limiter
+    std::uint64_t flood_shed = 0;      ///< DATA dropped while flood-quarantined
+    std::uint64_t queue_shed = 0;      ///< shed by the bounded ingest queue
+    std::uint64_t flood_quarantines = 0;
+    std::uint64_t flood_recoveries = 0;
+    std::uint64_t ctrls_deadline_expired = 0;
+    std::uint64_t agent_reported_sheds = 0;  ///< sum of peer shed reports
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
+  /// Frames admitted but not yet dispatched (overload mode only).
+  [[nodiscard]] std::size_t ingest_queued() const noexcept {
+    return ingest_.size();
+  }
+  /// Per-class ingest queue accounting (overload mode only).
+  [[nodiscard]] const overload::PriorityQueue<Buffer>& ingest_queue()
+      const noexcept {
+    return ingest_;
+  }
 
  private:
   struct Conn {
@@ -165,10 +222,28 @@ class E2Server {
     bool quarantined = false;
     bool detached = false;   ///< transport lost, retained for re-establishment
     Nanos detached_at = 0;
+    // -- overload admission state (used only when cfg_.overload.enabled) --
+    overload::RateLimiter data_limiter;
+    std::uint32_t flood_drops = 0;      ///< rate-shed count in current window
+    Nanos flood_window_start = 0;
+    bool flood_quarantined = false;
+    Nanos flood_until = 0;
   };
 
   void on_message(AgentId id, BytesView wire);
   void on_close(AgentId id);
+  /// Decode + visit one frame (the pre-overload on_message body). Shared by
+  /// the inline path and the queued drain path.
+  void dispatch(AgentId id, BytesView wire);
+  // -- overload machinery (all on the reactor thread; DESIGN.md §11) --
+  /// One rate-limited DATA drop: advance the flood window, escalate to
+  /// flood-quarantine when flood_threshold is crossed.
+  void note_flood_drop(AgentId id, Conn& c, Nanos t_now);
+  /// Lift an elapsed flood-quarantine (called on any traffic from the agent).
+  void maybe_recover_flood(AgentId id, Conn& c, Nanos t_now);
+  void schedule_drain();
+  void drain_ingest();
+  void ctrl_deadline_expired(const SubHandle& h);
   void handle(AgentId id, const e2ap::SetupRequest& m);
   void handle(AgentId id, const e2ap::SubscriptionResponse& m);
   void handle(AgentId id, const e2ap::SubscriptionFailure& m);
@@ -177,6 +252,7 @@ class E2Server {
   void handle(AgentId id, const e2ap::ControlAck& m);
   void handle(AgentId id, const e2ap::ControlFailure& m);
   void handle(AgentId id, const e2ap::ServiceUpdate& m);
+  void handle(AgentId id, const e2ap::NodeConfigUpdate& m);
   Status send(AgentId id, const e2ap::Msg& m);
 
   // -- resilience machinery (all on the reactor thread) --
@@ -214,10 +290,20 @@ class E2Server {
   struct CtrlEntry {
     CtrlCallbacks cbs;
     std::uint16_t ran_function_id = 0;
+    /// Armed when cfg_.overload.ctrl_deadline > 0; cancelled on completion.
+    Reactor::TimerId deadline_timer = 0;
   };
+  void cancel_ctrl_deadline(CtrlEntry& e);
   std::map<SubHandle, CtrlEntry> ctrls_;  // in-flight control txns
   std::uint16_t next_instance_ = 1;
   Reactor::TimerId liveness_timer_ = 0;
+  /// Bounded two-class ingest queue; frames wait here (as raw wire bytes)
+  /// when overload protection is on, CONTROL ahead of DATA.
+  overload::PriorityQueue<Buffer> ingest_;
+  bool drain_scheduled_ = false;
+  /// Lifetime token for posted drain tasks, TcpTransport-style: the posted
+  /// lambda checks it before touching `this`.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   Stats stats_;
 };
 

@@ -55,6 +55,13 @@ const FaultSpec& FaultyTransport::spec(bool tx, StreamId stream) const {
 
 Status FaultyTransport::send(BytesView msg, StreamId stream) {
   if (!is_open()) return {Errc::io, "transport closed"};
+  if (tx_credit_ == 0) {
+    // Backpressure injection: surface the same error a capped TcpTransport
+    // TX buffer would, so overload code paths are exercised deterministically.
+    counters_.tx_capacity_rejections++;
+    return {Errc::capacity, "send buffer full (injected backpressure)"};
+  }
+  if (tx_credit_ > 0) tx_credit_--;
   counters_.tx_msgs++;
   if (partitioned_) {
     // The link eats the message; the sender cannot tell (that is the point).

@@ -79,11 +79,24 @@ class FaultyTransport final : public MsgTransport {
   /// transport — models a process kill, not an orderly shutdown.
   void kill();
 
+  /// Deterministic backpressure injection (a slow consumer): with a credit
+  /// set, each send() consumes one unit and exhaustion returns
+  /// Errc::capacity, exactly as TcpTransport does when its TX buffer cap is
+  /// hit. Negative (the default) = unlimited. Unlike a real socket the
+  /// "buffer" never drains by itself — the harness hands credit back with
+  /// add_tx_credit() at the moments it wants the consumer to catch up.
+  void set_tx_credit(std::int64_t msgs) noexcept { tx_credit_ = msgs; }
+  void add_tx_credit(std::int64_t msgs) noexcept {
+    if (tx_credit_ >= 0) tx_credit_ += msgs;
+  }
+  [[nodiscard]] std::int64_t tx_credit() const noexcept { return tx_credit_; }
+
   /// Observability for assertions.
   struct Counters {
     std::uint64_t tx_msgs = 0, rx_msgs = 0;
     std::uint64_t dropped = 0, duplicated = 0, corrupted = 0, reordered = 0,
                   delayed = 0, partition_dropped = 0;
+    std::uint64_t tx_capacity_rejections = 0;  ///< sends refused out of credit
   };
   [[nodiscard]] const Counters& counters() const noexcept { return counters_; }
 
@@ -105,6 +118,7 @@ class FaultyTransport final : public MsgTransport {
   MsgHandler on_msg_;
   CloseHandler on_close_;
   bool partitioned_ = false;
+  std::int64_t tx_credit_ = -1;  ///< < 0: unlimited
   Reactor::TimerId heal_timer_ = 0;
 
   /// At most one held (reordered) message per direction.

@@ -50,7 +50,7 @@ Status FrameAssembler::feed(BytesView bytes, const FrameSink& sink) {
     BufReader hdr(BytesView(rx_).subspan(off, kFrameHeaderSize));
     std::uint32_t len = *hdr.u32();
     StreamId stream = *hdr.u16();
-    if (len > kMaxFrameSize) {
+    if (len > max_frame_) {
       st = {Errc::malformed, "oversized frame"};
       break;
     }

@@ -52,8 +52,16 @@ class FrameAssembler {
   /// Bytes buffered waiting for the rest of a frame.
   [[nodiscard]] std::size_t buffered() const noexcept { return rx_.size(); }
 
+  /// Cap on the peer-claimed frame length (default kMaxFrameSize). The
+  /// length field is validated as soon as the 6-byte header arrives, so an
+  /// adversarial multi-GB claim fails with Errc::malformed before a single
+  /// payload byte is buffered — the claim never drives an allocation.
+  void set_max_frame(std::size_t bytes) noexcept { max_frame_ = bytes; }
+  [[nodiscard]] std::size_t max_frame() const noexcept { return max_frame_; }
+
  private:
   Buffer rx_;
+  std::size_t max_frame_ = kMaxFrameSize;
 };
 
 /// Append one framed message to `out` (the encode side of FrameAssembler).
@@ -110,6 +118,11 @@ class TcpTransport final : public MsgTransport {
   [[nodiscard]] std::size_t pending_tx_bytes() const noexcept {
     return txbuf_.size() - tx_off_;
   }
+
+  /// Cap on the frame length a peer may claim (see
+  /// FrameAssembler::set_max_frame): adversarial multi-GB length fields are
+  /// rejected at the header, before any payload buffering.
+  void set_max_rx_frame(std::size_t bytes) noexcept { rx_.set_max_frame(bytes); }
 
   static constexpr std::size_t kDefaultMaxTxBuffer = 32 * 1024 * 1024;
 

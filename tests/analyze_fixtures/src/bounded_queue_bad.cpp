@@ -1,0 +1,31 @@
+// Known-bad fixture: a reactor-affine class buffering work in raw
+// std::deque/std::queue members. Both grow without bound under an
+// indication storm; the rule points at overload::BoundedQueue /
+// overload::PriorityQueue instead. The suppressed member and the
+// non-affine class below must NOT fire.
+namespace std {
+template <class T> class deque {};
+template <class T> class queue {};
+}  // namespace std
+
+namespace fixture {
+
+// @affine(reactor)
+class StormServer {
+ public:
+  void on_message(int v);
+
+ private:
+  std::deque<int> ingest_;
+  std::queue<long> tasks_;
+  // lint: allow(bounded-queue) drained to empty at the end of every reactor iteration
+  std::deque<int> scratch_;
+};
+
+// No annotation: plain buffers owned by non-reactor code are fine.
+class PlainBuffer {
+ private:
+  std::deque<int> items_;
+};
+
+}  // namespace fixture

@@ -215,6 +215,70 @@ TEST(Rest, PrefixRoutes) {
   EXPECT_EQ(last_path, "/api/slices/3");
 }
 
+TEST(Rest, OversizedRequestBodyIs413WithRetryAfter) {
+  Reactor reactor;
+  HttpServer http(reactor);
+  http.set_max_request_bytes(512);
+  int handler_calls = 0;
+  http.route("POST", "/config", [&](const HttpRequest&, HttpResponse& resp) {
+    handler_calls++;
+    resp.body = "{}";
+  });
+  ASSERT_TRUE(http.listen(0).is_ok());
+
+  std::atomic<bool> done{false};
+  HttpResponse resp;
+  std::thread client([&] {
+    auto r = HttpClient::request("127.0.0.1", http.port(), "POST", "/config",
+                                 std::string(4096, 'x'));
+    if (r) resp = *r;
+    done = true;
+  });
+  pump_until(reactor, [&] { return done.load(); }, 20000);
+  client.join();
+
+  EXPECT_EQ(resp.code, 413);
+  EXPECT_EQ(resp.retry_after_s, 1) << "413 must carry a Retry-After hint";
+  EXPECT_EQ(handler_calls, 0) << "the oversized body must never reach a handler";
+  // A right-sized request on the same server still succeeds afterwards.
+  done = false;
+  std::thread client2([&] {
+    auto r = HttpClient::request("127.0.0.1", http.port(), "POST", "/config",
+                                 R"({"x":1})");
+    if (r) resp = *r;
+    done = true;
+  });
+  pump_until(reactor, [&] { return done.load(); }, 20000);
+  client2.join();
+  EXPECT_EQ(resp.code, 200);
+  EXPECT_EQ(handler_calls, 1);
+}
+
+TEST(Rest, OversizedResponseIs503WithRetryAfter) {
+  Reactor reactor;
+  HttpServer http(reactor);
+  http.set_max_response_bytes(256);
+  http.route("GET", "/dump", [](const HttpRequest&, HttpResponse& resp) {
+    resp.body = std::string(4096, 'y');  // handler overproduces
+  });
+  ASSERT_TRUE(http.listen(0).is_ok());
+
+  std::atomic<bool> done{false};
+  HttpResponse resp;
+  std::thread client([&] {
+    auto r = HttpClient::request("127.0.0.1", http.port(), "GET", "/dump");
+    if (r) resp = *r;
+    done = true;
+  });
+  pump_until(reactor, [&] { return done.load(); }, 20000);
+  client.join();
+
+  EXPECT_EQ(resp.code, 503);
+  EXPECT_EQ(resp.retry_after_s, 1);
+  EXPECT_LE(resp.body.size(), 256u)
+      << "the oversized payload must be shed, not shipped";
+}
+
 // ---------------------------------------------------------------------------
 // Monitoring iApp (the Fig. 8 workload)
 // ---------------------------------------------------------------------------
@@ -230,9 +294,9 @@ ran::CellConfig nr_cell() {
 struct MonitorWorld {
   Reactor reactor;
   ran::BaseStation bs{nr_cell()};
-  agent::E2Agent agent{reactor, {{1, 10, e2ap::NodeType::gnb}, kFmt}};
+  agent::E2Agent agent{reactor, {{1, 10, e2ap::NodeType::gnb}, kFmt, {}}};
   ran::BsFunctionBundle bundle{bs, agent, kFmt};
-  server::E2Server server{reactor, {21, kFmt}};
+  server::E2Server server{reactor, {21, kFmt, {}, {}}};
   Nanos now = 0;
 
   void connect() {

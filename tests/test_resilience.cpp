@@ -107,7 +107,7 @@ struct EventLogIApp final : server::IApp {
 /// FaultyTransport links created fresh on every (re)connect.
 struct ChaosWorld {
   explicit ChaosWorld(ResilienceConfig server_rc = server_defaults())
-      : server(reactor, {21, WireFormat::flat, server_rc}) {
+      : server(reactor, {21, WireFormat::flat, server_rc, {}}) {
     reactor.set_time_source(&clock);
     events = std::make_shared<EventLogIApp>();
     server.add_iapp(events);
@@ -152,7 +152,8 @@ struct ChaosWorld {
     fn = std::make_shared<ChaosStub>(200);
     agent = std::make_unique<agent::E2Agent>(
         reactor, agent::E2Agent::Config{{1, 10, e2ap::NodeType::gnb},
-                                        WireFormat::flat});
+                                        WireFormat::flat,
+                                        {}});
     ASSERT_TRUE(agent->register_function(fn).is_ok());
     agent->set_on_conn_event([this](agent::ControllerId, agent::ConnState st) {
       conn_events.push_back(agent::conn_state_name(st));
@@ -449,6 +450,72 @@ TEST(Resilience, InflightControlFailsFastWithTransportCause) {
   EXPECT_EQ(cause.group, e2ap::Cause::Group::transport);
   EXPECT_EQ(w.server.num_inflight_controls(), 0u);
   EXPECT_GE(w.server.stats().ctrls_failed_on_loss, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial framing: a hostile peer claims absurd frame lengths
+// ---------------------------------------------------------------------------
+
+TEST(FrameAssembler, OversizedLengthClaimFailsBeforeBuffering) {
+  FrameAssembler rx;
+  rx.set_max_frame(1024);
+  EXPECT_EQ(rx.max_frame(), 1024u);
+
+  // A 6-byte header claiming a 1 GiB payload: rejected the moment the
+  // header is parseable, without waiting for (or allocating) the payload.
+  Buffer hostile = {0x00, 0x00, 0x00, 0x40,  // len = 0x40000000
+                    0x00, 0x00};             // stream 0
+  int frames = 0;
+  Status st = rx.feed(BytesView(hostile), [&](StreamId, BytesView) {
+    frames++;
+    return true;
+  });
+  EXPECT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::malformed);
+  EXPECT_EQ(frames, 0);
+  EXPECT_EQ(rx.buffered(), hostile.size())
+      << "only the hostile header itself may be buffered, never the claim";
+}
+
+TEST(FrameAssembler, BoundarySizedFramePassesOneByteOverFails) {
+  FrameAssembler rx;
+  rx.set_max_frame(1024);
+
+  // Exactly at the cap: legal, delivered intact even when dribbled.
+  Buffer payload(1024, 0xEE);
+  Buffer wire;
+  append_frame(wire, BytesView(payload), 7);
+  std::size_t got = 0;
+  StreamId got_stream = 0;
+  for (std::size_t i = 0; i < wire.size(); i += 13) {  // adversarial chunking
+    std::size_t n = std::min<std::size_t>(13, wire.size() - i);
+    ASSERT_TRUE(rx.feed(BytesView(wire).subspan(i, n),
+                        [&](StreamId s, BytesView msg) {
+                          got = msg.size();
+                          got_stream = s;
+                          return true;
+                        })
+                    .is_ok());
+  }
+  EXPECT_EQ(got, 1024u);
+  EXPECT_EQ(got_stream, 7u);
+  EXPECT_EQ(rx.buffered(), 0u);
+
+  // One byte over the cap: malformed, and the stream is poisoned from then
+  // on (a desynchronized peer cannot resynchronize mid-stream).
+  Buffer big(1025, 0xEE);
+  Buffer wire2;
+  append_frame(wire2, BytesView(big), 0);
+  Status st = rx.feed(BytesView(wire2), [](StreamId, BytesView) {
+    ADD_FAILURE() << "oversized frame must not be delivered";
+    return true;
+  });
+  EXPECT_EQ(st.code(), Errc::malformed);
+}
+
+TEST(FrameAssembler, DefaultCapIsTheWireConstant) {
+  FrameAssembler rx;
+  EXPECT_EQ(rx.max_frame(), kMaxFrameSize);
 }
 
 // ---------------------------------------------------------------------------

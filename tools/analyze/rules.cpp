@@ -31,6 +31,11 @@ struct ScopeInfo {
   /// Per token: class owning the innermost enclosing function definition
   /// ("" for free functions / declaration scope).
   std::vector<std::string> owner_class;
+  /// Per token: "::"-joined chain of enclosing type scopes, outermost first
+  /// ("Outer::Inner" for a member of Inner nested in Outer; "" outside any
+  /// type). Lets rules attribute member declarations to annotated classes
+  /// even through nested structs.
+  std::vector<std::string> type_chain;
 };
 
 /// Find the index of the `(` matching the `)` at `close` (walking backward).
@@ -64,6 +69,7 @@ ScopeInfo analyze_scopes(const Tokens& t) {
   ScopeInfo info;
   info.func_depth.resize(t.size(), 0);
   info.owner_class.resize(t.size());
+  info.type_chain.resize(t.size());
 
   struct Scope {
     ScopeKind kind;
@@ -74,6 +80,7 @@ ScopeInfo analyze_scopes(const Tokens& t) {
 
   int fdepth = 0;
   std::string owner;
+  std::string chain;
 
   auto recompute_owner = [&] {
     owner.clear();
@@ -82,11 +89,18 @@ ScopeInfo analyze_scopes(const Tokens& t) {
         owner = it->owner;
         break;
       }
+    chain.clear();
+    for (const Scope& s : stack) {
+      if (s.kind != ScopeKind::type || s.name.empty()) continue;
+      if (!chain.empty()) chain += "::";
+      chain += s.name;
+    }
   };
 
   for (std::size_t i = 0; i < t.size(); ++i) {
     info.func_depth[i] = fdepth;
     info.owner_class[i] = owner;
+    info.type_chain[i] = chain;
     if (is_punct(t[i], "}")) {
       if (!stack.empty()) {
         if (stack.back().kind == ScopeKind::func) --fdepth;
@@ -748,6 +762,64 @@ void rule_affinity(const FileUnit& f, const ScopeInfo& scopes,
   }
 }
 
+void rule_bounded_queue(const FileUnit& f, const ScopeInfo& scopes,
+                        const Corpus& corpus, std::vector<Finding>* out) {
+  const Tokens& t = f.lx.tokens;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    if (!(is_ident(t[i], "std") && is_punct(t[i + 1], "::"))) continue;
+    bool is_deque = is_ident(t[i + 2], "deque");
+    if (!is_deque && !is_ident(t[i + 2], "queue")) continue;
+    if (!is_punct(t[i + 3], "<")) continue;
+    // Members only: locals (func_depth > 0) drain before the handler returns
+    // and cannot accumulate across reactor iterations.
+    if (scopes.func_depth[i] != 0) continue;
+    // Owning class — or any type it is nested in — must be @affine(reactor).
+    const std::string& chain = scopes.type_chain[i];
+    if (chain.empty()) continue;
+    std::string affine_owner;
+    for (std::size_t pos = 0; pos <= chain.size();) {
+      std::size_t next = chain.find("::", pos);
+      std::size_t len = next == std::string::npos ? chain.size() - pos
+                                                  : next - pos;
+      std::string seg = chain.substr(pos, len);
+      if (corpus.affine_classes.count(seg) != 0) {
+        affine_owner = seg;
+        break;
+      }
+      if (next == std::string::npos) break;
+      pos = next + 2;
+    }
+    if (affine_owner.empty()) continue;
+    // Member declaration shape: `std::deque<...> name ;` (or `=` / `{`
+    // default initializer). Anything else — parameter, using-alias, base
+    // class — is not an owned, growing member.
+    std::size_t j = skip_template_args(t, i + 3);
+    if (j == i + 3) continue;
+    if (j >= t.size() || t[j].kind != Tok::identifier) continue;
+    const std::string& member = t[j].text;
+    if (j + 1 >= t.size() ||
+        !(is_punct(t[j + 1], ";") || is_punct(t[j + 1], "=") ||
+          is_punct(t[j + 1], "{")))
+      continue;
+    if (suppressed(f, t[i].line, "bounded-queue")) continue;
+    Finding fd;
+    fd.file = f.rel;
+    fd.line = t[i].line;
+    fd.rule = "bounded-queue";
+    fd.message = "reactor-affine class " + affine_owner +
+                 " declares unbounded std::" +
+                 (is_deque ? std::string("deque") : std::string("queue")) +
+                 " member '" + member +
+                 "'; reactor-fed queues need a capacity policy or an "
+                 "indication storm grows them without bound";
+    fd.suggestion =
+        "use overload::BoundedQueue / overload::PriorityQueue (shed with "
+        "exact accounting, DESIGN.md §11), or suppress with "
+        "`// lint: allow(bounded-queue) <why growth is bounded>`";
+    out->push_back(std::move(fd));
+  }
+}
+
 }  // namespace
 
 void build_registry(Corpus& corpus) {
@@ -779,6 +851,10 @@ std::vector<Finding> run_rules(const Corpus& corpus,
          f.category == "examples"))
       rule_blocking(f, &out);
     if (rules.count("affinity-annotation")) rule_affinity(f, scopes, corpus, &out);
+    if (rules.count("bounded-queue") &&
+        (f.category == "src" || f.category == "bench" ||
+         f.category == "examples"))
+      rule_bounded_queue(f, scopes, corpus, &out);
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -1,6 +1,6 @@
 // Rule engine for the FlexRIC static analyzer.
 //
-// Four rules, all running on the token stream from lexer.hpp with a shared
+// Five rules, all running on the token stream from lexer.hpp with a shared
 // brace/paren scope analysis (not line regexes — see DESIGN.md §10):
 //
 //   posted-lambda-lifetime  a lambda literal passed to post()/add_timer()/
@@ -24,6 +24,13 @@
 //                           declaration, and objects of annotated classes
 //                           must not be touched from std::thread lambdas in
 //                           examples/tests.
+//   bounded-queue           `// @affine(reactor)` classes (and their nested
+//                           types) must not declare raw std::deque/std::queue
+//                           members: a queue fed from reactor handlers with
+//                           no capacity policy grows without bound under an
+//                           indication storm. Use overload::BoundedQueue /
+//                           overload::PriorityQueue, which shed with exact
+//                           accounting (DESIGN.md §11).
 //
 // Suppression: `lint: allow(<rule>) <reason>` in a comment on the finding's
 // line or the line directly above. The reason is mandatory (--list audits).
@@ -72,6 +79,7 @@ inline const char* const kAllRules[] = {
     "nodiscard-status",
     "blocking-in-handler",
     "affinity-annotation",
+    "bounded-queue",
 };
 
 /// Populate nodiscard_fns and affine_classes from corpus.files.
