@@ -36,6 +36,12 @@
 #               (bugprone-*, performance-*, misc-unused-*) and the plain leg's
 #               compile_commands.json. Skipped with a notice when clang-tidy is
 #               not installed, so the core matrix never depends on it.
+#   --analyze   standalone static-analysis lane: build only flexric-analyze,
+#               run the full tree scan against the committed hot-path
+#               allocation baseline (tools/analyze/hotpath_baseline.txt),
+#               emit the machine-readable --json report, and audit every
+#               lint: allow(...) suppression with --list. Fast enough for a
+#               pre-push hook; the ctest matrix runs the same gate anyway.
 set -eu
 
 jobs=""
@@ -43,12 +49,14 @@ fuzz_iters=100000
 chaos=0
 overload=0
 tidy=0
+analyze=0
 for arg in "$@"; do
   case "$arg" in
     --quick) fuzz_iters=1000 ;;
     --chaos) chaos=1 ;;
     --overload) overload=1 ;;
     --tidy) tidy=1 ;;
+    --analyze) analyze=1 ;;
     *) jobs=$arg ;;
   esac
 done
@@ -100,6 +108,30 @@ run_tidy_lane() {
   clang-tidy -p "$build_dir" --quiet \
     $(find "$root/src" -name '*.cpp' | sort)
 }
+
+run_analyze_lane() {
+  build_dir=$1
+  echo "==== [analyze] build flexric-analyze ===="
+  cmake -B "$build_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build_dir" -j "$jobs" --target flexric-analyze
+  bin="$build_dir/tools/analyze/flexric-analyze"
+  echo "==== [analyze] tree scan (baseline: tools/analyze/hotpath_baseline.txt) ===="
+  "$bin" --root "$root" --baseline "$root/tools/analyze/hotpath_baseline.txt"
+  echo "==== [analyze] json report ===="
+  "$bin" --root "$root" --baseline "$root/tools/analyze/hotpath_baseline.txt" --json
+  echo "==== [analyze] suppression audit ===="
+  "$bin" --root "$root" --list
+  python3 "$root/tools/lint.py" --list
+  echo "==== [analyze] fixtures ===="
+  "$bin" --fixtures "$root/tests/analyze_fixtures"
+}
+
+# --analyze is a standalone lane: run it and exit without the full matrix.
+if [ "$analyze" -eq 1 ]; then
+  run_analyze_lane "$root/build"
+  echo "==== ci.sh: analyze lane passed ===="
+  exit 0
+fi
 
 run_leg plain "$root/build" \
   -DFLEXRIC_SANITIZE=""

@@ -323,6 +323,7 @@ bool E2Agent::ue_visible(std::uint16_t rnti, ControllerId origin) const {
   return it != ue_assoc_.end() && it->second.count(origin) > 0;
 }
 
+// @hotpath agent-side indication send, one call per frame
 Status E2Agent::send_indication(ControllerId origin,
                                 const e2ap::Indication& ind) {
   FLEXRIC_ASSERT_AFFINITY(reactor_.affinity());

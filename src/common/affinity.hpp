@@ -1,19 +1,27 @@
-// Runtime half of the reactor-affinity contract (static half: tools/analyze).
+// Runtime half of the affinity-domain contract (static half: tools/analyze).
 //
 // The SDK is event-driven by construction: "handlers run on the loop thread
 // and the SDK holds no locks" (paper §4.4, DESIGN.md §10). That claim is an
-// invariant the compiler never checks. ReactorAffinity turns it into a
+// invariant the compiler never checks. DomainAffinity turns it into a
 // machine-checked property: the Reactor stamps its owning thread on every
-// entry to run()/run_once(), and the public entry points of the
-// `@affine(reactor)` classes (E2Agent, E2Server, TelemetryStore, Broker,
-// TcpTransport) assert they are being called from that thread via
-// FLEXRIC_ASSERT_AFFINITY.
+// entry to run()/run_once(), and the public entry points of the affine
+// classes (E2Agent, E2Server, TelemetryStore, Broker, TcpTransport — all
+// annotated `@affine(reactor)`) assert they are being called from that
+// thread via FLEXRIC_ASSERT_AFFINITY.
+//
+// Domains are named so a binary that runs several loops (a sharded RIC, one
+// reactor per shard) can tell WHICH single-threaded universe an object
+// belongs to: each stamp carries its domain string ("reactor" by default)
+// and a violation diagnostic names the domain that rejected the caller. The
+// static analyzer mirrors the same vocabulary — `@affine(<domain>)` on a
+// class makes its fields off-limits to code attributed to other domains.
 //
 // Cost model: with FLEXRIC_AFFINITY_GUARDS defined (default for Debug builds
 // and every FLEXRIC_SANITIZE preset, see the top-level CMakeLists) a check is
 // one relaxed atomic load plus a thread-id compare; without it the macro
 // compiles to ((void)0) and the stamp writes are elided, so release builds
-// pay nothing.
+// pay nothing. The domain string is a pointer to a string literal — storing
+// it costs one word and no allocation.
 //
 // This header is the one sanctioned use of thread primitives outside
 // src/transport/: detecting a cross-thread call requires asking which thread
@@ -28,7 +36,7 @@
 
 namespace flexric {
 
-/// Owning-thread stamp for a single-threaded (reactor-affine) object.
+/// Owning-thread stamp for a single-threaded (domain-affine) object.
 ///
 /// Two binding styles:
 ///  * Explicit — Reactor calls bind_to_current_thread() on every entry to
@@ -40,8 +48,15 @@ namespace flexric {
 /// An unbound stamp accepts every thread: single-threaded setup code runs
 /// before the loop starts, and the thread that starts the loop inherits
 /// ownership at that point.
-class ReactorAffinity {
+class DomainAffinity {
  public:
+  /// `domain` must be a string with static storage duration (a literal);
+  /// the stamp keeps the pointer, not a copy.
+  explicit DomainAffinity(const char* domain = "reactor") noexcept
+      : domain_(domain) {}
+
+  [[nodiscard]] const char* domain() const noexcept { return domain_; }
+
   void bind_to_current_thread() noexcept {
     owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   }
@@ -74,29 +89,38 @@ class ReactorAffinity {
   }
 
  private:
+  const char* domain_;
   std::atomic<std::thread::id> owner_{};
 };
 
+/// The historical name: every current affine class lives in the default
+/// "reactor" domain, and most call sites predate named domains.
+using ReactorAffinity = DomainAffinity;
+
 /// Abort with a diagnostic on an affinity violation. Kept out of the macro so
 /// the fast path stays one compare + one predictable branch.
-[[noreturn]] inline void affinity_violation(const char* what, const char* file,
+[[noreturn]] inline void affinity_violation(const char* what,
+                                            const char* domain,
+                                            const char* file,
                                             int line) noexcept {
   std::fprintf(stderr,
                "FLEXRIC_ASSERT_AFFINITY failed at %s:%d: %s called from "
-               "thread %zu which does not own the reactor\n",
+               "thread %zu which does not own the '%s' domain\n",
                file, line, what,
-               std::hash<std::thread::id>{}(std::this_thread::get_id()));
+               std::hash<std::thread::id>{}(std::this_thread::get_id()),
+               domain);
   std::abort();
 }
 
 #if defined(FLEXRIC_AFFINITY_GUARDS)
 inline constexpr bool kAffinityGuardsEnabled = true;
-/// Assert the calling thread owns `aff` (a ReactorAffinity&). First use from
+/// Assert the calling thread owns `aff` (a DomainAffinity&). First use from
 /// an unbound stamp adopts the caller as owner.
 #define FLEXRIC_ASSERT_AFFINITY(aff)                                       \
   do {                                                                     \
     if (!(aff).check_or_bind())                                            \
-      ::flexric::affinity_violation(__func__, __FILE__, __LINE__);         \
+      ::flexric::affinity_violation(__func__, (aff).domain(), __FILE__,    \
+                                    __LINE__);                             \
   } while (0)
 #else
 inline constexpr bool kAffinityGuardsEnabled = false;

@@ -41,6 +41,28 @@ Result<Cause::Group> to_cause_group(std::uint8_t v) {
 // Lists are encoded into a single var field: u32 count, then elements. The
 // elements use plain little-endian layouts (BufWriter/BufReader), since the
 // var region is already offset-addressed by the enclosing table.
+//
+// Every decoded count is wire-tainted until it is range-checked against the
+// bytes actually present (wire-taint pass, DESIGN.md §12): a forged count of
+// 2^32-1 with a 4-byte payload must fail up front, not drive a loop bound or
+// a reserve(). Each list checks count <= remaining / <min element size>.
+
+/// Smallest possible wire footprint of one list element, in bytes
+/// (uvarint length prefixes contribute at least one byte each).
+constexpr std::size_t kMinRanFunctionBytes = 6;  // u16+u16+lp(1)+lp(1)
+constexpr std::size_t kMinU16Bytes = 2;
+constexpr std::size_t kMinU16CauseBytes = 4;     // u16+u8+u8
+constexpr std::size_t kMinActionBytes = 3;       // u8+u8+lp(1)
+constexpr std::size_t kMinComponentBytes = 2;    // lp(1)+lp(1)
+constexpr std::size_t kMinComponentNameBytes = 1;
+constexpr std::size_t kMinAdmittedBytes = 1;     // u8
+constexpr std::size_t kMinNotAdmittedBytes = 3;  // u8+u8+u8
+
+// @coldpath error construction only; never runs on a well-formed frame
+Error list_count_overflow(const char* what) {
+  return Error{Errc::malformed,
+               std::string(what) + " list count exceeds payload"};
+}
 
 void put_ran_functions(FlatWriter& w, const std::vector<RanFunctionItem>& v) {
   BufWriter b;
@@ -60,6 +82,8 @@ Result<std::vector<RanFunctionItem>> get_ran_functions(FlatView& v) {
   BufReader r(*raw);
   auto n = r.u32();
   if (!n) return n.error();
+  if (*n > r.remaining() / kMinRanFunctionBytes)
+    return list_count_overflow("ran-function");
   std::vector<RanFunctionItem> out;
   out.reserve(std::min<std::size_t>(*n, 4096));
   for (std::uint32_t i = 0; i < *n; ++i) {
@@ -94,6 +118,7 @@ Result<std::vector<std::uint16_t>> get_u16_list(FlatView& v) {
   BufReader r(*raw);
   auto n = r.u32();
   if (!n) return n.error();
+  if (*n > r.remaining() / kMinU16Bytes) return list_count_overflow("u16");
   std::vector<std::uint16_t> out;
   out.reserve(std::min<std::size_t>(*n, 4096));
   for (std::uint32_t i = 0; i < *n; ++i) {
@@ -123,6 +148,8 @@ Result<std::vector<std::pair<std::uint16_t, Cause>>> get_u16_cause_list(
   BufReader r(*raw);
   auto n = r.u32();
   if (!n) return n.error();
+  if (*n > r.remaining() / kMinU16CauseBytes)
+    return list_count_overflow("u16-cause");
   std::vector<std::pair<std::uint16_t, Cause>> out;
   out.reserve(std::min<std::size_t>(*n, 4096));
   for (std::uint32_t i = 0; i < *n; ++i) {
@@ -156,6 +183,8 @@ Result<std::vector<Action>> get_actions(FlatView& v) {
   BufReader r(*raw);
   auto n = r.u32();
   if (!n) return n.error();
+  if (*n > r.remaining() / kMinActionBytes)
+    return list_count_overflow("action");
   std::vector<Action> out;
   out.reserve(std::min<std::size_t>(*n, 4096));
   for (std::uint32_t i = 0; i < *n; ++i) {
@@ -420,6 +449,8 @@ Result<Msg> dec_node_config_update(FlatView& v) {
   BufReader r(*raw);
   auto n = r.u32();
   if (!n) return n.error();
+  if (*n > r.remaining() / kMinComponentBytes)
+    return list_count_overflow("node-config component");
   m.components.reserve(std::min<std::size_t>(*n, 4096));
   for (std::uint32_t i = 0; i < *n; ++i) {
     auto name = r.lp_string();
@@ -450,6 +481,8 @@ Result<Msg> dec_node_config_update_ack(FlatView& v) {
   BufReader r(*raw);
   auto n = r.u32();
   if (!n) return n.error();
+  if (*n > r.remaining() / kMinComponentNameBytes)
+    return list_count_overflow("accepted-component");
   m.accepted_components.reserve(std::min<std::size_t>(*n, 4096));
   for (std::uint32_t i = 0; i < *n; ++i) {
     auto name = r.lp_string();
@@ -514,6 +547,8 @@ Result<Msg> dec_subscription_response(FlatView& v) {
     BufReader r(*adm_raw);
     auto n = r.u32();
     if (!n) return n.error();
+    if (*n > r.remaining() / kMinAdmittedBytes)
+      return list_count_overflow("admitted-action");
     m.admitted.reserve(std::min<std::size_t>(*n, 4096));
     for (std::uint32_t i = 0; i < *n; ++i) {
       auto x = r.u8();
@@ -527,6 +562,8 @@ Result<Msg> dec_subscription_response(FlatView& v) {
     BufReader r(*nadm_raw);
     auto n = r.u32();
     if (!n) return n.error();
+    if (*n > r.remaining() / kMinNotAdmittedBytes)
+      return list_count_overflow("not-admitted-action");
     m.not_admitted.reserve(std::min<std::size_t>(*n, 4096));
     for (std::uint32_t i = 0; i < *n; ++i) {
       auto x = r.u8();
@@ -733,6 +770,7 @@ Result<Msg> dec_control_failure(FlatView& v) {
 
 // ------------------------- codec object -----------------------------------
 
+// @hotpath decode runs once per received frame (paper §5.3)
 class FlatCodec final : public Codec {
  public:
   [[nodiscard]] WireFormat format() const noexcept override {

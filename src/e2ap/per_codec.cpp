@@ -12,6 +12,28 @@
 namespace flexric::e2ap {
 namespace {
 
+// Wire-taint hardening: every list count read off the wire is checked
+// against the bits actually left in the frame before it is used as a loop
+// bound. Each constant is the minimum PER bit cost of one list element
+// (constrained fields at their bit widths, octet strings at one length
+// octet), so a count that cannot possibly be satisfied by the remaining
+// payload is rejected up front instead of being discovered element by
+// element.
+constexpr std::size_t kMinRanFunctionBits = 40;   // 12+12+len(8)+len(8)
+constexpr std::size_t kMinU16Bits = 12;           // constrained(0,4095)
+constexpr std::size_t kMinU16CauseBits = 22;      // 12+2+8
+constexpr std::size_t kMinActionBits = 18;        // 8+2+len(8)
+constexpr std::size_t kMinComponentBits = 16;     // len(8)+len(8)
+constexpr std::size_t kMinComponentNameBits = 8;  // len(8)
+constexpr std::size_t kMinAdmittedBits = 8;       // constrained(0,255)
+constexpr std::size_t kMinNotAdmittedBits = 18;   // 8+2+8
+
+// @coldpath error construction only; never runs on a well-formed frame
+Error per_count_overflow(const char* what) {
+  return Error{Errc::malformed,
+               std::string(what) + " list count exceeds payload"};
+}
+
 // --------------------------- common IEs -----------------------------------
 
 void enc(PerWriter& w, const GlobalNodeId& id) {
@@ -123,6 +145,8 @@ Result<std::vector<std::pair<std::uint16_t, Cause>>> dec_u16_cause_list(
     PerReader& r) {
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinU16CauseBits)
+    return per_count_overflow("u16-cause");
   std::vector<std::pair<std::uint16_t, Cause>> out;
   out.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
@@ -143,6 +167,8 @@ void enc_u16_list(PerWriter& w, const std::vector<std::uint16_t>& v) {
 Result<std::vector<std::uint16_t>> dec_u16_list(PerReader& r) {
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinU16Bits)
+    return per_count_overflow("u16");
   std::vector<std::uint16_t> out;
   out.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
@@ -172,6 +198,8 @@ Result<Msg> dec_setup_request(PerReader& r) {
   m.node = *node;
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinRanFunctionBits)
+    return per_count_overflow("ran-function");
   m.ran_functions.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
     auto f = dec_ran_function(r);
@@ -293,6 +321,8 @@ Result<Msg> dec_service_update(PerReader& r) {
   for (auto* list : {&m.added, &m.modified}) {
     auto n = r.length();
     if (!n) return n.error();
+    if (*n > r.bits_remaining() / kMinRanFunctionBits)
+      return per_count_overflow("service-update ran-function");
     list->reserve(std::min<std::size_t>(*n, 4096));
     for (std::size_t i = 0; i < *n; ++i) {
       auto f = dec_ran_function(r);
@@ -358,6 +388,8 @@ Result<Msg> dec_node_config_update(PerReader& r) {
   m.trans_id = static_cast<std::uint8_t>(*t);
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinComponentBits)
+    return per_count_overflow("node-config component");
   m.components.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
     auto name = r.str();
@@ -383,6 +415,8 @@ Result<Msg> dec_node_config_update_ack(PerReader& r) {
   m.trans_id = static_cast<std::uint8_t>(*t);
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinComponentNameBits)
+    return per_count_overflow("accepted-component");
   m.accepted_components.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
     auto name = r.str();
@@ -413,6 +447,8 @@ Result<Msg> dec_subscription_request(PerReader& r) {
   m.event_trigger.assign(trig->begin(), trig->end());
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinActionBits)
+    return per_count_overflow("action");
   m.actions.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
     auto a = dec_action(r);
@@ -444,6 +480,8 @@ Result<Msg> dec_subscription_response(PerReader& r) {
   m.ran_function_id = static_cast<std::uint16_t>(*f);
   auto n = r.length();
   if (!n) return n.error();
+  if (*n > r.bits_remaining() / kMinAdmittedBits)
+    return per_count_overflow("admitted-action");
   m.admitted.reserve(std::min<std::size_t>(*n, 4096));
   for (std::size_t i = 0; i < *n; ++i) {
     auto a = r.constrained(0, 255);
@@ -452,6 +490,8 @@ Result<Msg> dec_subscription_response(PerReader& r) {
   }
   auto nn = r.length();
   if (!nn) return nn.error();
+  if (*nn > r.bits_remaining() / kMinNotAdmittedBits)
+    return per_count_overflow("not-admitted-action");
   m.not_admitted.reserve(std::min<std::size_t>(*nn, 4096));
   for (std::size_t i = 0; i < *nn; ++i) {
     auto a = r.constrained(0, 255);
@@ -656,6 +696,7 @@ Result<Msg> dec_control_failure(PerReader& r) {
 
 // --------------------------- codec object ---------------------------------
 
+// @hotpath decode runs once per received frame (paper §5.3)
 class PerCodec final : public Codec {
  public:
   [[nodiscard]] WireFormat format() const noexcept override {

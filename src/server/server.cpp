@@ -420,6 +420,7 @@ void E2Server::drain_ingest() {
   schedule_drain();  // backlog remains: yield the loop, then continue
 }
 
+// @hotpath every decoded frame funnels through here
 void E2Server::dispatch(AgentId id, BytesView wire) {
   auto msg = codec_.decode(wire);
   if (!msg) {
@@ -452,6 +453,7 @@ void E2Server::dispatch(AgentId id, BytesView wire) {
       *msg);
 }
 
+// @coldpath one-shot handshake, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
@@ -505,6 +507,7 @@ void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
   }
 }
 
+// @coldpath subscription lifecycle, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::SubscriptionResponse& m) {
   auto it = subs_.find(SubHandle{id, m.request});
   if (it == subs_.end()) return;
@@ -517,6 +520,7 @@ void E2Server::handle(AgentId id, const e2ap::SubscriptionResponse& m) {
   if (it->second.cbs.on_response) it->second.cbs.on_response(m);
 }
 
+// @coldpath subscription lifecycle, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::SubscriptionFailure& m) {
   SubHandle h{id, m.request};
   auto it = subs_.find(h);
@@ -528,10 +532,12 @@ void E2Server::handle(AgentId id, const e2ap::SubscriptionFailure& m) {
   }
 }
 
+// @coldpath subscription lifecycle, not on the indication path
 void E2Server::handle(AgentId, const e2ap::SubscriptionDeleteResponse&) {
   // Callbacks were already dropped in unsubscribe(); nothing to do.
 }
 
+// @hotpath one call per telemetry indication frame
 void E2Server::handle(AgentId id, const e2ap::Indication& m) {
   stats_.indications_rx++;
   // The subscription management selects the iApp for which the message is
@@ -544,6 +550,7 @@ void E2Server::handle(AgentId id, const e2ap::Indication& m) {
   if (it->second.cbs.on_indication) it->second.cbs.on_indication(m);
 }
 
+// @coldpath control-plane response, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::ControlAck& m) {
   SubHandle h{id, m.request};
   auto it = ctrls_.find(h);
@@ -554,6 +561,7 @@ void E2Server::handle(AgentId id, const e2ap::ControlAck& m) {
   if (cbs.on_ack) cbs.on_ack(m);
 }
 
+// @coldpath control-plane response, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::ControlFailure& m) {
   SubHandle h{id, m.request};
   auto it = ctrls_.find(h);
@@ -564,6 +572,7 @@ void E2Server::handle(AgentId id, const e2ap::ControlFailure& m) {
   if (cbs.on_failure) cbs.on_failure(m);
 }
 
+// @coldpath service management, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
   if (m.added.empty() && m.modified.empty() && m.removed.empty()) {
     // Agent heartbeat probe: ack it without touching the RAN DB or waking
@@ -594,6 +603,7 @@ void E2Server::handle(AgentId id, const e2ap::ServiceUpdate& m) {
   (void)send(id, e2ap::Msg{std::move(ack)});
 }
 
+// @coldpath config management, not on the indication path
 void E2Server::handle(AgentId id, const e2ap::NodeConfigUpdate& m) {
   e2ap::NodeConfigUpdateAck ack;
   ack.trans_id = m.trans_id;

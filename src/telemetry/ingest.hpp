@@ -37,6 +37,7 @@ struct IngestConfig {
   bool extended_metrics = false;
 };
 
+// @hotpath
 class Ingest {
  public:
   explicit Ingest(TelemetryStore& store, IngestConfig cfg = {})

@@ -102,6 +102,7 @@ bool TelemetryStore::evict_one() {
   return true;
 }
 
+// @hotpath one call per ingested sample
 Status TelemetryStore::record(const SeriesKey& key, Nanos t, double v) {
   FLEXRIC_ASSERT_AFFINITY(affinity_);
   auto it = series_.find(key);

@@ -1,0 +1,60 @@
+// Domain-ownership fixture: named affinity domains and member-field
+// attribution. Golden findings (expected.txt):
+//   * an unknown domain name in an anchored annotation,
+//   * a method annotated into a different domain than its class,
+//   * shard-owned fields touched from unattributed and reactor code.
+// Method calls on the object stay silent — the object guards its own
+// domain at runtime — and so does a @cross_domain conduit.
+#include <cstdint>
+
+namespace flexric {
+
+// @affine(shard)
+struct ShardCounters {
+  void bump() { frames += 1; }  // the owning class touches its own fields
+
+  std::uint64_t frames = 0;
+  std::uint64_t drops = 0;
+};
+
+// @affine(quux)
+class Mystery {
+ public:
+  void poke() {}
+};
+
+// @affine(reactor)
+class LoopThing {
+ public:
+  // @affine(shard)
+  void cross() {}
+  void ok() {}
+
+ private:
+  int x_ = 0;
+};
+
+// Unattributed free function reaching into shard-owned state.
+inline void scribble(ShardCounters& c) {
+  c.frames += 1;
+}
+
+// Reactor-attributed code poking a different domain's fields.
+// @affine(reactor)
+inline void pump(ShardCounters* c) {
+  c->drops += 1;
+}
+
+// A sanctioned crossing: annotated conduits may touch any domain.
+// @cross_domain
+inline void drain(ShardCounters& c) {
+  c.frames = 0;
+  c.drops = 0;
+}
+
+// Method calls are not field touches; the callee asserts its own stamp.
+inline void tick(ShardCounters& c) {
+  c.bump();
+}
+
+}  // namespace flexric

@@ -1,0 +1,44 @@
+// Wire-taint fixture: values read off the wire are tainted until they
+// survive a range check. Golden findings (expected.txt): a tainted loop
+// bound, a tainted resize() argument, and a tainted array index. The
+// checked variants below them must stay silent — a relational guard or a
+// std::min clamp launders the value.
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace flexric {
+
+struct WireReader {
+  std::uint32_t u32();
+  std::uint16_t u16();
+};
+
+inline void bad_loop(WireReader& r, std::vector<int>& out) {
+  auto n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(0);
+}
+
+inline void bad_resize(WireReader& r, std::vector<int>& out) {
+  auto n = r.u32();
+  out.resize(n);
+}
+
+inline void bad_index(WireReader& r, int* table) {
+  auto k = r.u16();
+  table[k] = 1;
+}
+
+inline void good_guarded(WireReader& r, std::vector<int>& out) {
+  auto n = r.u32();
+  if (n > 64) return;  // relational guard sanitizes `n`
+  out.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(0);
+}
+
+inline void good_clamped(WireReader& r, std::vector<int>& out) {
+  auto n = std::min<std::uint32_t>(r.u32(), 64);  // clamped at the source
+  out.resize(n);
+}
+
+}  // namespace flexric

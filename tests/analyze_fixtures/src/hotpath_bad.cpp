@@ -1,0 +1,38 @@
+// Hot-path allocation fixture. Golden findings (expected.txt): growth,
+// owned-container construction, and make_unique inside a @hotpath span,
+// plus an allocation reached through same-file call propagation. The
+// @coldpath helper allocates freely and must stay silent.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace flexric {
+
+struct Sample {
+  int v = 0;
+};
+
+// @hotpath
+inline void on_indication(std::vector<Sample>& sink, int v) {
+  sink.push_back({v});
+  std::string label(16, 'x');
+  auto p = std::make_unique<Sample>();
+  (void)label;
+  (void)p;
+}
+
+inline void warm_helper(std::vector<int>& v) {
+  v.reserve(32);  // hot by propagation: dispatch_one() calls this
+}
+
+// @hotpath
+inline void dispatch_one(std::vector<int>& v) {
+  warm_helper(v);
+}
+
+// @coldpath
+inline void setup_tables(std::vector<int>& v) {
+  v.reserve(1024);
+}
+
+}  // namespace flexric

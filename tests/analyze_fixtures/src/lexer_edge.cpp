@@ -1,0 +1,41 @@
+// Lexer edge cases: phase-2 line splicing, raw-string delimiters that
+// contain annotation-looking text, user-defined literals with digit
+// separators, and digraph punctuation. The ONLY golden finding from this
+// file is the unknown domain in the spliced annotation — every decoy
+// below it must stay silent.
+#include <cstddef>
+
+namespace flexric {
+
+// @affine(bog\
+us)
+class Spliced {};
+
+// Raw strings are opaque: neither body text nor a delimiter that itself
+// reads "@affine" may produce annotations or findings.
+inline const char* raw_body_decoy() {
+  return R"x(// @affine(nonsense) inside a raw string is not an annotation)x";
+}
+
+inline const char* raw_delim_decoy() {
+  return R"@affine(// @affine(alsononsense) still opaque)@affine";
+}
+
+// UDL with a digit separator: one literal token, no stray identifiers.
+constexpr unsigned long long operator""_frames(unsigned long long n) {
+  return n;
+}
+
+inline std::size_t frame_budget() {
+  return static_cast<std::size_t>(10'000_frames);
+}
+
+// Digraphs: equivalent punctuation must not derail scope tracking — the
+// function below opens and closes its body with <% %> and indexes with
+// <: :>, and the file's brace balance must survive it.
+inline int digraph_sum(int a, int b) <%
+  int arr<:2:> = <% a, b %>;
+  return arr<:0:> + arr<:1:>;
+%>
+
+}  // namespace flexric

@@ -24,7 +24,6 @@ TEST(ReactorAffinity, UnboundAcceptsEveryThread) {
   EXPECT_FALSE(aff.bound());
   EXPECT_TRUE(aff.on_owner_thread());
   bool ok_from_worker = false;
-  // lint: allow(affinity-annotation) exercising the stamp itself from a second thread is the point of the test
   std::thread worker([&] { ok_from_worker = aff.on_owner_thread(); });
   worker.join();
   EXPECT_TRUE(ok_from_worker);
@@ -36,13 +35,28 @@ TEST(ReactorAffinity, CheckOrBindAdoptsFirstCallerAndRejectsOthers) {
   EXPECT_TRUE(aff.bound());
   EXPECT_TRUE(aff.check_or_bind());  // idempotent for the owner
   bool worker_allowed = true;
-  // lint: allow(affinity-annotation) exercising the stamp itself from a second thread is the point of the test
   std::thread worker([&] { worker_allowed = aff.check_or_bind(); });
   worker.join();
   EXPECT_FALSE(worker_allowed);
   aff.reset();
   EXPECT_FALSE(aff.bound());
   EXPECT_TRUE(aff.check_or_bind());  // re-adoptable after reset()
+}
+
+TEST(DomainAffinity, DefaultsToReactorDomain) {
+  ReactorAffinity aff;  // the back-compat alias stays in the default domain
+  EXPECT_STREQ(aff.domain(), "reactor");
+}
+
+TEST(DomainAffinity, NamedDomainIsCarriedByTheStamp) {
+  DomainAffinity aff("shard");
+  EXPECT_STREQ(aff.domain(), "shard");
+  // Named stamps bind/check exactly like the default domain.
+  ASSERT_TRUE(aff.check_or_bind());
+  bool worker_allowed = true;
+  std::thread worker([&] { worker_allowed = aff.check_or_bind(); });
+  worker.join();
+  EXPECT_FALSE(worker_allowed);
 }
 
 TEST(ReactorAffinity, ReactorRunRebindsOwnership) {
@@ -56,7 +70,6 @@ TEST(ReactorAffinity, ReactorRunRebindsOwnership) {
   EXPECT_TRUE(reactor.affinity().on_owner_thread());
   bool rebound = false;
   // Handing the loop to another thread re-binds ownership on entry.
-  // lint: allow(affinity-annotation) deliberately pumping the loop from a worker to prove re-binding
   std::thread worker([&] {
     reactor.run_once(0);
     rebound = reactor.affinity().on_owner_thread();
@@ -106,6 +119,22 @@ TEST(AffinityDeathTest, WrongThreadPublishIntoBrokerAborts) {
         offender.join();
       },
       "FLEXRIC_ASSERT_AFFINITY failed");
+}
+
+// The violation diagnostic names the domain whose stamp rejected the caller,
+// so a multi-loop binary points at the right universe.
+TEST(AffinityDeathTest, ViolationDiagnosticNamesTheDomain) {
+  if (!kAffinityGuardsEnabled)
+    GTEST_SKIP() << "FLEXRIC_AFFINITY_GUARDS off in this build";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  DomainAffinity aff("shard");
+  ASSERT_TRUE(aff.check_or_bind());  // this thread owns the shard domain
+  EXPECT_DEATH(
+      {
+        std::thread offender([&] { FLEXRIC_ASSERT_AFFINITY(aff); });
+        offender.join();
+      },
+      "does not own the 'shard' domain");
 }
 
 // The guards must not fire on the correct thread: the full agent/server test

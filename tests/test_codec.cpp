@@ -445,6 +445,23 @@ void flat_tag_out_of_range(Buffer& b) { b[4] = 0xFF; }
 void flat_prefix_inflated(Buffer& b) { b[3] = 0xFF; }
 void flat_prefix_shrunk(Buffer& b) { b[0] -= 1; }
 
+// List-count inflation (wire-taint regression frames). A forged element
+// count must be rejected by the codec's count-vs-remaining-payload guard,
+// not chew through the loop until the reader runs dry. Offsets:
+//   PER subscription: tag 5 bits, req-id 2x2 aligned octets (bytes 1-4),
+//     ran-function-id 2 aligned octets (5-6), event-trigger len det (7) +
+//     4 bytes (8-11) => action-count length determinant at byte 12. 0x7F
+//     claims 127 actions in a ~100-byte tail.
+//   FLAT subscription: the actions var blob is the frame tail:
+//     u32 count + [u8 id, u8 type, lp definition(1+100)] = 107 bytes, so
+//     the count's high LE byte sits at size-104.
+//   FLAT setup: ran-functions var blob is the tail: u32 count +
+//     [u16 id, u16 rev, lp name(1+19), lp definition(1+100)] = 129 bytes,
+//     so the count's high LE byte sits at size-126.
+void per_action_count_inflated(Buffer& b) { b[12] = 0x7F; }
+void flat_action_count_inflated(Buffer& b) { b[b.size() - 104] = 0xFF; }
+void flat_ran_fn_count_inflated(Buffer& b) { b[b.size() - 126] = 0xFF; }
+
 struct AdversarialCase {
   const char* name;
   WireFormat format;
@@ -514,6 +531,13 @@ const AdversarialCase kAdversarialCorpus[] = {
      flat_prefix_inflated},
     {"flat/indication/prefix_shrunk", kFlat, sample_indication,
      flat_prefix_shrunk},
+    // Inflated list counts (wire-taint regressions)
+    {"per/subscription/count_inflated", kPer, sample_subscription_request,
+     per_action_count_inflated},
+    {"flat/subscription/count_inflated", kFlat, sample_subscription_request,
+     flat_action_count_inflated},
+    {"flat/setup/count_inflated", kFlat, sample_setup_request,
+     flat_ran_fn_count_inflated},
 };
 
 class AdversarialFrames
@@ -536,6 +560,33 @@ TEST_P(AdversarialFrames, CorruptedFrameDecodesToError) {
   auto dec = codec.decode(corrupted);
   EXPECT_FALSE(dec.is_ok())
       << c.name << ": corrupted frame decoded successfully";
+}
+
+// The inflated-count frames must be rejected by the up-front count guard
+// (error text "list count exceeds payload"), proving the forged count never
+// becomes a loop bound — not merely fail later when the reader runs dry.
+TEST(AdversarialFrames, InflatedCountRejectedByGuard) {
+  struct Case {
+    WireFormat format;
+    e2ap::Msg (*make)();
+    void (*mutate)(Buffer&);
+  } cases[] = {
+      {kPer, sample_subscription_request, per_action_count_inflated},
+      {kFlat, sample_subscription_request, flat_action_count_inflated},
+      {kFlat, sample_setup_request, flat_ran_fn_count_inflated},
+  };
+  for (const auto& c : cases) {
+    const e2ap::Codec& codec = e2ap::codec_for(c.format);
+    auto wire = codec.encode(c.make());
+    ASSERT_TRUE(wire.is_ok());
+    Buffer corrupted = *wire;
+    c.mutate(corrupted);
+    auto dec = codec.decode(corrupted);
+    ASSERT_FALSE(dec.is_ok());
+    EXPECT_NE(dec.error().message.find("count exceeds payload"),
+              std::string::npos)
+        << "got: " << dec.error().message;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,17 +1,25 @@
-// flexric-analyze: reactor-affinity & lambda-lifetime static analyzer.
+// flexric-analyze: multi-pass static analyzer for the FlexRIC SDK.
 //
 // Dependency-free (stdlib only) so it builds everywhere the SDK builds and
 // can run as a CTest gate next to `lint`. See rules.hpp for the rule set and
-// DESIGN.md §10 for the model.
+// DESIGN.md §10/§12 for the model.
 //
 // Usage:
 //   flexric-analyze --root <repo>          scan src/ bench/ examples/ tests/
 //   flexric-analyze --root <repo> --rule R run only rule R (repeatable)
 //   flexric-analyze --root <repo> --list   print every suppression + reason
 //   flexric-analyze --fix-suggestions ...  append a suggested fix per finding
+//   flexric-analyze --json ...             machine-readable findings (CI)
+//   flexric-analyze --baseline <file>      accept hotpath-alloc debt recorded
+//                                          in <file>; fail only on regressions
+//   flexric-analyze --write-baseline <file> regenerate the debt file
 //   flexric-analyze --fixtures <dir>       scan <dir> (category = first path
 //                                          component) and diff the findings
 //                                          against <dir>/expected.txt
+//
+// A full run (no --rule filter) also audits suppressions: every
+// `lint: allow(...)` naming an analyzer rule must carry a reason and must
+// actually silence a finding (stale suppressions fail the gate).
 //
 // Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/IO error.
 
@@ -19,6 +27,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -81,6 +90,49 @@ std::string render(const Finding& f, bool with_suggestion) {
   return s;
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_json(const std::vector<Finding>& findings,
+                const std::vector<std::string>& notes) {
+  std::printf("{\n  \"findings\": [");
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    std::printf(
+        "%s\n    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", "
+        "\"message\": \"%s\", \"suggestion\": \"%s\"%s}",
+        i ? "," : "", json_escape(f.file).c_str(), f.line,
+        json_escape(f.rule).c_str(), json_escape(f.message).c_str(),
+        json_escape(f.suggestion).c_str(),
+        f.group.empty()
+            ? ""
+            : (", \"group\": \"" + json_escape(f.group) + "\"").c_str());
+  }
+  std::printf("\n  ],\n  \"notes\": [");
+  for (std::size_t i = 0; i < notes.size(); ++i)
+    std::printf("%s\n    \"%s\"", i ? "," : "", json_escape(notes[i]).c_str());
+  std::printf("\n  ],\n  \"count\": %zu\n}\n", findings.size());
+}
+
 int run_fixtures(const fs::path& dir, const std::set<std::string>& rules) {
   std::error_code ec;
   if (!fs::is_directory(dir, ec)) {
@@ -138,14 +190,31 @@ int run_fixtures(const fs::path& dir, const std::set<std::string>& rules) {
   return 1;
 }
 
+/// Load `group count` lines ('#' comments allowed).
+bool load_baseline(const fs::path& p, std::map<std::string, int>* out) {
+  std::ifstream in(p);
+  if (!in) return false;
+  for (std::string line; std::getline(in, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    (*out)[line.substr(0, sp)] = std::atoi(line.c_str() + sp + 1);
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root;
   fs::path fixtures;
+  fs::path baseline_path;
+  fs::path write_baseline_path;
   std::set<std::string> rules;
+  bool all_rules = true;
   bool list_suppressions = false;
   bool fix_suggestions = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -160,6 +229,10 @@ int main(int argc, char** argv) {
       root = need_val("--root");
     } else if (a == "--fixtures") {
       fixtures = need_val("--fixtures");
+    } else if (a == "--baseline") {
+      baseline_path = need_val("--baseline");
+    } else if (a == "--write-baseline") {
+      write_baseline_path = need_val("--write-baseline");
     } else if (a == "--rule") {
       std::string r = need_val("--rule");
       bool known = false;
@@ -170,14 +243,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       rules.insert(r);
+      all_rules = false;
     } else if (a == "--list") {
       list_suppressions = true;
     } else if (a == "--fix-suggestions") {
       fix_suggestions = true;
+    } else if (a == "--json") {
+      json = true;
     } else if (a == "--help" || a == "-h") {
       std::printf(
           "usage: flexric-analyze --root <repo> [--rule R]... [--list] "
-          "[--fix-suggestions]\n"
+          "[--fix-suggestions] [--json]\n"
+          "       [--baseline <file>] [--write-baseline <file>]\n"
           "       flexric-analyze --fixtures <dir> [--rule R]...\n"
           "rules:\n");
       for (const char* k : kAllRules) std::printf("  %s\n", k);
@@ -228,7 +305,116 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  std::set<std::string> used;
+  set_suppression_tracker(&used);
   auto findings = run_rules(corpus, rules);
+  set_suppression_tracker(nullptr);
+
+  std::vector<std::string> notes;
+
+  // Hot-path allocation debt baseline: findings carrying a group key are
+  // compared by (group, count), not line numbers, so unrelated edits don't
+  // churn the file. Regressions (new group or higher count) fail.
+  if (!baseline_path.empty()) {
+    std::map<std::string, int> base;
+    if (!load_baseline(baseline_path, &base)) {
+      std::fprintf(stderr, "flexric-analyze: cannot read baseline %s\n",
+                   baseline_path.string().c_str());
+      return 2;
+    }
+    std::map<std::string, int> current;
+    for (const auto& f : findings)
+      if (!f.group.empty()) ++current[f.group];
+    std::set<std::string> accepted;
+    for (const auto& [g, n] : current) {
+      auto it = base.find(g);
+      if (it != base.end() && n <= it->second) {
+        accepted.insert(g);
+        if (n < it->second)
+          notes.push_back("baseline: '" + g + "' improved (" +
+                          std::to_string(it->second) + " -> " +
+                          std::to_string(n) + "); regenerate with "
+                          "--write-baseline");
+      } else if (it != base.end()) {
+        notes.push_back("baseline: '" + g + "' regressed (" +
+                        std::to_string(it->second) + " -> " +
+                        std::to_string(n) + ")");
+      }
+    }
+    for (const auto& [g, n] : base)
+      if (current.find(g) == current.end())
+        notes.push_back("baseline: '" + g + "' no longer present; "
+                        "regenerate with --write-baseline");
+    findings.erase(std::remove_if(findings.begin(), findings.end(),
+                                  [&](const Finding& f) {
+                                    return !f.group.empty() &&
+                                           accepted.count(f.group) != 0;
+                                  }),
+                   findings.end());
+  }
+
+  if (!write_baseline_path.empty()) {
+    std::map<std::string, int> current;
+    for (const auto& f : findings)
+      if (!f.group.empty()) ++current[f.group];
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::fprintf(stderr, "flexric-analyze: cannot write %s\n",
+                   write_baseline_path.string().c_str());
+      return 2;
+    }
+    out << "# Hot-path allocation debt, one `file|function|kind count` per "
+           "line.\n"
+           "# Regenerate with: flexric-analyze --root . --write-baseline "
+           "tools/analyze/hotpath_baseline.txt\n"
+           "# The analyze gate fails on any NEW entry or count increase "
+           "(DESIGN.md §12).\n";
+    for (const auto& [g, n] : current) out << g << ' ' << n << '\n';
+    std::printf("flexric-analyze: wrote %zu baseline entr%s to %s\n",
+                current.size(), current.size() == 1 ? "y" : "ies",
+                write_baseline_path.string().c_str());
+    return 0;
+  }
+
+  // Suppression audit (full runs only: with a --rule filter, allows for the
+  // unselected rules would look stale). Every allow() naming an analyzer
+  // rule must carry a reason and must have silenced at least one finding.
+  if (all_rules) {
+    std::set<std::string> analyzer_rules(std::begin(kAllRules),
+                                         std::end(kAllRules));
+    for (const auto& s : collect_suppressions(corpus)) {
+      if (analyzer_rules.count(s.rule) == 0) continue;  // lint.py's business
+      Finding fd;
+      fd.file = s.file;
+      fd.line = s.line;
+      fd.rule = "suppression-audit";
+      if (s.reason.empty()) {
+        fd.message = "suppression allow(" + s.rule + ") has no reason; "
+                     "reasons are mandatory";
+        fd.suggestion = "append why: `// lint: allow(" + s.rule + ") <why>`";
+        findings.push_back(fd);
+      }
+      if (used.count(s.file + ":" + std::to_string(s.line) + ":" + s.rule) ==
+          0) {
+        fd.message = "stale suppression: allow(" + s.rule + ") no longer "
+                     "silences any finding";
+        fd.suggestion = "delete the stale `lint: allow(...)` comment";
+        findings.push_back(std::move(fd));
+      }
+    }
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.file != b.file) return a.file < b.file;
+                if (a.line != b.line) return a.line < b.line;
+                return a.rule < b.rule;
+              });
+  }
+
+  if (json) {
+    print_json(findings, notes);
+    return findings.empty() ? 0 : 1;
+  }
+  for (const auto& n : notes) std::printf("note: %s\n", n.c_str());
   for (const auto& f : findings)
     std::printf("%s\n", render(f, fix_suggestions).c_str());
   if (findings.empty()) {

@@ -8,290 +8,46 @@ namespace flexric::analyze {
 
 namespace {
 
-using Tokens = std::vector<Token>;
-
-bool is_ident(const Token& t, const char* text) {
-  return t.kind == Tok::identifier && t.text == text;
-}
-bool is_punct(const Token& t, const char* text) {
-  return t.kind == Tok::punct && t.text == text;
-}
-
-// ---------------------------------------------------------------------------
-// Scope analysis: classify every brace so rules know (a) whether a token is
-// inside a function body and (b) which class owns that function. This is the
-// "real lexer + brace tracking" half the line-regex lint cannot do.
-// ---------------------------------------------------------------------------
-
-enum class ScopeKind { ns, type, func, block };
-
-struct ScopeInfo {
-  /// Per token: number of enclosing function bodies (0 = declaration scope).
-  std::vector<int> func_depth;
-  /// Per token: class owning the innermost enclosing function definition
-  /// ("" for free functions / declaration scope).
-  std::vector<std::string> owner_class;
-  /// Per token: "::"-joined chain of enclosing type scopes, outermost first
-  /// ("Outer::Inner" for a member of Inner nested in Outer; "" outside any
-  /// type). Lets rules attribute member declarations to annotated classes
-  /// even through nested structs.
-  std::vector<std::string> type_chain;
-};
-
-/// Find the index of the `(` matching the `)` at `close` (walking backward).
-std::size_t match_paren_back(const Tokens& t, std::size_t close) {
-  int depth = 0;
-  for (std::size_t i = close + 1; i-- > 0;) {
-    if (is_punct(t[i], ")")) ++depth;
-    if (is_punct(t[i], "(")) {
-      if (--depth == 0) return i;
-    }
-  }
-  return 0;
-}
-
-/// Find the index of the token after the `)`/`]`/`}` matching the opener at
-/// `open` (forward). Treats ">>" as plain punct (not a closer).
-std::size_t skip_balanced(const Tokens& t, std::size_t open) {
-  const std::string& o = t[open].text;
-  const char* close = o == "(" ? ")" : o == "[" ? "]" : "}";
-  int depth = 0;
-  for (std::size_t i = open; i < t.size() && t[i].kind != Tok::eof; ++i) {
-    if (t[i].kind == Tok::punct && t[i].text == o) ++depth;
-    if (t[i].kind == Tok::punct && t[i].text == close) {
-      if (--depth == 0) return i + 1;
-    }
-  }
-  return t.size() - 1;
-}
-
-ScopeInfo analyze_scopes(const Tokens& t) {
-  ScopeInfo info;
-  info.func_depth.resize(t.size(), 0);
-  info.owner_class.resize(t.size());
-  info.type_chain.resize(t.size());
-
-  struct Scope {
-    ScopeKind kind;
-    std::string name;   // class name for type scopes
-    std::string owner;  // owner class for func scopes
-  };
-  std::vector<Scope> stack;
-
-  int fdepth = 0;
-  std::string owner;
-  std::string chain;
-
-  auto recompute_owner = [&] {
-    owner.clear();
-    for (auto it = stack.rbegin(); it != stack.rend(); ++it)
-      if (it->kind == ScopeKind::func) {
-        owner = it->owner;
-        break;
-      }
-    chain.clear();
-    for (const Scope& s : stack) {
-      if (s.kind != ScopeKind::type || s.name.empty()) continue;
-      if (!chain.empty()) chain += "::";
-      chain += s.name;
-    }
-  };
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    info.func_depth[i] = fdepth;
-    info.owner_class[i] = owner;
-    info.type_chain[i] = chain;
-    if (is_punct(t[i], "}")) {
-      if (!stack.empty()) {
-        if (stack.back().kind == ScopeKind::func) --fdepth;
-        stack.pop_back();
-        recompute_owner();
-      }
-      continue;
-    }
-    if (!is_punct(t[i], "{")) continue;
-
-    // Classify this '{'.
-    Scope sc{ScopeKind::block, "", ""};
-    if (fdepth > 0) {
-      // Inside a function everything is a block (lambda bodies included);
-      // owner does not change.
-      sc.kind = ScopeKind::block;
-      stack.push_back(sc);
-      continue;
-    }
-    // Look back to the previous ';' / '}' / '{' for classification keywords.
-    std::size_t lo = 0;
-    for (std::size_t j = i; j-- > 0;) {
-      if (is_punct(t[j], ";") || is_punct(t[j], "}") || is_punct(t[j], "{")) {
-        lo = j + 1;
-        break;
-      }
-    }
-    bool saw_ns = false, saw_type = false, saw_eq = false;
-    std::string type_name;
-    for (std::size_t j = lo; j < i; ++j) {
-      if (is_ident(t[j], "namespace")) saw_ns = true;
-      if (is_ident(t[j], "class") || is_ident(t[j], "struct") ||
-          is_ident(t[j], "union") || is_ident(t[j], "enum")) {
-        saw_type = true;
-        // First identifier after the keyword (skip attributes/`class` of
-        // `enum class`).
-        for (std::size_t k = j + 1; k < i; ++k) {
-          if (t[k].kind == Tok::identifier && t[k].text != "final" &&
-              t[k].text != "alignas" && t[k].text != "class") {
-            type_name = t[k].text;
-            break;
-          }
-          if (is_punct(t[k], ":")) break;
-        }
-      }
-      if (is_punct(t[j], "=")) saw_eq = true;
-    }
-    if (saw_ns) {
-      sc.kind = ScopeKind::ns;
-    } else if (saw_type && !saw_eq) {
-      sc.kind = ScopeKind::type;
-      sc.name = type_name;
-    } else if (!saw_eq) {
-      // Function body iff walking back over cv/ref/noexcept/trailing-return
-      // tokens reaches the ')' of a parameter list.
-      std::size_t j = i;
-      bool reached_paren = false;
-      int guard = 0;
-      while (j-- > lo && guard++ < 24) {
-        const Token& p = t[j];
-        if (is_punct(p, ")")) {
-          reached_paren = true;
-          break;
-        }
-        bool skippable =
-            p.kind == Tok::identifier ||  // const, noexcept, override, types
-            is_punct(p, "->") || is_punct(p, "::") || is_punct(p, "&") ||
-            is_punct(p, "&&") || is_punct(p, "<") || is_punct(p, ">") ||
-            is_punct(p, ">>") || is_punct(p, "*") || is_punct(p, ":") ||
-            is_punct(p, ",");  // ctor init lists: `: a_(x), b_(y) {`
-        if (!skippable) break;
-      }
-      if (reached_paren) {
-        sc.kind = ScopeKind::func;
-        // Identify `Class::name(` to attribute the method to its class;
-        // ctor-init-lists mean the ')' found above may be a member
-        // initializer, so walk back over `ident ( ... )` groups until the
-        // parameter list's opener.
-        std::size_t close = j;
-        std::size_t open = match_paren_back(t, close);
-        while (open >= 2 && t[open - 1].kind == Tok::identifier &&
-               (is_punct(t[open - 2], ",") || is_punct(t[open - 2], ":"))) {
-          // `..., member(expr)` — an init-list entry; keep walking back.
-          std::size_t k = open - 2;
-          if (is_punct(t[k], ":")) {
-            // reached `) : first(...)`: the token before ':' closes the
-            // real parameter list.
-            if (k >= 1 && is_punct(t[k - 1], ")")) {
-              close = k - 1;
-              open = match_paren_back(t, close);
-            }
-            break;
-          }
-          // skip backward over the previous init entry's parens
-          std::size_t prev_close = k;
-          while (prev_close-- > 0 && !is_punct(t[prev_close], ")")) {
-          }
-          close = prev_close;
-          open = match_paren_back(t, close);
-        }
-        if (open >= 3 && t[open - 1].kind == Tok::identifier &&
-            is_punct(t[open - 2], "::") &&
-            t[open - 3].kind == Tok::identifier) {
-          sc.owner = t[open - 3].text;  // X::name( → owner X
-        } else if (!stack.empty() && stack.back().kind == ScopeKind::type) {
-          sc.owner = stack.back().name;  // method defined in-class
-        }
-      }
-    }
-    if (sc.kind == ScopeKind::func) ++fdepth;
-    stack.push_back(sc);
-    recompute_owner();
-  }
-  return info;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions: `lint: allow(<rule>) <reason>` on the line or the line above.
-// ---------------------------------------------------------------------------
-
-/// Parse every allow() out of one comment string.
-void parse_allows(const std::string& comment, int line, const std::string& file,
-                  std::vector<Suppression>* out) {
-  const std::string needle = "lint: allow(";
-  std::size_t pos = 0;
-  while ((pos = comment.find(needle, pos)) != std::string::npos) {
-    std::size_t name_at = pos + needle.size();
-    std::size_t close = comment.find(')', name_at);
-    if (close == std::string::npos) break;
-    Suppression s;
-    s.file = file;
-    s.line = line;
-    s.rule = comment.substr(name_at, close - name_at);
-    std::size_t r = close + 1;
-    while (r < comment.size() && comment[r] == ' ') ++r;
-    s.reason = comment.substr(r);
-    // A reason ending in '*/' came from a block comment; trim the closer.
-    if (s.reason.size() >= 2 &&
-        s.reason.compare(s.reason.size() - 2, 2, "*/") == 0)
-      s.reason.resize(s.reason.size() - 2);
-    while (!s.reason.empty() && s.reason.back() == ' ') s.reason.pop_back();
-    out->push_back(std::move(s));
-    pos = close;
-  }
-}
-
-bool suppressed(const FileUnit& f, int line, const std::string& rule) {
-  for (int l : {line, line - 1}) {
-    auto it = f.lx.comments.find(l);
-    if (it == f.lx.comments.end()) continue;
-    std::vector<Suppression> sups;
-    parse_allows(it->second, l, f.rel, &sups);
-    for (const auto& s : sups)
-      if (s.rule == rule) return true;
-  }
-  return false;
-}
-
 // ---------------------------------------------------------------------------
 // Registry pass
 // ---------------------------------------------------------------------------
 
-/// After `Result`, skip `<...>` template args (">>" closes two levels).
-/// Returns the index after the closing '>', or `from` on a parse failure.
-std::size_t skip_template_args(const Tokens& t, std::size_t from) {
-  if (from >= t.size() || !is_punct(t[from], "<")) return from;
-  int depth = 0;
-  for (std::size_t i = from; i < t.size(); ++i) {
-    if (is_punct(t[i], "<")) ++depth;
-    if (is_punct(t[i], ">")) --depth;
-    if (is_punct(t[i], ">>")) depth -= 2;
-    if (depth <= 0) return i + 1;
-  }
-  return from;
+bool decl_is_conduit(const Tokens& t, std::size_t lo, std::size_t hi) {
+  static const char* kConduits[] = {"BoundedQueue", "PriorityQueue",
+                                    "RateLimiter", "SpscQueue", "SpscRing"};
+  for (std::size_t k = lo; k < hi; ++k)
+    for (const char* c : kConduits)
+      if (is_ident(t[k], c)) return true;
+  return false;
 }
 
-void register_file(const FileUnit& f, const ScopeInfo& scopes, Corpus& corpus,
+void register_file(const FileUnit& f, const FileIndex& ix, Corpus& corpus,
                    std::set<std::string>* other_ret) {
   const Tokens& t = f.lx.tokens;
+  const ScopeInfo& scopes = ix.scopes;
   for (std::size_t i = 0; i + 2 < t.size(); ++i) {
-    // Affine-class annotations: `// @affine(reactor)` within two lines above
-    // (or on the line of) a class/struct declaration.
+    // Class annotations: `// @affine(<domain>)` / `// @hotpath` within two
+    // lines above (or on the line of) a class/struct declaration.
     if ((is_ident(t[i], "class") || is_ident(t[i], "struct")) &&
         t[i + 1].kind == Tok::identifier) {
+      bool hot = annotation_near(f.lx, t[i].line, "@hotpath");
+      std::string domain;
       for (int l = t[i].line - 2; l <= t[i].line; ++l) {
         auto c = f.lx.comments.find(l);
-        if (c != f.lx.comments.end() &&
-            c->second.find("@affine(reactor)") != std::string::npos) {
+        if (c == f.lx.comments.end()) continue;
+        std::string d = parse_affine_domain(c->second);
+        if (!d.empty()) domain = d;
+      }
+      if (!domain.empty() || hot) {
+        ClassInfo& ci = corpus.classes[t[i + 1].text];
+        ci.name = t[i + 1].text;
+        ci.file = f.rel;
+        ci.line = t[i].line;
+        if (!domain.empty()) {
+          ci.domain = domain;
           corpus.affine_classes.insert(t[i + 1].text);
-          break;
         }
+        if (hot) ci.hotpath = true;
       }
     }
     // Status/Result-returning function declarations at declaration scope.
@@ -355,6 +111,64 @@ void register_file(const FileUnit& f, const ScopeInfo& scopes, Corpus& corpus,
         if (depth < 0) break;
       }
     }
+  }
+}
+
+/// Member-field table of every annotated class. Runs after the annotation
+/// scan of the same file (a class's members live inside its own declaration,
+/// so the class is always registered by the time its fields are seen).
+void register_fields(const FileUnit& f, const FileIndex& ix, Corpus& corpus) {
+  const Tokens& t = f.lx.tokens;
+  const ScopeInfo& scopes = ix.scopes;
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (scopes.func_depth[i] != 0) continue;
+    if (t[i].kind != Tok::identifier) continue;
+    if (!(is_punct(t[i + 1], ";") || is_punct(t[i + 1], "=") ||
+          is_punct(t[i + 1], "{")))
+      continue;
+    const std::string& chain = scopes.type_chain[i];
+    if (chain.empty()) continue;
+    // Innermost enclosing annotated class owns the field.
+    ClassInfo* owner = nullptr;
+    for (std::size_t pos = 0; pos <= chain.size();) {
+      std::size_t next = chain.find("::", pos);
+      std::size_t len =
+          next == std::string::npos ? chain.size() - pos : next - pos;
+      auto it = corpus.classes.find(chain.substr(pos, len));
+      if (it != corpus.classes.end()) owner = &it->second;
+      if (next == std::string::npos) break;
+      pos = next + 2;
+    }
+    if (!owner) continue;
+    // The token before the name must be a type tail, and the declaration
+    // (back to the previous boundary) must look like a data member: no
+    // parens (functions), no type/using/friend keywords.
+    const Token& prev = t[i - 1];
+    bool type_tail = prev.kind == Tok::identifier || is_punct(prev, ">") ||
+                     is_punct(prev, ">>") || is_punct(prev, "*") ||
+                     is_punct(prev, "&") || is_punct(prev, "]");
+    if (!type_tail) continue;
+    std::size_t lo = 0;
+    for (std::size_t j = i; j-- > 0;) {
+      if (is_punct(t[j], ";") || is_punct(t[j], "}") || is_punct(t[j], "{")) {
+        lo = j + 1;
+        break;
+      }
+    }
+    bool member_shape = true;
+    for (std::size_t j = lo; j < i && member_shape; ++j) {
+      if (is_punct(t[j], "(") || is_ident(t[j], "class") ||
+          is_ident(t[j], "struct") || is_ident(t[j], "enum") ||
+          is_ident(t[j], "union") || is_ident(t[j], "using") ||
+          is_ident(t[j], "typedef") || is_ident(t[j], "friend") ||
+          is_ident(t[j], "namespace") || is_ident(t[j], "return"))
+        member_shape = false;
+    }
+    if (!member_shape) continue;
+    FieldInfo fi;
+    fi.line = t[i].line;
+    fi.conduit = decl_is_conduit(t, lo, i);
+    owner->fields.emplace(t[i].text, fi);
   }
 }
 
@@ -683,7 +497,7 @@ void rule_affinity(const FileUnit& f, const ScopeInfo& scopes,
                    const Corpus& corpus, std::vector<Finding>* out) {
   const Tokens& t = f.lx.tokens;
   // Check A (src): a class that stamps FLEXRIC_ASSERT_AFFINITY must be
-  // annotated `// @affine(reactor)` at its declaration.
+  // annotated `// @affine(<domain>)` at its declaration.
   if (f.category == "src") {
     for (std::size_t i = 0; i < t.size(); ++i) {
       if (!is_ident(t[i], "FLEXRIC_ASSERT_AFFINITY")) continue;
@@ -699,7 +513,8 @@ void rule_affinity(const FileUnit& f, const ScopeInfo& scopes,
                    " stamps FLEXRIC_ASSERT_AFFINITY but its declaration "
                    "lacks a '// @affine(reactor)' annotation";
       fd.suggestion =
-          "add `// @affine(reactor)` on the line above `class " + owner + "`";
+          "add `// @affine(reactor)` (or the owning domain) on the line "
+          "above `class " + owner + "`";
       out->push_back(std::move(fd));
     }
   }
@@ -773,7 +588,7 @@ void rule_bounded_queue(const FileUnit& f, const ScopeInfo& scopes,
     // Members only: locals (func_depth > 0) drain before the handler returns
     // and cannot accumulate across reactor iterations.
     if (scopes.func_depth[i] != 0) continue;
-    // Owning class — or any type it is nested in — must be @affine(reactor).
+    // Owning class — or any type it is nested in — must be affine-annotated.
     const std::string& chain = scopes.type_chain[i];
     if (chain.empty()) continue;
     std::string affine_owner;
@@ -823,11 +638,14 @@ void rule_bounded_queue(const FileUnit& f, const ScopeInfo& scopes,
 }  // namespace
 
 void build_registry(Corpus& corpus) {
+  corpus.index.clear();
+  corpus.index.reserve(corpus.files.size());
+  for (const auto& f : corpus.files) corpus.index.push_back(build_file_index(f.lx));
   std::set<std::string> other_ret;
-  for (const auto& f : corpus.files) {
-    ScopeInfo scopes = analyze_scopes(f.lx.tokens);
-    register_file(f, scopes, corpus, &other_ret);
-  }
+  for (std::size_t i = 0; i < corpus.files.size(); ++i)
+    register_file(corpus.files[i], corpus.index[i], corpus, &other_ret);
+  for (std::size_t i = 0; i < corpus.files.size(); ++i)
+    register_fields(corpus.files[i], corpus.index[i], corpus);
   // Drop ambiguous names: a call site has no type info, so a name declared
   // both ways (serde writers vs readers) cannot be checked soundly.
   for (const auto& name : other_ret) corpus.nodiscard_fns.erase(name);
@@ -836,25 +654,27 @@ void build_registry(Corpus& corpus) {
 std::vector<Finding> run_rules(const Corpus& corpus,
                                const std::set<std::string>& rules) {
   std::vector<Finding> out;
-  for (const auto& f : corpus.files) {
-    ScopeInfo scopes = analyze_scopes(f.lx.tokens);
-    if (rules.count("posted-lambda-lifetime") &&
-        (f.category == "src" || f.category == "bench" ||
-         f.category == "examples"))
+  for (std::size_t i = 0; i < corpus.files.size(); ++i) {
+    const FileUnit& f = corpus.files[i];
+    const FileIndex& ix = corpus.index[i];
+    const ScopeInfo& scopes = ix.scopes;
+    const bool impl_cat = f.category == "src" || f.category == "bench" ||
+                          f.category == "examples";
+    if (rules.count("posted-lambda-lifetime") && impl_cat)
       rule_posted_lambda(f, &out);
-    if (rules.count("nodiscard-status") &&
-        (f.category == "src" || f.category == "bench" ||
-         f.category == "examples"))
+    if (rules.count("nodiscard-status") && impl_cat)
       rule_nodiscard(f, scopes, corpus, &out);
-    if (rules.count("blocking-in-handler") &&
-        (f.category == "src" || f.category == "bench" ||
-         f.category == "examples"))
+    if (rules.count("blocking-in-handler") && impl_cat)
       rule_blocking(f, &out);
     if (rules.count("affinity-annotation")) rule_affinity(f, scopes, corpus, &out);
-    if (rules.count("bounded-queue") &&
-        (f.category == "src" || f.category == "bench" ||
-         f.category == "examples"))
+    if (rules.count("bounded-queue") && impl_cat)
       rule_bounded_queue(f, scopes, corpus, &out);
+    if (rules.count("domain-ownership"))
+      pass_domain_ownership(corpus, f, ix, &out);
+    if (rules.count("wire-taint") && f.category == "src")
+      pass_wire_taint(corpus, f, ix, &out);
+    if (rules.count("hotpath-alloc") && f.category == "src")
+      pass_hotpath_alloc(corpus, f, ix, &out);
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;

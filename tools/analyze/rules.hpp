@@ -1,7 +1,8 @@
 // Rule engine for the FlexRIC static analyzer.
 //
-// Five rules, all running on the token stream from lexer.hpp with a shared
-// brace/paren scope analysis (not line regexes — see DESIGN.md §10):
+// Eight rules, all running on the token stream from lexer.hpp over the shared
+// symbol/annotation index from index.hpp (not line regexes — DESIGN.md §10,
+// §12):
 //
 //   posted-lambda-lifetime  a lambda literal passed to post()/add_timer()/
 //                           call_soon() that captures `this` or a raw
@@ -20,58 +21,65 @@
 //                           and inside any lambda posted to the reactor.
 //   affinity-annotation     classes whose methods stamp
 //                           FLEXRIC_ASSERT_AFFINITY must carry a
-//                           `// @affine(reactor)` comment on their
+//                           `// @affine(<domain>)` comment on their
 //                           declaration, and objects of annotated classes
 //                           must not be touched from std::thread lambdas in
 //                           examples/tests.
-//   bounded-queue           `// @affine(reactor)` classes (and their nested
+//   bounded-queue           `// @affine(...)` classes (and their nested
 //                           types) must not declare raw std::deque/std::queue
 //                           members: a queue fed from reactor handlers with
 //                           no capacity policy grows without bound under an
 //                           indication storm. Use overload::BoundedQueue /
 //                           overload::PriorityQueue, which shed with exact
 //                           accounting (DESIGN.md §11).
+//   domain-ownership        fields of an `@affine(<domain>)` class may only
+//                           be touched from code attributed to that domain
+//                           (methods of the class, or functions annotated
+//                           with the same domain); crossing requires a
+//                           `@cross_domain` function or a conduit field
+//                           (overload bounded/SPSC queues). Also validates
+//                           domain names and method-vs-class domain
+//                           conflicts.
+//   wire-taint              in src/e2ap/ + src/codec/, values read off the
+//                           wire (BufReader/PerReader scalar reads, length())
+//                           are tainted until range-validated; tainted use as
+//                           a loop bound, allocation size, index or
+//                           resize/reserve argument is an error.
+//   hotpath-alloc           `@hotpath` functions (and every method of a
+//                           `@hotpath` class, plus same-file callees) must
+//                           not allocate: new/malloc/make_unique, growing
+//                           container calls, or owned-container construction.
+//                           Existing debt is enumerated per function in
+//                           tools/analyze/hotpath_baseline.txt; the gate
+//                           fails only on regressions.
 //
 // Suppression: `lint: allow(<rule>) <reason>` in a comment on the finding's
-// line or the line directly above. The reason is mandatory (--list audits).
+// line or the line directly above. The reason is mandatory (the gate run and
+// --list both enforce it), and a full run flags suppressions that no longer
+// silence anything as stale.
 #pragma once
 
 #include <set>
 #include <string>
 #include <vector>
 
+#include "index.hpp"
 #include "lexer.hpp"
 
 namespace flexric::analyze {
 
-struct Finding {
-  std::string file;  // path relative to the scan root
-  int line = 0;
-  std::string rule;
-  std::string message;
-  std::string suggestion;
-};
-
-struct FileUnit {
-  std::string rel;       // repo-relative path, '/' separators
-  std::string category;  // top-level dir: "src", "bench", "examples", "tests"
-  LexedFile lx;
-};
-
 struct Corpus {
   std::vector<FileUnit> files;
+  /// Parallel to `files`: shared scope/function/annotation index, built once
+  /// by build_registry().
+  std::vector<FileIndex> index;
   /// Names of functions whose return type is Status or Result<...>.
   std::set<std::string> nodiscard_fns;
-  /// Class names annotated `// @affine(reactor)`.
+  /// Class names annotated `// @affine(<domain>)` (any domain).
   std::set<std::string> affine_classes;
-};
-
-/// One suppression comment found in the corpus.
-struct Suppression {
-  std::string file;
-  int line = 0;
-  std::string rule;
-  std::string reason;
+  /// Annotated classes (`@affine(<domain>)` and/or `@hotpath`) with their
+  /// domain and member-field table, keyed by class name.
+  std::map<std::string, ClassInfo> classes;
 };
 
 inline const char* const kAllRules[] = {
@@ -80,9 +88,13 @@ inline const char* const kAllRules[] = {
     "blocking-in-handler",
     "affinity-annotation",
     "bounded-queue",
+    "domain-ownership",
+    "wire-taint",
+    "hotpath-alloc",
 };
 
-/// Populate nodiscard_fns and affine_classes from corpus.files.
+/// Populate corpus.index plus the symbol registries (nodiscard_fns,
+/// affine_classes, classes) from corpus.files.
 void build_registry(Corpus& corpus);
 
 /// Run the selected rules; findings are suppression-filtered and sorted by
@@ -90,7 +102,23 @@ void build_registry(Corpus& corpus);
 std::vector<Finding> run_rules(const Corpus& corpus,
                                const std::set<std::string>& rules);
 
-/// Every `lint: allow(...)` suppression in the corpus (for --list).
+/// Every `lint: allow(...)` suppression in the corpus (for --list and the
+/// stale-suppression audit).
 std::vector<Suppression> collect_suppressions(const Corpus& corpus);
+
+// --- passes.cpp -------------------------------------------------------------
+
+/// Domain ownership: cross-domain field access, unknown domain names,
+/// method-vs-class domain conflicts.
+void pass_domain_ownership(const Corpus& corpus, const FileUnit& f,
+                           const FileIndex& ix, std::vector<Finding>* out);
+
+/// Wire taint: unvalidated decoded values used as sizes/bounds/indices.
+void pass_wire_taint(const Corpus& corpus, const FileUnit& f,
+                     const FileIndex& ix, std::vector<Finding>* out);
+
+/// Hot-path allocation: allocation sites reachable from @hotpath functions.
+void pass_hotpath_alloc(const Corpus& corpus, const FileUnit& f,
+                        const FileIndex& ix, std::vector<Finding>* out);
 
 }  // namespace flexric::analyze

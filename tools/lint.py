@@ -41,8 +41,11 @@ above it:
     // lint: allow(wire-assert) encode-side precondition on locally built IR
 
 The rule name must match exactly; a reason after the closing parenthesis is
-required so every exception documents itself. Run with --list to see all
-active suppressions.
+required so every exception documents itself — a reasonless allow() is a
+violation in its own right (suppression-audit), and so is an allow() that no
+longer silences anything. Suppressions naming rules owned by the C++
+analyzer (tools/analyze) are audited by `flexric-analyze`, not here. Run
+with --list to see all active suppressions.
 """
 
 import argparse
@@ -104,12 +107,19 @@ def read_lines(path):
         return f.read().splitlines()
 
 
-def suppressed(lines, idx, rule_name):
+# (rel, lineno, rule) triples that actually silenced a finding this run;
+# the suppression audit flags collected-but-unused entries as stale.
+USED_SUPPRESSIONS = set()
+
+
+def suppressed(lines, idx, rule_name, rel=None):
     """True if line idx (0-based) or the line above carries an allow()."""
     for probe in (idx, idx - 1):
         if 0 <= probe < len(lines):
             m = SUPPRESS_RE.search(lines[probe])
             if m and m.group(1) == rule_name:
+                if rel is not None:
+                    USED_SUPPRESSIONS.add((rel, probe + 1, rule_name))
                 return True
     return False
 
@@ -140,7 +150,7 @@ def check_unchecked_result(root):
         lines = read_lines(path)
         for i, line in enumerate(lines):
             if VALUE_CALL_RE.search(line) and not suppressed(
-                    lines, i, "unchecked-result"):
+                    lines, i, "unchecked-result", rel):
                 violations.append(Violation(
                     rel, i + 1, "unchecked-result",
                     ".value() aborts on the error arm; branch on is_ok() "
@@ -166,7 +176,7 @@ def check_wire_assert(root):
             if stripped.startswith("//"):
                 continue
             if ASSERT_RE.search(line) and not suppressed(
-                    lines, i, "wire-assert"):
+                    lines, i, "wire-assert", rel):
                 violations.append(Violation(
                     rel, i + 1, "wire-assert",
                     "assert in the decode path can abort on malformed wire "
@@ -213,15 +223,18 @@ def check_include_hygiene(root):
             inc = m.group(1)
             if first_quoted is None:
                 first_quoted = (i, inc)
-            if suppressed(lines, i, "include-hygiene"):
+            bad_dotdot = ".." in inc.split("/")
+            resolves = any(os.path.exists(os.path.join(root, r, inc))
+                           for r in roots)
+            if ((bad_dotdot or not resolves)
+                    and suppressed(lines, i, "include-hygiene", rel)):
                 continue
-            if ".." in inc.split("/"):
+            if bad_dotdot:
                 violations.append(Violation(
                     rel, i + 1, "include-hygiene",
                     f'include "{inc}" escapes the source tree with ".."'))
                 continue
-            if not any(os.path.exists(os.path.join(root, r, inc))
-                       for r in roots):
+            if not resolves:
                 violations.append(Violation(
                     rel, i + 1, "include-hygiene",
                     f'include "{inc}" does not resolve under '
@@ -229,7 +242,7 @@ def check_include_hygiene(root):
         if (own_header is not None and first_quoted is not None
                 and first_quoted[1] != own_header.replace(os.sep, "/")
                 and not suppressed(lines, first_quoted[0],
-                                   "include-hygiene")):
+                                   "include-hygiene", rel)):
             violations.append(Violation(
                 rel, first_quoted[0] + 1, "include-hygiene",
                 f'first quoted include must be the sibling header '
@@ -264,11 +277,42 @@ def check_thread_primitives(root):
             if stripped.startswith("//"):
                 continue
             if ((THREAD_INCLUDE_RE.search(line) or THREAD_USE_RE.search(line))
-                    and not suppressed(lines, i, "thread-primitives")):
+                    and not suppressed(lines, i, "thread-primitives", rel)):
                 violations.append(Violation(
                     rel, i + 1, "thread-primitives",
                     "threading primitive outside src/transport/ violates "
                     "the single-threaded reactor contract"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# suppression audit
+# --------------------------------------------------------------------------
+
+
+def audit_suppressions(root, check_stale):
+    """Flag reasonless and stale allow() comments for lint.py's own rules.
+
+    Suppressions naming analyzer-owned rules (domain-ownership, wire-taint,
+    hotpath-alloc, ...) are skipped — `flexric-analyze` runs the same audit
+    for those. Staleness is only decidable after a full run, when every rule
+    has had the chance to mark its suppressions as used.
+    """
+    violations = []
+    for path, lineno, name, reason in collect_suppressions(
+            root, PROD_DIRS + ("tests",)):
+        if name not in RULES:
+            continue
+        if not reason:
+            violations.append(Violation(
+                path, lineno, "suppression-audit",
+                f"allow({name}) has no reason; every suppression must "
+                f"document why the exception is sound"))
+        elif check_stale and (path, lineno, name) not in USED_SUPPRESSIONS:
+            violations.append(Violation(
+                path, lineno, "suppression-audit",
+                f"stale suppression: allow({name}) no longer silences any "
+                f"finding — delete it"))
     return violations
 
 
@@ -302,6 +346,7 @@ def main():
     violations = []
     for name in selected:
         violations.extend(RULES[name](root))
+    violations.extend(audit_suppressions(root, check_stale=args.rule is None))
     for v in violations:
         print(v)
     if violations:
