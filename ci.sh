@@ -42,6 +42,17 @@
 #               emit the machine-readable --json report, and audit every
 #               lint: allow(...) suppression with --list. Fast enough for a
 #               pre-push hook; the ctest matrix runs the same gate anyway.
+#   --shard     standalone sharded-RIC lane (DESIGN.md §13): TSan build of the
+#               sharding suite, then (1) test_sharding — partitioner, SPSC
+#               rings (incl. the two-thread hammer, a real race under TSan),
+#               ShardPool, sharded delivery/fan-out/misroute/ledger/resync and
+#               the multi-shard determinism matrix, (2) the affinity death
+#               tests (per-shard domains abort with the offended shard's
+#               name), (3) the sharded chaos + storm soaks pinned to 4 shards
+#               via FLEXRIC_SHARD_COUNT — every seed runs twice and the
+#               traces must match byte-for-byte, (4) the static analyzer:
+#               tree scan (the @affine(shard) domain-ownership proof) and the
+#               fixture golden file.
 set -eu
 
 jobs=""
@@ -50,6 +61,7 @@ chaos=0
 overload=0
 tidy=0
 analyze=0
+shard=0
 for arg in "$@"; do
   case "$arg" in
     --quick) fuzz_iters=1000 ;;
@@ -57,6 +69,7 @@ for arg in "$@"; do
     --overload) overload=1 ;;
     --tidy) tidy=1 ;;
     --analyze) analyze=1 ;;
+    --shard) shard=1 ;;
     *) jobs=$arg ;;
   esac
 done
@@ -126,10 +139,40 @@ run_analyze_lane() {
   "$bin" --fixtures "$root/tests/analyze_fixtures"
 }
 
+run_shard_lane() {
+  build_dir=$1
+  echo "==== [shard] tsan build ===="
+  cmake -B "$build_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFLEXRIC_FUZZ_ITERS="$fuzz_iters" -DFLEXRIC_SANITIZE="thread"
+  cmake --build "$build_dir" -j "$jobs" --target \
+    test_sharding test_affinity test_resilience test_overload flexric-analyze
+  echo "==== [shard] sharding suite (rings, pool, delivery, determinism) ===="
+  "$build_dir/tests/test_sharding" --gtest_brief=1
+  echo "==== [shard] affinity guards (per-shard domains) ===="
+  "$build_dir/tests/test_affinity" --gtest_brief=1
+  echo "==== [shard] chaos soak at 4 shards (double-run determinism) ===="
+  FLEXRIC_SHARD_COUNT=4 "$build_dir/tests/test_resilience" \
+    --gtest_brief=1 --gtest_filter='*ShardedChaos*'
+  echo "==== [shard] storm soak at 4 shards (double-run determinism) ===="
+  FLEXRIC_SHARD_COUNT=4 "$build_dir/tests/test_overload" \
+    --gtest_brief=1 --gtest_filter='*ShardedStorm*'
+  bin="$build_dir/tools/analyze/flexric-analyze"
+  echo "==== [shard] analyzer gate (@affine(shard) domain ownership) ===="
+  "$bin" --root "$root" --baseline "$root/tools/analyze/hotpath_baseline.txt"
+  "$bin" --fixtures "$root/tests/analyze_fixtures"
+}
+
 # --analyze is a standalone lane: run it and exit without the full matrix.
 if [ "$analyze" -eq 1 ]; then
   run_analyze_lane "$root/build"
   echo "==== ci.sh: analyze lane passed ===="
+  exit 0
+fi
+
+# --shard is a standalone lane too: the TSan sharding suite + soaks + gate.
+if [ "$shard" -eq 1 ]; then
+  run_shard_lane "$root/build-tsan"
+  echo "==== ci.sh: shard lane passed ===="
   exit 0
 fi
 

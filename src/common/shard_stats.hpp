@@ -1,0 +1,144 @@
+// Cache-aligned per-shard counter board (DESIGN.md §13).
+//
+// Each shard owns one 64-byte-aligned slot of relaxed atomics and is the
+// only writer of that slot; any thread may read and sum. This is the
+// merge-on-query half of the sharded stats story: shards publish their
+// E2Server ledger into their slot from their own reactor thread (a timer in
+// ShardedE2Server), and a northbound query sums the slots — no lock, no
+// shared hot-path state, no cross-shard cache-line ping-pong (each slot is
+// alone on its line).
+//
+// The slot layout mirrors the overload ledger of DESIGN.md §11 so the exact
+// reconciliation invariant survives sharding:
+//
+//   sum(emitted) == sum(delivered) + sum(agent_shed) + sum(server_shed)
+//
+// where server_shed = rate_shed + flood_shed + queue_shed + fanout_shed
+// (fanout_shed counts cross-shard indication-ring overflow — a bounded ring
+// sheds with a counted reason, never silently, same rule as BoundedQueue).
+//
+// Sanctioned use of <atomic> outside src/transport/ (tools/lint.py
+// THREAD_OK_FILES): publishing counters across shard threads is impossible
+// without atomics; keeping them in this one header keeps the rest of the
+// SDK atomic-free.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace flexric {
+
+/// Plain (non-atomic) image of one slot / of the summed board.
+struct ShardLedger {
+  std::uint64_t msgs_rx = 0;
+  std::uint64_t dispatched = 0;
+  std::uint64_t indications_rx = 0;
+  std::uint64_t rate_shed = 0;
+  std::uint64_t flood_shed = 0;
+  std::uint64_t queue_shed = 0;
+  std::uint64_t queued = 0;          ///< admitted, not yet dispatched
+  std::uint64_t agent_reported_sheds = 0;
+  std::uint64_t fanout_shed = 0;     ///< cross-shard indication ring overflow
+  std::uint64_t reply_shed = 0;      ///< northbound reply ring overflow
+  std::uint64_t dir_events_lost = 0; ///< directory event ring overflow (triggers resync)
+  std::uint64_t frames = 0;          ///< frames dispatched (throughput axis)
+  std::uint64_t cpu_ns = 0;          ///< shard-thread CPU burned (bench)
+
+  [[nodiscard]] std::uint64_t server_shed() const noexcept {
+    return rate_shed + flood_shed + queue_shed + fanout_shed;
+  }
+};
+
+class ShardCounterBoard {
+ public:
+  /// One cache line per shard; the shard index is the only writer key.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> msgs_rx{0};
+    std::atomic<std::uint64_t> dispatched{0};
+    std::atomic<std::uint64_t> indications_rx{0};
+    std::atomic<std::uint64_t> rate_shed{0};
+    std::atomic<std::uint64_t> flood_shed{0};
+    std::atomic<std::uint64_t> queue_shed{0};
+    std::atomic<std::uint64_t> queued{0};
+    std::atomic<std::uint64_t> agent_reported_sheds{0};
+    std::atomic<std::uint64_t> fanout_shed{0};
+    std::atomic<std::uint64_t> reply_shed{0};
+    std::atomic<std::uint64_t> dir_events_lost{0};
+    std::atomic<std::uint64_t> frames{0};
+    std::atomic<std::uint64_t> cpu_ns{0};
+  };
+
+  explicit ShardCounterBoard(std::uint32_t shards)
+      : shards_(shards), slots_(std::make_unique<Slot[]>(shards)) {}
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+
+  /// The writing shard publishes a full ledger image (relaxed stores: the
+  /// reader tolerates a torn-across-fields view, each field is atomic).
+  void publish(std::uint32_t shard, const ShardLedger& v) noexcept {
+    Slot& s = slots_[shard];
+    s.msgs_rx.store(v.msgs_rx, std::memory_order_relaxed);
+    s.dispatched.store(v.dispatched, std::memory_order_relaxed);
+    s.indications_rx.store(v.indications_rx, std::memory_order_relaxed);
+    s.rate_shed.store(v.rate_shed, std::memory_order_relaxed);
+    s.flood_shed.store(v.flood_shed, std::memory_order_relaxed);
+    s.queue_shed.store(v.queue_shed, std::memory_order_relaxed);
+    s.queued.store(v.queued, std::memory_order_relaxed);
+    s.agent_reported_sheds.store(v.agent_reported_sheds,
+                                 std::memory_order_relaxed);
+    s.fanout_shed.store(v.fanout_shed, std::memory_order_relaxed);
+    s.reply_shed.store(v.reply_shed, std::memory_order_relaxed);
+    s.dir_events_lost.store(v.dir_events_lost, std::memory_order_relaxed);
+    s.frames.store(v.frames, std::memory_order_relaxed);
+    s.cpu_ns.store(v.cpu_ns, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] ShardLedger read(std::uint32_t shard) const noexcept {
+    const Slot& s = slots_[shard];
+    ShardLedger v;
+    v.msgs_rx = s.msgs_rx.load(std::memory_order_relaxed);
+    v.dispatched = s.dispatched.load(std::memory_order_relaxed);
+    v.indications_rx = s.indications_rx.load(std::memory_order_relaxed);
+    v.rate_shed = s.rate_shed.load(std::memory_order_relaxed);
+    v.flood_shed = s.flood_shed.load(std::memory_order_relaxed);
+    v.queue_shed = s.queue_shed.load(std::memory_order_relaxed);
+    v.queued = s.queued.load(std::memory_order_relaxed);
+    v.agent_reported_sheds =
+        s.agent_reported_sheds.load(std::memory_order_relaxed);
+    v.fanout_shed = s.fanout_shed.load(std::memory_order_relaxed);
+    v.reply_shed = s.reply_shed.load(std::memory_order_relaxed);
+    v.dir_events_lost = s.dir_events_lost.load(std::memory_order_relaxed);
+    v.frames = s.frames.load(std::memory_order_relaxed);
+    v.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
+    return v;
+  }
+
+  /// Merge-on-query: the global ledger is the field-wise sum of the slots.
+  [[nodiscard]] ShardLedger sum() const noexcept {
+    ShardLedger total;
+    for (std::uint32_t i = 0; i < shards_; ++i) {
+      const ShardLedger v = read(i);
+      total.msgs_rx += v.msgs_rx;
+      total.dispatched += v.dispatched;
+      total.indications_rx += v.indications_rx;
+      total.rate_shed += v.rate_shed;
+      total.flood_shed += v.flood_shed;
+      total.queue_shed += v.queue_shed;
+      total.queued += v.queued;
+      total.agent_reported_sheds += v.agent_reported_sheds;
+      total.fanout_shed += v.fanout_shed;
+      total.reply_shed += v.reply_shed;
+      total.dir_events_lost += v.dir_events_lost;
+      total.frames += v.frames;
+      total.cpu_ns += v.cpu_ns;
+    }
+    return total;
+  }
+
+ private:
+  std::uint32_t shards_;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+}  // namespace flexric

@@ -51,6 +51,13 @@ std::vector<AgentId> RanDb::agents() const {
   return out;
 }
 
+std::vector<AgentInfo> RanDb::snapshot() const {
+  std::vector<AgentInfo> out;
+  out.reserve(agents_.size());
+  for (const auto& [id, info] : agents_) out.push_back(info);
+  return out;
+}
+
 const RanEntity* RanDb::entity(std::uint32_t plmn, std::uint32_t nb_id) const {
   auto it = entities_.find(entity_key(plmn, nb_id));
   return it == entities_.end() ? nullptr : &it->second;

@@ -55,6 +55,11 @@ class RanDb {
 
   [[nodiscard]] const AgentInfo* agent(AgentId id) const;
   [[nodiscard]] std::vector<AgentId> agents() const;
+  /// Full copy of every AgentInfo — the resync payload of the sharded
+  /// directory (DESIGN.md §13): when a shard's event ring overflowed, the
+  /// home thread rebuilds that shard's slice of the merged view from this
+  /// snapshot instead of trusting the lossy incremental stream.
+  [[nodiscard]] std::vector<AgentInfo> snapshot() const;
   [[nodiscard]] std::size_t num_agents() const noexcept {
     return agents_.size();
   }

@@ -2,6 +2,7 @@
 
 #include "common/affinity.hpp"
 #include "common/log.hpp"
+#include "server/sharding.hpp"
 
 namespace flexric::server {
 
@@ -457,6 +458,24 @@ void E2Server::dispatch(AgentId id, BytesView wire) {
 void E2Server::handle(AgentId id, const e2ap::SetupRequest& m) {
   auto it = conns_.find(id);
   if (it == conns_.end()) return;
+
+  if (cfg_.num_shards > 1 &&
+      shard_of(m.node, cfg_.num_shards) != cfg_.shard) {
+    // Sharded deployment, wrong door: this node id hashes to another
+    // shard's reactor. Serving it here would break the shard-isolation
+    // invariant (its state would live in the wrong single-threaded
+    // universe), so reject loudly. Teardown is deferred one turn — the
+    // transport's own handler is on the stack right now.
+    stats_.misrouted++;
+    LOG_WARN("server", "node %u/%u misrouted to shard %u (owner %u)",
+             m.node.plmn, m.node.nb_id, cfg_.shard,
+             shard_of(m.node, cfg_.num_shards));
+    auto alive = alive_;
+    reactor_.post([this, alive, id] {
+      if (*alive) expire_agent(id);
+    });
+    return;
+  }
 
   bool reconnected = false;
   if (AgentId old_id = cfg_.resilience.reestablish ? find_detached(m.node) : 0;

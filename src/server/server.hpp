@@ -126,6 +126,14 @@ class E2Server {
     }();
     /// Overload protection; OFF by default (see OverloadConfig).
     OverloadConfig overload;
+    /// Sharded deployments (DESIGN.md §13): this server instance is shard
+    /// `shard` of `num_shards`. With num_shards > 1 the server enforces the
+    /// GlobalNodeId-hash partition at setup time — an agent whose node id
+    /// hashes to a different shard is rejected (counted in
+    /// Stats::misrouted) instead of being silently served by the wrong
+    /// single-threaded universe. Defaults reproduce the unsharded server.
+    std::uint32_t shard = 0;
+    std::uint32_t num_shards = 1;
   };
 
   E2Server(Reactor& reactor, Config cfg);
@@ -197,6 +205,9 @@ class E2Server {
     std::uint64_t flood_recoveries = 0;
     std::uint64_t ctrls_deadline_expired = 0;
     std::uint64_t agent_reported_sheds = 0;  ///< sum of peer shed reports
+    /// Setup requests from agents whose GlobalNodeId hashes to another
+    /// shard (sharded deployments only; the connection is closed).
+    std::uint64_t misrouted = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

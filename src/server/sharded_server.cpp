@@ -1,0 +1,309 @@
+#include "server/sharded_server.hpp"
+
+#include "common/log.hpp"
+
+namespace flexric::server {
+
+// ---------------------------------------------------------------------------
+// Relay: the per-shard half of every cross-shard path
+// ---------------------------------------------------------------------------
+
+// One Relay runs inside each shard's E2Server as an ordinary iApp, entirely
+// on that shard's reactor thread; its only outputs are ring pushes and
+// counter-board publishes. Everything it owns is shard-affine.
+// @affine(shard)
+class ShardedE2Server::Relay final : public IApp {
+ public:
+  Relay(std::uint32_t shard, Cell& cell, ShardCounterBoard& board,
+        Nanos publish_period)
+      : shard_(shard),
+        cell_(cell),
+        board_(board),
+        publish_period_(publish_period) {}
+
+  ~Relay() override { *alive_ = false; }
+
+  [[nodiscard]] const char* name() const override { return "shard-relay"; }
+
+  void on_start(E2Server& server) override {
+    IApp::on_start(server);
+    server.reactor().add_timer(
+        publish_period_,
+        [this, alive = std::weak_ptr<bool>(alive_)] {
+          auto a = alive.lock();
+          if (!a || !*a) return;
+          publish();
+        },
+        /*periodic=*/true);
+  }
+
+  void on_agent_connected(const AgentInfo& info) override {
+    push_upsert(info);
+    maybe_subscribe_fanout(info);
+  }
+  void on_agent_updated(const AgentInfo& info) override { push_upsert(info); }
+  void on_agent_reconnected(const AgentInfo& info) override {
+    // Re-establishment keeps the AgentId and replays subscriptions
+    // transparently (server.cpp), so the fan-out subscription survives; the
+    // directory only needs the refreshed info.
+    push_upsert(info);
+  }
+  void on_agent_disconnected(AgentId id) override {
+    DirEvent ev;
+    ev.kind = DirEvent::Kind::remove;
+    ev.id = id;
+    if (!cell_.events->try_push(std::move(ev)).is_ok()) note_event_lost();
+  }
+
+  /// Arm cross-shard fan-out (home thread, before agents connect).
+  void set_fanout(std::uint16_t fn_id, Buffer trigger,
+                  std::vector<e2ap::Action> actions) {
+    fanout_fn_ = fn_id;
+    fanout_trigger_ = std::move(trigger);
+    fanout_actions_ = std::move(actions);
+    fanout_armed_ = true;
+  }
+
+  /// Home lost directory events (ring overflow): ship a full snapshot.
+  /// Retried from the publish timer until the ring accepts it.
+  void request_resync() {
+    pending_resync_ = true;
+    try_resync();
+  }
+
+  void note_reply_shed() { reply_shed_++; }
+
+  /// Copy the shard's ledger into its cache-aligned board slot. Runs on the
+  /// shard thread (timer); the board is the cross-thread-readable face.
+  void publish() {
+    const E2Server::Stats& st = server_->stats();
+    ShardLedger v;
+    v.msgs_rx = st.msgs_rx;
+    v.dispatched = st.dispatched;
+    v.indications_rx = st.indications_rx;
+    v.rate_shed = st.rate_shed;
+    v.flood_shed = st.flood_shed;
+    v.queue_shed = st.queue_shed;
+    v.queued = server_->ingest_queued();
+    v.agent_reported_sheds = st.agent_reported_sheds;
+    v.fanout_shed = fanout_shed_;
+    v.reply_shed = reply_shed_;
+    v.dir_events_lost = events_lost_;
+    v.frames = st.dispatched;
+    board_.publish(shard_, v);
+    if (pending_resync_) try_resync();
+  }
+
+ private:
+  void push_upsert(const AgentInfo& info) {
+    DirEvent ev;
+    ev.kind = DirEvent::Kind::upsert;
+    ev.info = info;
+    if (!cell_.events->try_push(std::move(ev)).is_ok()) note_event_lost();
+  }
+
+  void note_event_lost() {
+    events_lost_++;
+    // Board update rides the next publish tick; home reacts by requesting
+    // a snapshot resync, so a lossy spell degrades to a bounded staleness
+    // window, never to silent divergence.
+  }
+
+  void try_resync() {
+    DirEvent ev;
+    ev.kind = DirEvent::Kind::snapshot;
+    ev.agents = server_->ran_db().snapshot();
+    if (cell_.events->try_push(std::move(ev)).is_ok()) pending_resync_ = false;
+  }
+
+  void maybe_subscribe_fanout(const AgentInfo& info) {
+    if (!fanout_armed_) return;
+    bool offers = false;
+    for (const auto& f : info.functions)
+      if (f.id == fanout_fn_) offers = true;
+    if (!offers) return;
+    SubCallbacks cbs;
+    const AgentId local = info.id;
+    cbs.on_response = [](const e2ap::SubscriptionResponse&) {};
+    cbs.on_failure = [](const e2ap::SubscriptionFailure&) {};
+    cbs.on_indication = [this, local](const e2ap::Indication& ind) {
+      FanoutIndication fi;
+      fi.shard = shard_;
+      fi.agent = global_agent_id(shard_, local);
+      fi.ind = ind;
+      if (!cell_.fanout->try_push(std::move(fi)).is_ok()) fanout_shed_++;
+    };
+    (void)server_->subscribe(local, fanout_fn_, fanout_trigger_,
+                             fanout_actions_, std::move(cbs));
+  }
+
+  std::uint32_t shard_;
+  Cell& cell_;
+  ShardCounterBoard& board_;
+  Nanos publish_period_;
+  bool fanout_armed_ = false;
+  std::uint16_t fanout_fn_ = 0;
+  Buffer fanout_trigger_;
+  std::vector<e2ap::Action> fanout_actions_;
+  std::uint64_t fanout_shed_ = 0;
+  std::uint64_t reply_shed_ = 0;
+  std::uint64_t events_lost_ = 0;
+  bool pending_resync_ = false;
+  // Guards the periodic publish timer: the shard reactor outlives its
+  // servers during teardown, so the timer may fire after the Relay is gone.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+// ---------------------------------------------------------------------------
+// ShardedE2Server
+// ---------------------------------------------------------------------------
+
+ShardedE2Server::ShardedE2Server(ShardPool& pool, ShardedConfig cfg)
+    : pool_(pool),
+      cfg_(std::move(cfg)),
+      ports_(pool.size(), 0),
+      board_(pool.size()) {
+  cells_.reserve(pool_.size());
+  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+    auto cell = std::make_unique<Cell>();
+    cell->events = std::make_unique<SpscRing<DirEvent>>(cfg_.event_ring);
+    cell->fanout =
+        std::make_unique<SpscRing<FanoutIndication>>(cfg_.fanout_ring);
+    cell->replies =
+        std::make_unique<SpscRing<std::function<void()>>>(cfg_.reply_ring);
+    E2Server::Config scfg = cfg_.server;
+    scfg.shard = i;
+    scfg.num_shards = pool_.size();
+    cell->server = std::make_unique<E2Server>(pool_.reactor(i), scfg);
+    cell->relay =
+        std::make_shared<Relay>(i, *cell, board_, cfg_.publish_period);
+    cell->server->add_iapp(cell->relay);
+    cells_.push_back(std::move(cell));
+  }
+}
+
+ShardedE2Server::~ShardedE2Server() = default;
+
+Status ShardedE2Server::listen_all(std::uint16_t base_port) {
+  for (std::uint32_t i = 0; i < num_shards(); ++i) {
+    const std::uint16_t want =
+        base_port == 0 ? 0 : static_cast<std::uint16_t>(base_port + i);
+    Status st = cells_[i]->server->listen(want);
+    if (!st.is_ok()) return st;
+    ports_[i] = cells_[i]->server->port();
+  }
+  return Status::ok();
+}
+
+void ShardedE2Server::add_iapp_factory(const IAppFactory& factory) {
+  for (std::uint32_t i = 0; i < num_shards(); ++i)
+    cells_[i]->server->add_iapp(factory(i));
+}
+
+void ShardedE2Server::subscribe_fanout(std::uint16_t fn_id, Buffer trigger,
+                                       std::vector<e2ap::Action> actions,
+                                       FanoutHandler handler) {
+  FLEXRIC_ASSERT_AFFINITY(home_);
+  fanout_handler_ = std::move(handler);
+  // Pre-start configuration: the shards' loops are not running yet (the
+  // documented call order), so setting relay state directly is safe.
+  for (auto& cell : cells_) cell->relay->set_fanout(fn_id, trigger, actions);
+}
+
+int ShardedE2Server::pump_home() {
+  FLEXRIC_ASSERT_AFFINITY(home_);
+  int handled = 0;
+  // Fixed drain order — shard 0 first, directory before fan-out before
+  // replies — is part of the deterministic scheduling contract (§13).
+  for (std::uint32_t i = 0; i < num_shards(); ++i) {
+    DirEvent ev;
+    while (cells_[i]->events->try_pop(ev)) {
+      apply_dir_event(i, ev);
+      handled++;
+    }
+  }
+  for (std::uint32_t i = 0; i < num_shards(); ++i) {
+    FanoutIndication fi;
+    while (cells_[i]->fanout->try_pop(fi)) {
+      if (fanout_handler_) fanout_handler_(fi);
+      handled++;
+    }
+  }
+  for (std::uint32_t i = 0; i < num_shards(); ++i) {
+    std::function<void()> reply;
+    while (cells_[i]->replies->try_pop(reply)) {
+      reply();
+      handled++;
+    }
+  }
+  const std::uint64_t lost = board_.sum().dir_events_lost;
+  if (lost > seen_events_lost_) request_resyncs();
+  return handled;
+}
+
+void ShardedE2Server::apply_dir_event(std::uint32_t shard, DirEvent& ev) {
+  switch (ev.kind) {
+    case DirEvent::Kind::upsert: {
+      AgentInfo g = std::move(ev.info);
+      const e2ap::GlobalNodeId node = g.node;
+      g.id = global_agent_id(shard, g.id);
+      const bool formed = directory_.add_agent(g);
+      if (formed && on_ran_formed_) {
+        const RanEntity* e = directory_.entity(node.plmn, node.nb_id);
+        if (e != nullptr) on_ran_formed_(*e);
+      }
+      break;
+    }
+    case DirEvent::Kind::remove:
+      directory_.remove_agent(global_agent_id(shard, ev.id));
+      break;
+    case DirEvent::Kind::snapshot: {
+      // Rebuild this shard's slice of the merged view from scratch: the
+      // incremental stream was lossy (ring overflow), the snapshot is
+      // authoritative.
+      resyncs_++;
+      for (AgentId gid : directory_.agents())
+        if (shard_of_global(gid) == shard) directory_.remove_agent(gid);
+      for (AgentInfo& info : ev.agents) {
+        const e2ap::GlobalNodeId node = info.node;
+        info.id = global_agent_id(shard, info.id);
+        const bool formed = directory_.add_agent(info);
+        if (formed && on_ran_formed_) {
+          const RanEntity* e = directory_.entity(node.plmn, node.nb_id);
+          if (e != nullptr) on_ran_formed_(*e);
+        }
+      }
+      break;
+    }
+  }
+}
+
+void ShardedE2Server::request_resyncs() {
+  bool all_posted = true;
+  for (std::uint32_t i = 0; i < num_shards(); ++i) {
+    Relay* relay = cells_[i]->relay.get();
+    if (!pool_.post(i, [relay] { relay->request_resync(); }).is_ok())
+      all_posted = false;
+  }
+  // Only acknowledge the loss once every shard accepted the resync request;
+  // a full injector ring just means we retry on the next pump.
+  if (all_posted) seen_events_lost_ = board_.sum().dir_events_lost;
+}
+
+Status ShardedE2Server::query(std::uint32_t shard,
+                              std::function<std::string(E2Server&)> job,
+                              std::function<void(std::string)> done) {
+  FLEXRIC_ASSERT_AFFINITY(home_);
+  Cell* cell = cells_[shard].get();
+  return pool_.post(
+      shard, [cell, job = std::move(job), done = std::move(done)] {
+        std::string result = job(*cell->server);
+        Status st = cell->replies->try_push(
+            [done, result = std::move(result)]() mutable {
+              done(std::move(result));
+            });
+        if (!st.is_ok()) cell->relay->note_reply_shed();
+      });
+}
+
+}  // namespace flexric::server

@@ -1,0 +1,200 @@
+// Sharded RIC: N E2Servers, one per shard reactor (DESIGN.md §13).
+//
+// Breaks the single-reactor ceiling of §4.4 without giving up its safety
+// story: each shard is still a single-threaded universe (one Reactor, one
+// E2Server, its agents' connections), and agents are partitioned onto
+// shards by GlobalNodeId hash (server/sharding.hpp). Nothing is shared
+// between shards on the hot path; every cross-shard flow goes through a
+// bounded SPSC ring:
+//
+//   shard -> home   directory events (agent lifecycle; feeds the merged
+//                   RAN-DB, where a CU on shard A and a DU on shard B
+//                   assemble into one RanEntity — merge-on-query)
+//   shard -> home   xApp fan-out indications (subscribe_fanout)
+//   shard -> home   northbound query replies (query())
+//   home  -> shard  posted jobs (ShardPool's SPSC injector + eventfd wake)
+//
+// Stats are merge-on-query too: each shard publishes its overload ledger
+// into its cache-aligned ShardCounterBoard slot from its own thread (a
+// periodic timer), and global_ledger() sums the slots, so the §11
+// reconciliation invariant survives sharding:
+//
+//   sum(emitted) == sum(delivered) + sum(agent_shed) + sum(server_shed)
+//
+// Ownership vocabulary: per-shard state is @affine(shard) — the runtime
+// guard is the shard reactor's named DomainAffinity ("shard0", ...), the
+// static proof is tools/analyze's domain-ownership pass, and the rings are
+// the sanctioned conduits for both.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/shard_stats.hpp"
+#include "common/spsc_ring.hpp"
+#include "server/server.hpp"
+#include "server/sharding.hpp"
+#include "transport/shard_pool.hpp"
+
+namespace flexric::server {
+
+struct ShardedConfig {
+  /// Per-shard E2Server template; `shard`/`num_shards` are filled in per
+  /// instance (enabling the misroute gate at every shard's door).
+  E2Server::Config server;
+  std::size_t event_ring = 1024;   ///< directory events, per shard
+  std::size_t fanout_ring = 4096;  ///< fan-out indications, per shard
+  std::size_t reply_ring = 1024;   ///< query replies, per shard
+  /// Cadence of each shard's ledger publish into the counter board.
+  Nanos publish_period = 10 * kMilli;
+};
+
+class ShardedE2Server {
+ public:
+  /// One cross-shard fan-out delivery: `agent` is the *global* agent id
+  /// (shard index in the top byte, see server/sharding.hpp).
+  struct FanoutIndication {
+    std::uint32_t shard = 0;
+    AgentId agent = 0;
+    e2ap::Indication ind;
+  };
+  using FanoutHandler = std::function<void(const FanoutIndication&)>;
+  using IAppFactory = std::function<std::shared_ptr<IApp>(std::uint32_t)>;
+
+  /// The pool provides the reactors (and, in threaded mode, the threads).
+  /// Construct, configure (add_iapp_factory / subscribe_fanout /
+  /// listen_all), then ShardPool::start() for threaded operation.
+  ShardedE2Server(ShardPool& pool, ShardedConfig cfg);
+  ~ShardedE2Server();
+  ShardedE2Server(const ShardedE2Server&) = delete;
+  ShardedE2Server& operator=(const ShardedE2Server&) = delete;
+
+  [[nodiscard]] std::uint32_t num_shards() const noexcept {
+    return pool_.size();
+  }
+  [[nodiscard]] std::uint32_t shard_for(
+      const e2ap::GlobalNodeId& node) const noexcept {
+    return shard_of(node, num_shards());
+  }
+
+  /// Direct access to one shard's server. @cross_domain — legitimate only
+  /// from that shard's thread (a posted job), from the deterministic manual
+  /// harness (one thread owns every domain), or after ShardPool::stop()
+  /// joined the loops.
+  [[nodiscard]] E2Server& shard_server(std::uint32_t shard) noexcept {
+    return *cells_[shard]->server;
+  }
+  [[nodiscard]] Reactor& shard_reactor(std::uint32_t shard) noexcept {
+    return pool_.reactor(shard);
+  }
+
+  /// Listen on every shard (port 0 = ephemeral per shard). An agent dials
+  /// port(shard_for(node)) — dialing any other shard trips the misroute
+  /// gate. Call before ShardPool::start().
+  Status listen_all(std::uint16_t base_port = 0);
+  [[nodiscard]] std::uint16_t port(std::uint32_t shard) const noexcept {
+    return ports_[shard];
+  }
+
+  /// Instantiate `factory(shard)` on every shard as a per-shard iApp (the
+  /// sharded equivalent of E2Server::add_iapp). Call before agents connect.
+  void add_iapp_factory(const IAppFactory& factory);
+
+  /// Cross-shard xApp fan-out: every current and future agent advertising
+  /// `fn_id` (on any shard) is subscribed with the given trigger/actions;
+  /// indications cross shard->home through the fan-out ring and land in
+  /// `handler` on the home thread (during pump_home). Ring overflow is shed
+  /// with exact accounting (ledger fanout_shed), never silently. Call
+  /// before agents connect.
+  void subscribe_fanout(std::uint16_t fn_id, Buffer trigger,
+                        std::vector<e2ap::Action> actions,
+                        FanoutHandler handler);
+
+  /// Drain every shard->home ring in fixed shard order: apply directory
+  /// events to the merged RAN-DB, deliver fan-out indications, run query
+  /// replies. Home-thread only. The fixed order is what the deterministic
+  /// harness replays byte-identically. Returns items processed.
+  int pump_home();
+
+  /// Merged RAN view (global agent ids). Assembled exclusively from ring
+  /// events — merge-on-query, never by reaching into shard state.
+  [[nodiscard]] const RanDb& directory() const noexcept { return directory_; }
+
+  /// Fires (on the home thread) when agents across any shards complete a
+  /// RAN entity — e.g. a CU on shard A plus a DU on shard B.
+  void set_on_ran_formed(std::function<void(const RanEntity&)> cb) {
+    on_ran_formed_ = std::move(cb);
+  }
+
+  /// Merge-on-query global ledger: field-wise sum of the per-shard board
+  /// slots. Readable from any thread at any time; exact once the shards'
+  /// publish timers have fired after quiescence.
+  [[nodiscard]] ShardLedger global_ledger() const noexcept {
+    return board_.sum();
+  }
+  [[nodiscard]] ShardLedger shard_ledger(std::uint32_t shard) const noexcept {
+    return board_.read(shard);
+  }
+  [[nodiscard]] const ShardCounterBoard& board() const noexcept {
+    return board_;
+  }
+
+  /// Run `job` on `shard`'s loop with its E2Server; `done` runs back on the
+  /// home thread (next pump_home) with the result string. The northbound
+  /// REST/telemetry query path: request over the injector ring, reply over
+  /// the reply ring, no shared state. Errc::capacity when the injector ring
+  /// is full.
+  Status query(std::uint32_t shard, std::function<std::string(E2Server&)> job,
+               std::function<void(std::string)> done);
+
+  /// Run an arbitrary job on a shard's loop (fire-and-forget).
+  Status post_to_shard(std::uint32_t shard, std::function<void()> job) {
+    return pool_.post(shard, std::move(job));
+  }
+
+  /// Directory resyncs performed after event-ring overflow (home thread).
+  [[nodiscard]] std::uint64_t directory_resyncs() const noexcept {
+    return resyncs_;
+  }
+
+ private:
+  struct DirEvent {
+    enum class Kind { upsert, remove, snapshot };
+    Kind kind = Kind::upsert;
+    AgentInfo info;                  ///< upsert
+    AgentId id = 0;                  ///< remove (shard-local id)
+    std::vector<AgentInfo> agents;   ///< snapshot (shard-local ids)
+  };
+
+  class Relay;  // per-shard @affine(shard) bridge iApp (defined in .cpp)
+
+  /// Everything owned by one shard plus its shard->home conduits. The
+  /// server/relay cells are @affine(shard); the rings are the conduits.
+  struct Cell {
+    std::unique_ptr<E2Server> server;
+    std::shared_ptr<Relay> relay;
+    std::unique_ptr<SpscRing<DirEvent>> events;
+    std::unique_ptr<SpscRing<FanoutIndication>> fanout;
+    std::unique_ptr<SpscRing<std::function<void()>>> replies;
+  };
+
+  void apply_dir_event(std::uint32_t shard, DirEvent& ev);
+  void request_resyncs();
+
+  ShardPool& pool_;
+  ShardedConfig cfg_;
+  std::vector<std::unique_ptr<Cell>> cells_;
+  std::vector<std::uint16_t> ports_;
+  ShardCounterBoard board_;
+
+  // -- home-thread state (owned by whoever calls pump_home) --
+  DomainAffinity home_{"reactor"};
+  RanDb directory_;
+  std::function<void(const RanEntity&)> on_ran_formed_;
+  FanoutHandler fanout_handler_;
+  std::uint64_t seen_events_lost_ = 0;
+  std::uint64_t resyncs_ = 0;
+};
+
+}  // namespace flexric::server

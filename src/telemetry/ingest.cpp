@@ -6,9 +6,10 @@ namespace flexric::telemetry {
 
 void Ingest::put(AgentId agent, std::uint32_t entity, Metric m, Nanos t,
                  double v) {
+  const AgentId gid = (cfg_.agent_namespace << 24) | (agent & 0xFFFFFF);
   // Budget rejections are counted by the store (dropped_samples); ingestion
   // keeps going so one saturated series cannot stall the rest of the report.
-  static_cast<void>(store_.record(SeriesKey{agent, entity, m}, t, v));
+  static_cast<void>(store_.record(SeriesKey{gid, entity, m}, t, v));
   samples_in_++;
 }
 

@@ -10,7 +10,7 @@
 
 namespace flexric {
 
-Reactor::Reactor() {
+Reactor::Reactor(const char* domain) : affinity_(domain) {
   epfd_ = epoll_create1(EPOLL_CLOEXEC);
   FLEXRIC_ASSERT(epfd_ >= 0, "epoll_create1 failed");
   ready_.resize(64);

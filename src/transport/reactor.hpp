@@ -28,7 +28,12 @@ class Reactor {
   using FdCallback = std::function<void(std::uint32_t events)>;
   using TimerId = std::uint64_t;
 
-  Reactor();
+  /// `domain` names the single-threaded universe this loop anchors (see
+  /// common/affinity.hpp): "reactor" for the classic single-loop SDK,
+  /// "shard<i>" when the loop is one shard of a sharded RIC. Must be a
+  /// string literal (static storage duration); affinity diagnostics and the
+  /// static analyzer's @affine(<domain>) vocabulary both use it.
+  explicit Reactor(const char* domain = "reactor");
   ~Reactor();
   Reactor(const Reactor&) = delete;
   Reactor& operator=(const Reactor&) = delete;

@@ -1,0 +1,97 @@
+#include "transport/shard_pool.hpp"
+
+namespace flexric {
+
+namespace {
+constexpr std::size_t kInjectorCapacity = 256;
+
+constexpr const char* kShardDomains[ShardPool::kMaxShards] = {
+    "shard0",  "shard1",  "shard2",  "shard3", "shard4",  "shard5",
+    "shard6",  "shard7",  "shard8",  "shard9", "shard10", "shard11",
+    "shard12", "shard13", "shard14", "shard15"};
+}  // namespace
+
+const char* ShardPool::domain_name(std::uint32_t shard) noexcept {
+  return shard < kMaxShards ? kShardDomains[shard] : "shard";
+}
+
+ShardPool::ShardPool(std::uint32_t shards, Mode mode,
+                     const VirtualClock* clock)
+    : mode_(mode) {
+  FLEXRIC_ASSERT(shards >= 1 && shards <= kMaxShards,
+                 "shard count out of range");
+  shards_.resize(shards);
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    Shard& s = shards_[i];
+    s.reactor = std::make_unique<Reactor>(domain_name(i));
+    if (clock != nullptr) s.reactor->set_time_source(clock);
+    s.injector =
+        std::make_unique<SpscRing<std::function<void()>>>(kInjectorCapacity);
+    // Drain runs on the shard's loop thread; the ring is the conduit.
+    SpscRing<std::function<void()>>* ring = s.injector.get();
+    s.wake = std::make_unique<WakeupFd>(*s.reactor, [ring] {
+      std::function<void()> fn;
+      while (ring->try_pop(fn)) fn();
+    });
+  }
+}
+
+ShardPool::~ShardPool() { stop(); }
+
+void ShardPool::start() {
+  if (mode_ != Mode::threaded || started_) return;
+  started_ = true;
+  for (Shard& s : shards_) {
+    Reactor* r = s.reactor.get();
+    Nanos* cpu_out = &s.cpu_ns;
+    s.thread = std::thread([r, cpu_out] {
+      const Nanos cpu0 = thread_cpu_now();
+      r->run();
+      *cpu_out = thread_cpu_now() - cpu0;
+    });
+  }
+}
+
+void ShardPool::stop() {
+  if (!started_) return;
+  for (std::uint32_t i = 0; i < size(); ++i) {
+    Reactor* r = shards_[i].reactor.get();
+    // The loop must stop itself: Reactor::stop() is not cross-thread safe.
+    // The injector ring may be momentarily full under load — spin until the
+    // stop task is accepted (the shard is draining, so this terminates).
+    while (!post(i, [r] { r->stop(); }).is_ok()) std::this_thread::yield();
+  }
+  for (Shard& s : shards_)
+    if (s.thread.joinable()) s.thread.join();
+  started_ = false;
+}
+
+Status ShardPool::post(std::uint32_t shard, std::function<void()> fn) {
+  FLEXRIC_ASSERT_AFFINITY(owner_);
+  Shard& s = shards_[shard];
+  if (mode_ == Mode::manual || !started_) {
+    // Single-threaded configurations: the owner thread pumps this loop (or
+    // will start it later), so a plain post is safe and keeps the manual
+    // harness on one deterministic task queue per shard.
+    s.reactor->post(std::move(fn));
+    return Status::ok();
+  }
+  Status st = s.injector->try_push(std::move(fn));
+  if (st.is_ok()) s.wake->notify();
+  return st;
+}
+
+int ShardPool::pump(int rounds) {
+  FLEXRIC_ASSERT_AFFINITY(owner_);
+  int handled = 0;
+  if (mode_ != Mode::manual) return handled;
+  for (Shard& s : shards_)
+    for (int i = 0; i < rounds; ++i) {
+      int n = s.reactor->run_once(0);
+      handled += n;
+      if (n == 0) break;
+    }
+  return handled;
+}
+
+}  // namespace flexric

@@ -1,0 +1,39 @@
+#include "transport/wakeup.hpp"
+
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace flexric {
+
+WakeupFd::WakeupFd(Reactor& reactor, std::function<void()> on_wake)
+    : reactor_(reactor), on_wake_(std::move(on_wake)) {
+  fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  FLEXRIC_ASSERT(fd_ >= 0, "eventfd failed");
+  Status st = reactor_.add_fd(fd_, EPOLLIN, [this](std::uint32_t) {
+    std::uint64_t count = 0;
+    // Drain the counter so the fd de-asserts; the value is irrelevant.
+    ssize_t n = read(fd_, &count, sizeof count);
+    (void)n;
+    if (on_wake_) on_wake_();
+  });
+  FLEXRIC_ASSERT(st.is_ok(), "wakeup add_fd failed");
+}
+
+WakeupFd::~WakeupFd() {
+  if (fd_ >= 0) {
+    reactor_.del_fd(fd_);
+    close(fd_);
+  }
+}
+
+void WakeupFd::notify() noexcept {
+  const std::uint64_t one = 1;
+  // EAGAIN means the counter is already at max: a wake is pending, which is
+  // exactly what we wanted — coalesce.
+  ssize_t n = write(fd_, &one, sizeof one);
+  (void)n;
+}
+
+}  // namespace flexric

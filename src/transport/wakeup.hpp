@@ -1,0 +1,42 @@
+// Cross-thread reactor wakeup (DESIGN.md §13).
+//
+// A shard reactor blocked in epoll_wait cannot see a push into an SPSC ring
+// — the ring is memory, not a file descriptor. WakeupFd bridges that gap
+// with an eventfd registered on the consumer's reactor: the producer calls
+// notify() (one async-signal-safe write syscall, callable from any thread),
+// the consumer's loop wakes and runs the drain callback on its own thread.
+//
+// This is the only cross-thread *signaling* primitive in the SDK, and it
+// lives in src/transport/ with the rest of the fd machinery. Data still
+// travels exclusively through the rings; WakeupFd carries no payload —
+// coalesced notifies are fine because the drain callback empties the ring
+// regardless of how many pushes preceded the wake.
+#pragma once
+
+#include <functional>
+
+#include "common/result.hpp"
+#include "transport/reactor.hpp"
+
+namespace flexric {
+
+class WakeupFd {
+ public:
+  /// Registers an eventfd on `reactor`; `on_wake` runs on the reactor
+  /// thread after one or more notify() calls.
+  WakeupFd(Reactor& reactor, std::function<void()> on_wake);
+  ~WakeupFd();
+  WakeupFd(const WakeupFd&) = delete;
+  WakeupFd& operator=(const WakeupFd&) = delete;
+
+  /// Thread-safe, non-blocking, never fails visibly: an already-pending
+  /// wake coalesces. Safe to call from any producer thread.
+  void notify() noexcept;
+
+ private:
+  Reactor& reactor_;
+  std::function<void()> on_wake_;
+  int fd_ = -1;
+};
+
+}  // namespace flexric

@@ -13,6 +13,7 @@
 #include "helpers.hpp"
 #include "server/server.hpp"
 #include "transport/reactor.hpp"
+#include "transport/shard_pool.hpp"
 
 namespace flexric {
 namespace {
@@ -135,6 +136,27 @@ TEST(AffinityDeathTest, ViolationDiagnosticNamesTheDomain) {
         offender.join();
       },
       "does not own the 'shard' domain");
+}
+
+// Sharded RIC (DESIGN.md §13): every shard reactor is its own named domain
+// ("shard0", "shard1", ...), so a cross-shard access aborts with the name of
+// the shard whose universe was violated — in an N-loop binary, the
+// diagnostic points at exactly the right one.
+TEST(AffinityDeathTest, CrossShardAccessNamesTheOffendedShard) {
+  if (!kAffinityGuardsEnabled)
+    GTEST_SKIP() << "FLEXRIC_AFFINITY_GUARDS off in this build";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  ShardPool pool(2, ShardPool::Mode::manual);
+  server::E2Server srv(pool.reactor(1), {});
+  pump(pool.reactor(1), 1);  // this thread now owns the shard1 domain
+  EXPECT_STREQ(pool.reactor(1).affinity().domain(), "shard1");
+  EXPECT_DEATH(
+      {
+        // lint: allow(affinity-annotation) death test: the cross-shard call is the behavior under test
+        std::thread offender([&] { (void)srv.listen(0); });
+        offender.join();
+      },
+      "does not own the 'shard1' domain");
 }
 
 // The guards must not fire on the correct thread: the full agent/server test

@@ -24,6 +24,7 @@
 #include "common/overload.hpp"
 #include "e2ap/codec.hpp"
 #include "helpers.hpp"
+#include "shard_world.hpp"
 #include "server/server.hpp"
 #include "telemetry/store.hpp"
 #include "transport/faulty.hpp"
@@ -866,6 +867,97 @@ TEST_P(StormSoak, ShedsExactlyAndIsDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StormSoak, ::testing::ValuesIn(storm_seeds()),
+                         [](const auto& param_info) {
+                           return "seed_" + std::to_string(param_info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Sharded storm soak (DESIGN.md §13): the same storm, spread over 1/2/4
+// shards (seed-derived, FLEXRIC_SHARD_COUNT pins it), one flooder + one
+// victim per shard with per-shard derived seeds. The global ledger — summed
+// across shards via merge-on-query — must reconcile exactly, and the whole
+// multi-shard schedule must replay byte-identically.
+// ---------------------------------------------------------------------------
+
+class ShardedStormSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string run_sharded_storm(std::uint64_t seed) {
+  const std::uint32_t shards = test::soak_shards(seed);
+  const int mult = static_cast<int>(1u << (2 * (seed % 4)));  // 1,4,16,64
+  server::ShardedConfig cfg;
+  cfg.server.overload = storm_defaults();
+  cfg.server.overload.flood_threshold = 1500;
+  cfg.server.overload.flood_window = 100 * kMilli;
+  cfg.server.overload.flood_cooldown = 500 * kMilli;
+  test::ShardWorld w(shards, cfg);
+  agent::OverloadConfig aov;
+  aov.indication_queue = 64;
+  std::vector<test::ShardWorld::Node*> flooders, victims;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    flooders.push_back(
+        &w.add_agent(s, 0, e2ap::NodeType::gnb, aov, seed * 1000003 + s));
+    victims.push_back(
+        &w.add_agent(s, 0, e2ap::NodeType::gnb, aov, seed * 2000003 + s));
+  }
+  for (auto* n : flooders) EXPECT_TRUE(w.converge(*n));
+  for (auto* n : victims) EXPECT_TRUE(w.converge(*n));
+  for (auto* n : flooders) w.subscribe(*n);
+  for (auto* n : victims) w.subscribe(*n);
+
+  // Every shard rides the same storm schedule: flooder at mult/ms, victim
+  // at line rate, TX-credit squeeze mid-storm.
+  for (int ms = 0; ms < 200; ++ms) {
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      if (ms == 120) flooders[s]->link->set_tx_credit(4);
+      if (ms == 140) flooders[s]->link->set_tx_credit(-1);
+      for (int k = 0; k < mult; ++k) flooders[s]->fn->emit(flooders[s]->ctrl);
+      victims[s]->fn->emit(victims[s]->ctrl);
+    }
+    w.advance(kMilli);
+  }
+  w.advance(kSecond);  // settle: flush, heartbeats, shed reports, publishes
+
+  // Per-shard: the victim's line-rate traffic survived its local storm.
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_EQ(victims[s]->indications,
+              static_cast<int>(victims[s]->fn->emitted))
+        << "victim on shard " << s << " lost traffic to its local flooder";
+    EXPECT_TRUE(
+        std::is_sorted(victims[s]->sns.begin(), victims[s]->sns.end()));
+  }
+  // Global: sum(emitted) == sum(delivered) + sum(agent_shed)
+  //                        + sum(server_shed), across every shard.
+  w.expect_global_reconciles();
+  // Shed reports arrived everywhere by the settle point.
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    const std::uint64_t agent_shed =
+        flooders[s]->agent->stats().indications_shed +
+        victims[s]->agent->stats().indications_shed;
+    EXPECT_EQ(w.ric.shard_server(s).stats().agent_reported_sheds, agent_shed)
+        << "shard " << s;
+  }
+
+  std::ostringstream trace;
+  trace << "mult=" << mult << " shards=" << shards << " ";
+  for (std::uint32_t s = 0; s < shards; ++s)
+    trace << "v" << s << "=" << victims[s]->indications << " f" << s << "="
+          << flooders[s]->indications << " ";
+  trace << w.trace();
+  return trace.str();
+}
+
+TEST_P(ShardedStormSoak, ShedsExactlyAcrossShardsAndIsDeterministic) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("FLEXRIC_STORM_SEEDS=" + std::to_string(seed) +
+               " reproduces this run");
+  std::string first = run_sharded_storm(seed);
+  if (HasFailure()) return;
+  std::string second = run_sharded_storm(seed);
+  EXPECT_EQ(first, second) << "sharded storm replay is not deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedStormSoak,
+                         ::testing::ValuesIn(storm_seeds()),
                          [](const auto& param_info) {
                            return "seed_" + std::to_string(param_info.param);
                          });

@@ -12,6 +12,7 @@
 #include "ran/functions.hpp"
 #include "ran/sched.hpp"
 #include "server/server.hpp"
+#include "server/sharding.hpp"
 #include "tc/chain.hpp"
 
 namespace flexric {
@@ -352,6 +353,67 @@ TEST(TcPolicy, PolicyRemovedWithSubscription) {
   ASSERT_TRUE(test::pump_until(
       reactor, [&] { return bundle.tc().num_policies() == 0; }));
 }
+
+// ---------------------------------------------------------------------------
+// Shard partitioner properties (DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+class ShardPartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// 1k seeded random node ids: the partition must be (a) stable — the same
+/// node maps to the same shard forever, across reconnects and unrelated
+/// churn, because the hash is a pure function of the GlobalNodeId — and
+/// (b) balanced — no shard owns more than 2x its ideal share.
+TEST_P(ShardPartition, StableUnderChurnAndBalancedWithin2x) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  constexpr int kNodes = 1000;
+  std::vector<e2ap::GlobalNodeId> nodes;
+  nodes.reserve(kNodes);
+  for (int i = 0; i < kNodes; ++i) {
+    e2ap::GlobalNodeId n;
+    n.plmn = 1 + rng.bounded(500);
+    n.nb_id = 1 + rng.bounded(1u << 20);
+    switch (rng.bounded(4)) {
+      case 0: n.type = e2ap::NodeType::enb; break;
+      case 1: n.type = e2ap::NodeType::gnb; break;
+      case 2: n.type = e2ap::NodeType::cu; break;
+      default: n.type = e2ap::NodeType::du; break;
+    }
+    nodes.push_back(n);
+  }
+  for (std::uint32_t shards : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<int> load(shards, 0);
+    std::vector<std::uint32_t> first(kNodes);
+    for (int i = 0; i < kNodes; ++i) {
+      first[i] = server::shard_of(nodes[i], shards);
+      ASSERT_LT(first[i], shards);
+      load[first[i]]++;
+    }
+    // Stability: a reconnect (re-evaluation, any order, after any churn)
+    // lands on the same shard — shuffle and re-ask.
+    for (int i = kNodes - 1; i > 0; --i) {
+      const std::uint32_t j = rng.bounded(static_cast<std::uint32_t>(i + 1));
+      std::swap(nodes[i], nodes[j]);
+      std::swap(first[i], first[j]);
+    }
+    for (int i = 0; i < kNodes; ++i)
+      EXPECT_EQ(server::shard_of(nodes[i], shards), first[i])
+          << "partition moved a node: reconnect would land on a new shard";
+    // Balance: within 2x of ideal occupancy on every shard.
+    const double ideal = static_cast<double>(kNodes) / shards;
+    for (std::uint32_t s = 0; s < shards; ++s)
+      EXPECT_LE(load[s], static_cast<int>(2.0 * ideal))
+          << "shard " << s << "/" << shards << " overloaded (seed " << seed
+          << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardPartition,
+                         ::testing::Values(7u, 77u, 777u),
+                         [](const auto& pi) {
+                           return "seed_" + std::to_string(pi.param);
+                         });
 
 }  // namespace
 }  // namespace flexric

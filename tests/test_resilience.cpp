@@ -19,6 +19,7 @@
 #include "common/clock.hpp"
 #include "helpers.hpp"
 #include "server/server.hpp"
+#include "shard_world.hpp"
 #include "transport/faulty.hpp"
 #include "transport/resilience.hpp"
 
@@ -635,6 +636,127 @@ TEST_P(ChaosSoak, ConvergesAndIsDeterministic) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSoak, ::testing::ValuesIn(chaos_seeds()),
                          [](const auto& info) {
                            return "seed_" + std::to_string(info.param);
+                         });
+
+// ---------------------------------------------------------------------------
+// Sharded chaos soak (DESIGN.md §13): the chaos schedule spread over 1/2/4
+// shards (seed-derived, FLEXRIC_SHARD_COUNT pins it), one lossy-linked
+// agent per shard with a per-shard derived seed. Every shard must converge
+// independently, the merged directory must agree with every shard, and the
+// full multi-shard run must replay byte-identically.
+// ---------------------------------------------------------------------------
+
+class ShardedChaosSoak : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string run_sharded_chaos(std::uint64_t seed) {
+  const std::uint32_t shards = test::soak_shards(seed);
+  server::ShardedConfig cfg;
+  cfg.server.resilience = ChaosWorld::server_defaults();
+  test::ShardWorld w(shards, cfg);
+  w.agent_rc = ChaosWorld::agent_defaults(seed);  // twitchy: reconnects
+  std::vector<test::ShardWorld::Node*> nodes;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    auto& n = w.add_agent(s, 0, e2ap::NodeType::gnb, {},
+                          seed * 1000003 + s);
+    n.profile.tx = {0.05, 0.02, 0.01, 0.02, 0, 2 * kMilli};
+    n.profile.rx = {0.05, 0.02, 0.01, 0.02, 0, 2 * kMilli};
+    nodes.push_back(&n);
+  }
+  for (auto* n : nodes)
+    EXPECT_TRUE(w.converge(*n, 30 * kSecond))
+        << "shard " << n->shard << " never established under lossy link";
+
+  // The stable per-shard AgentIds, locked in at first Setup. The
+  // re-establishment contract says they never change from here on.
+  std::vector<server::AgentId> first_ids;
+  for (auto* n : nodes) first_ids.push_back(n->id);
+
+  // Scripted chaos across every shard from ONE seeded schedule: kills,
+  // partitions and quiet spells land on seed-chosen shards.
+  Rng chaos(seed ^ 0xC0FFEE);
+  for (int ev = 0; ev < 12; ++ev) {
+    w.advance(100 * kMilli +
+              static_cast<Nanos>(chaos.bounded(400)) * kMilli);
+    auto* n = nodes[chaos.bounded(static_cast<std::uint32_t>(nodes.size()))];
+    switch (chaos.bounded(3)) {
+      case 0:
+        if (n->link) n->link->kill();
+        break;
+      case 1:
+        if (n->link)
+          n->link->partition_for(
+              100 * kMilli + static_cast<Nanos>(chaos.bounded(900)) * kMilli);
+        break;
+      default:
+        break;  // quiet spell
+    }
+  }
+
+  // Faults off everywhere; every shard must converge onto a clean link.
+  for (auto* n : nodes) {
+    n->profile = FaultProfile{};
+    if (n->link) n->link->kill();
+  }
+  for (auto* n : nodes)
+    EXPECT_TRUE(w.converge(*n, 30 * kSecond))
+        << "shard " << n->shard << " did not re-establish after chaos";
+
+  // Convergence invariants, per shard and merged.
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    EXPECT_EQ(w.ric.shard_server(s).ran_db().num_agents(), 1u)
+        << "shard " << s;
+    EXPECT_EQ(w.ric.shard_server(s).num_connections(), 1u) << "shard " << s;
+    EXPECT_EQ(w.ric.shard_server(s).stats().misrouted, 0u) << "shard " << s;
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    EXPECT_EQ(nodes[i]->id, first_ids[i])
+        << "shard " << nodes[i]->shard << " churned its AgentId";
+    const auto* info =
+        w.ric.shard_server(nodes[i]->shard).ran_db().agent(nodes[i]->id);
+    EXPECT_NE(info, nullptr);
+    if (info != nullptr) EXPECT_TRUE(info->connected);
+  }
+  // The home-side merged directory agrees with every shard (the directory
+  // resyncs after any event-ring loss, so eventual agreement is exact).
+  w.advance(200 * kMilli);
+  EXPECT_EQ(w.ric.directory().num_agents(), shards);
+  for (auto* n : nodes)
+    EXPECT_NE(w.ric.directory().agent(n->gid), nullptr)
+        << "merged directory is missing shard " << n->shard << "'s agent";
+
+  // Steady state: no healthy agent gets quarantined.
+  std::vector<std::uint64_t> quarantines;
+  for (std::uint32_t s = 0; s < shards; ++s)
+    quarantines.push_back(w.ric.shard_server(s).stats().quarantines);
+  w.advance(5 * kSecond);
+  for (std::uint32_t s = 0; s < shards; ++s)
+    EXPECT_EQ(w.ric.shard_server(s).stats().quarantines, quarantines[s])
+        << "healthy agent quarantined on shard " << s;
+
+  std::ostringstream trace;
+  trace << "shards=" << shards << " ";
+  for (auto* n : nodes)
+    trace << "n" << n->shard << "{dials=" << n->dials
+          << " rec=" << n->agent->stats().reconnects
+          << " replays=" << n->agent->stats().setup_replays << "} ";
+  trace << w.trace();
+  return trace.str();
+}
+
+TEST_P(ShardedChaosSoak, ConvergesOnEveryShardAndIsDeterministic) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("FLEXRIC_CHAOS_SEEDS=" + std::to_string(seed) +
+               " reproduces this run");
+  std::string first = run_sharded_chaos(seed);
+  if (HasFailure()) return;
+  std::string second = run_sharded_chaos(seed);
+  EXPECT_EQ(first, second) << "sharded chaos run is not deterministic";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardedChaosSoak,
+                         ::testing::ValuesIn(chaos_seeds()),
+                         [](const auto& pi) {
+                           return "seed_" + std::to_string(pi.param);
                          });
 
 }  // namespace
