@@ -39,9 +39,11 @@
 #   --analyze   standalone static-analysis lane: build only flexric-analyze,
 #               run the full tree scan against the committed hot-path
 #               allocation baseline (tools/analyze/hotpath_baseline.txt),
-#               emit the machine-readable --json report, and audit every
-#               lint: allow(...) suppression with --list. Fast enough for a
-#               pre-push hook; the ctest matrix runs the same gate anyway.
+#               emit the machine-readable --json report, audit every
+#               lint: allow(...) suppression with --list, diff the fixture
+#               corpus and self-scan the analyzer's own sources. Fast enough
+#               for a pre-push hook; the default run executes the same lane
+#               after the plain leg, so findings gate CI either way.
 #   --shard     standalone sharded-RIC lane (DESIGN.md §13): TSan build of the
 #               sharding suite, then (1) test_sharding — partitioner, SPSC
 #               rings (incl. the two-thread hammer, a real race under TSan),
@@ -137,6 +139,8 @@ run_analyze_lane() {
   python3 "$root/tools/lint.py" --list
   echo "==== [analyze] fixtures ===="
   "$bin" --fixtures "$root/tests/analyze_fixtures"
+  echo "==== [analyze] self-scan (tools/analyze dogfoods its own rules) ===="
+  "$bin" --self "$root/tools/analyze"
 }
 
 run_shard_lane() {
@@ -178,6 +182,11 @@ fi
 
 run_leg plain "$root/build" \
   -DFLEXRIC_SANITIZE=""
+# The full analysis lane (tree scan, json, suppression audit, fixtures,
+# self-scan) is part of the default run — the plain build above already
+# produced the binary, so this adds seconds, and a finding fails CI even when
+# nobody remembered to pass --analyze.
+run_analyze_lane "$root/build"
 run_leg asan-ubsan "$root/build-asan" \
   -DFLEXRIC_SANITIZE="address;undefined"
 

@@ -116,6 +116,7 @@ void serde(A& a, Echo& e) {
 
 /// Framed protocol message: 1-byte kind + proto-encoded body.
 Buffer encode_frame(MsgKind kind, BytesView body);
+// @view_of(the wire buffer handed to decode_frame)
 struct Frame {
   MsgKind kind;
   BytesView body;

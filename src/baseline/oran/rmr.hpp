@@ -21,6 +21,7 @@ enum class RmrType : std::uint32_t {
   health_check = 100,
 };
 
+// @view_of(the RMR wire buffer passed to rmr_decode)
 struct RmrMsg {
   RmrType mtype = RmrType::e2ap_pdu;
   std::int32_t sub_id = -1;

@@ -83,6 +83,7 @@ class FlatWriter {
 /// prefix; field accessors are bounds-checked reads straight from the wire
 /// buffer. Field offsets are maintained by the caller (sequential access via
 /// the cursor API matches how the message codecs use it).
+// @view_of(the encoded table buffer passed to FlatView::parse)
 class FlatView {
  public:
   /// Validates the header. On success the view spans exactly one table.

@@ -74,6 +74,7 @@ class PerWriter {
 };
 
 /// PER decoder; mirror of PerWriter.
+// @view_of(the byte view passed to the constructor)
 class PerReader {
  public:
   explicit PerReader(BytesView b) : br_(b) {}

@@ -61,10 +61,12 @@ class ProtoWriter {
 };
 
 /// Streaming protobuf-style decoder: iterate fields, dispatch on number.
+// @view_of(the byte view passed to the constructor)
 class ProtoReader {
  public:
   explicit ProtoReader(BytesView b) : r_(b) {}
 
+  // @view_of(the ProtoReader's input buffer)
   struct Field {
     std::uint32_t number;
     ProtoWireType type;

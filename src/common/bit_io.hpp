@@ -56,6 +56,7 @@ class BitWriter {
 /// MSB-first bit reader over a byte view. All failure modes — including
 /// decoder-requested widths outside [0, 64] — are recoverable errors, never
 /// aborts: the requests may be derived from untrusted wire data.
+// @view_of(the byte view passed to the constructor)
 class BitReader {
  public:
   explicit BitReader(BytesView b) : data_(b) {}

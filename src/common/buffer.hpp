@@ -106,6 +106,7 @@ class BufWriter {
 
 /// Bounds-checked sequential reader over a byte view. Never throws; every
 /// read reports truncation via Result.
+// @view_of(the byte view passed to the constructor)
 class BufReader {
  public:
   explicit BufReader(BytesView b) : data_(b) {}

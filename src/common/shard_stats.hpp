@@ -1,8 +1,10 @@
 // Cache-aligned per-shard counter board (DESIGN.md §13).
 //
-// Each shard owns one 64-byte-aligned slot of relaxed atomics and is the
-// only writer of that slot; any thread may read and sum. This is the
-// merge-on-query half of the sharded stats story: shards publish their
+// Each shard owns one 64-byte-aligned slot of atomics and is the only
+// writer of that slot; any thread may read and sum. A per-slot seqlock
+// keeps the 13-field ledger image untorn across fields (the write side is
+// wait-free, the read side retries only while a publish is in flight). This
+// is the merge-on-query half of the sharded stats story: shards publish their
 // E2Server ledger into their slot from their own reactor thread (a timer in
 // ShardedE2Server), and a northbound query sums the slots — no lock, no
 // shared hot-path state, no cross-shard cache-line ping-pong (each slot is
@@ -54,6 +56,10 @@ class ShardCounterBoard {
  public:
   /// One cache line per shard; the shard index is the only writer key.
   struct alignas(64) Slot {
+    /// Seqlock sequence: odd while the owning shard is mid-publish. Readers
+    /// retry until they observe the same even value before and after the
+    /// field loads, so a ledger image is never torn across fields.
+    std::atomic<std::uint64_t> seq{0};
     std::atomic<std::uint64_t> msgs_rx{0};
     std::atomic<std::uint64_t> dispatched{0};
     std::atomic<std::uint64_t> indications_rx{0};
@@ -74,10 +80,17 @@ class ShardCounterBoard {
 
   [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
 
-  /// The writing shard publishes a full ledger image (relaxed stores: the
-  /// reader tolerates a torn-across-fields view, each field is atomic).
+  /// The writing shard publishes a full ledger image under a seqlock
+  /// (Boehm-style): bump the sequence odd, release-fence, store the fields
+  /// relaxed, then release-store the sequence even. A reader that sees the
+  /// same even sequence on both sides of its loads got an untorn image —
+  /// the §11 reconciliation invariant holds across fields, not just within
+  /// each one.
   void publish(std::uint32_t shard, const ShardLedger& v) noexcept {
     Slot& s = slots_[shard];
+    const std::uint64_t s0 = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(s0 + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
     s.msgs_rx.store(v.msgs_rx, std::memory_order_relaxed);
     s.dispatched.store(v.dispatched, std::memory_order_relaxed);
     s.indications_rx.store(v.indications_rx, std::memory_order_relaxed);
@@ -92,26 +105,34 @@ class ShardCounterBoard {
     s.dir_events_lost.store(v.dir_events_lost, std::memory_order_relaxed);
     s.frames.store(v.frames, std::memory_order_relaxed);
     s.cpu_ns.store(v.cpu_ns, std::memory_order_relaxed);
+    s.seq.store(s0 + 2, std::memory_order_release);
   }
 
+  /// Seqlock read side: retry while a publish is in flight (odd sequence)
+  /// or raced past us (sequence changed across the loads).
   [[nodiscard]] ShardLedger read(std::uint32_t shard) const noexcept {
     const Slot& s = slots_[shard];
     ShardLedger v;
-    v.msgs_rx = s.msgs_rx.load(std::memory_order_relaxed);
-    v.dispatched = s.dispatched.load(std::memory_order_relaxed);
-    v.indications_rx = s.indications_rx.load(std::memory_order_relaxed);
-    v.rate_shed = s.rate_shed.load(std::memory_order_relaxed);
-    v.flood_shed = s.flood_shed.load(std::memory_order_relaxed);
-    v.queue_shed = s.queue_shed.load(std::memory_order_relaxed);
-    v.queued = s.queued.load(std::memory_order_relaxed);
-    v.agent_reported_sheds =
-        s.agent_reported_sheds.load(std::memory_order_relaxed);
-    v.fanout_shed = s.fanout_shed.load(std::memory_order_relaxed);
-    v.reply_shed = s.reply_shed.load(std::memory_order_relaxed);
-    v.dir_events_lost = s.dir_events_lost.load(std::memory_order_relaxed);
-    v.frames = s.frames.load(std::memory_order_relaxed);
-    v.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
-    return v;
+    for (;;) {
+      const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+      if (s1 & 1) continue;
+      v.msgs_rx = s.msgs_rx.load(std::memory_order_relaxed);
+      v.dispatched = s.dispatched.load(std::memory_order_relaxed);
+      v.indications_rx = s.indications_rx.load(std::memory_order_relaxed);
+      v.rate_shed = s.rate_shed.load(std::memory_order_relaxed);
+      v.flood_shed = s.flood_shed.load(std::memory_order_relaxed);
+      v.queue_shed = s.queue_shed.load(std::memory_order_relaxed);
+      v.queued = s.queued.load(std::memory_order_relaxed);
+      v.agent_reported_sheds =
+          s.agent_reported_sheds.load(std::memory_order_relaxed);
+      v.fanout_shed = s.fanout_shed.load(std::memory_order_relaxed);
+      v.reply_shed = s.reply_shed.load(std::memory_order_relaxed);
+      v.dir_events_lost = s.dir_events_lost.load(std::memory_order_relaxed);
+      v.frames = s.frames.load(std::memory_order_relaxed);
+      v.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) == s1) return v;
+    }
   }
 
   /// Merge-on-query: the global ledger is the field-wise sum of the slots.

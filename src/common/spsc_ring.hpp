@@ -31,6 +31,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/affinity.hpp"
 #include "common/result.hpp"
 
 namespace flexric {
@@ -52,7 +53,16 @@ class SpscRing {
 
   /// Producer side. Full ring => Errc::capacity, the element is untouched
   /// and `rejected()` is incremented — the push is never silently lost.
+  /// The first calling thread becomes THE producer; in guarded builds a
+  /// second pushing thread aborts (the SPSC contract is single-producer by
+  /// construction, not by convention).
+  // @hotpath
   Status try_push(T&& v) {
+    if constexpr (kAffinityGuardsEnabled) {
+      if (!producer_.check_or_bind())
+        affinity_violation("SpscRing::try_push (second producer thread)",
+                           producer_.domain(), __FILE__, __LINE__);
+    }
     const std::uint64_t head = head_.load(std::memory_order_relaxed);
     const std::uint64_t tail = tail_.load(std::memory_order_acquire);
     if (head - tail > mask_) {
@@ -64,8 +74,15 @@ class SpscRing {
     return Status::ok();
   }
 
-  /// Consumer side. Returns false when the ring is empty.
+  /// Consumer side. Returns false when the ring is empty. Symmetric guard:
+  /// the first popping thread becomes THE consumer.
+  // @hotpath
   bool try_pop(T& out) {
+    if constexpr (kAffinityGuardsEnabled) {
+      if (!consumer_.check_or_bind())
+        affinity_violation("SpscRing::try_pop (second consumer thread)",
+                           consumer_.domain(), __FILE__, __LINE__);
+    }
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);
     if (tail == head) return false;
@@ -90,9 +107,21 @@ class SpscRing {
     return rejected_.load(std::memory_order_relaxed);
   }
 
+  /// Forget both endpoint bindings (teardown/test escape hatch); the next
+  /// try_push / try_pop from any thread re-binds that end.
+  void reset_endpoints() noexcept {
+    producer_.reset();
+    consumer_.reset();
+  }
+
  private:
   std::vector<T> slots_;
   std::size_t mask_ = 1;
+  /// Lazy endpoint stamps: each end binds to its first calling thread and
+  /// aborts on a second one (guarded builds only — Release builds compile
+  /// the checks out).
+  DomainAffinity producer_{"spsc-producer"};
+  DomainAffinity consumer_{"spsc-consumer"};
   /// Producer- and consumer-owned indices on separate cache lines so the
   /// two endpoint threads do not false-share.
   alignas(64) std::atomic<std::uint64_t> head_{0};

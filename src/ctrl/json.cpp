@@ -91,6 +91,7 @@ std::string Json::dump() const {
 
 namespace {
 
+// @view_of(the JSON text passed to json_parse)
 class Parser {
  public:
   explicit Parser(std::string_view text) : s_(text) {}

@@ -98,6 +98,7 @@ class RawEnc {
   }
 };
 
+// @view_of(the encoded message passed to the constructor)
 class RawDec {
  public:
   static constexpr bool kIsDecoder = true;
@@ -260,6 +261,7 @@ class PerEnc {
   PerWriter w_;
 };
 
+// @view_of(the encoded message passed to the constructor)
 class PerDec {
  public:
   static constexpr bool kIsDecoder = true;
@@ -418,6 +420,7 @@ class FlatEnc {
   FlatWriter w_;
 };
 
+// @view_of(the encoded message passed to the constructor)
 class FlatDec {
  public:
   static constexpr bool kIsDecoder = true;
@@ -588,6 +591,7 @@ class ProtoEnc {
   std::uint32_t num_ = 0;
 };
 
+// @view_of(the encoded message passed to the constructor)
 class ProtoDec {
  public:
   static constexpr bool kIsDecoder = true;

@@ -52,7 +52,7 @@ class ShardedE2Server::Relay final : public IApp {
     DirEvent ev;
     ev.kind = DirEvent::Kind::remove;
     ev.id = id;
-    if (!cell_.events->try_push(std::move(ev)).is_ok()) note_event_lost();
+    if (!push_event(std::move(ev))) note_event_lost();
   }
 
   /// Arm cross-shard fan-out (home thread, before agents connect).
@@ -95,11 +95,19 @@ class ShardedE2Server::Relay final : public IApp {
   }
 
  private:
+  /// Every directory event funnels through here so the ring's producer end
+  /// has exactly one call site (the SPSC contract is structural, and the
+  /// atomics-order pass counts sites).
+  [[nodiscard]] bool push_event(DirEvent&& ev) {
+    // @producer(shard-dir-events)
+    return cell_.events->try_push(std::move(ev)).is_ok();
+  }
+
   void push_upsert(const AgentInfo& info) {
     DirEvent ev;
     ev.kind = DirEvent::Kind::upsert;
     ev.info = info;
-    if (!cell_.events->try_push(std::move(ev)).is_ok()) note_event_lost();
+    if (!push_event(std::move(ev))) note_event_lost();
   }
 
   void note_event_lost() {
@@ -113,7 +121,7 @@ class ShardedE2Server::Relay final : public IApp {
     DirEvent ev;
     ev.kind = DirEvent::Kind::snapshot;
     ev.agents = server_->ran_db().snapshot();
-    if (cell_.events->try_push(std::move(ev)).is_ok()) pending_resync_ = false;
+    if (push_event(std::move(ev))) pending_resync_ = false;
   }
 
   void maybe_subscribe_fanout(const AgentInfo& info) {
@@ -131,6 +139,7 @@ class ShardedE2Server::Relay final : public IApp {
       fi.shard = shard_;
       fi.agent = global_agent_id(shard_, local);
       fi.ind = ind;
+      // @producer(shard-fanout)
       if (!cell_.fanout->try_push(std::move(fi)).is_ok()) fanout_shed_++;
     };
     (void)server_->subscribe(local, fanout_fn_, fanout_trigger_,
@@ -217,6 +226,7 @@ int ShardedE2Server::pump_home() {
   // replies — is part of the deterministic scheduling contract (§13).
   for (std::uint32_t i = 0; i < num_shards(); ++i) {
     DirEvent ev;
+    // @consumer(shard-dir-events)
     while (cells_[i]->events->try_pop(ev)) {
       apply_dir_event(i, ev);
       handled++;
@@ -224,6 +234,7 @@ int ShardedE2Server::pump_home() {
   }
   for (std::uint32_t i = 0; i < num_shards(); ++i) {
     FanoutIndication fi;
+    // @consumer(shard-fanout)
     while (cells_[i]->fanout->try_pop(fi)) {
       if (fanout_handler_) fanout_handler_(fi);
       handled++;
@@ -231,6 +242,7 @@ int ShardedE2Server::pump_home() {
   }
   for (std::uint32_t i = 0; i < num_shards(); ++i) {
     std::function<void()> reply;
+    // @consumer(shard-replies)
     while (cells_[i]->replies->try_pop(reply)) {
       reply();
       handled++;
@@ -298,6 +310,7 @@ Status ShardedE2Server::query(std::uint32_t shard,
   return pool_.post(
       shard, [cell, job = std::move(job), done = std::move(done)] {
         std::string result = job(*cell->server);
+        // @producer(shard-replies)
         Status st = cell->replies->try_push(
             [done, result = std::move(result)]() mutable {
               done(std::move(result));

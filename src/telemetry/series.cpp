@@ -35,7 +35,7 @@ void TimeSeries::RollupRing::push(const Rollup& r) {
   }
 }
 
-void TimeSeries::append(Nanos t, double v) {
+void TimeSeries::push(Nanos t, double v) {
   if (!raw_.empty()) {
     if (raw_size_ < raw_.size()) {
       raw_[(raw_head_ + raw_size_) % raw_.size()] = {t, v};

@@ -80,7 +80,10 @@ class TimeSeries {
  public:
   explicit TimeSeries(const SeriesLayout& layout);
 
-  void append(Nanos t, double v);
+  /// Record one sample. Named push (not append): the raw ring and rollup
+  /// buckets are preallocated by the constructor — this never allocates,
+  /// which the hotpath-alloc pass can see from the name alone.
+  void push(Nanos t, double v);
 
   [[nodiscard]] std::uint64_t total_samples() const noexcept {
     return total_samples_;

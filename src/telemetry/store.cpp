@@ -102,22 +102,31 @@ bool TelemetryStore::evict_one() {
   return true;
 }
 
+// Allocation lives here, not in record(): a series is created once per key
+// (then evicted at most once per budget breach), while record() runs per
+// sample — keeping the two in separate functions lets the hotpath-alloc
+// pass verify the per-sample path allocation-free instead of carrying
+// baseline debt for the first-contact case.
+// @coldpath first contact per series key, not per sample
+TelemetryStore::Entry* TelemetryStore::ensure_entry(const SeriesKey& key) {
+  while (sizeof(*this) + (series_.size() + 1) * per_series_cost_ >
+         cfg_.memory_budget) {
+    if (!cfg_.evict_on_budget || !evict_one()) {
+      dropped_++;
+      return nullptr;
+    }
+  }
+  return &series_.emplace(key, Entry(cfg_.layout)).first->second;
+}
+
 // @hotpath one call per ingested sample
 Status TelemetryStore::record(const SeriesKey& key, Nanos t, double v) {
   FLEXRIC_ASSERT_AFFINITY(affinity_);
   auto it = series_.find(key);
-  if (it == series_.end()) {
-    while (sizeof(*this) + (series_.size() + 1) * per_series_cost_ >
-           cfg_.memory_budget) {
-      if (!cfg_.evict_on_budget || !evict_one()) {
-        dropped_++;
-        return Errc::capacity;
-      }
-    }
-    it = series_.emplace(key, Entry(cfg_.layout)).first;
-  }
-  it->second.series.append(t, v);
-  it->second.last_write_seq = ++write_seq_;
+  Entry* e = it != series_.end() ? &it->second : ensure_entry(key);
+  if (e == nullptr) return Errc::capacity;
+  e->series.push(t, v);
+  e->last_write_seq = ++write_seq_;
   total_samples_++;
   return Status::ok();
 }

@@ -185,6 +185,9 @@ class TelemetryStore {
   };
 
   bool evict_one();
+  /// First-contact slow path of record(): eviction loop + map-node
+  /// allocation. nullptr when the budget rejects the new series.
+  Entry* ensure_entry(const SeriesKey& key);
 
   StoreConfig cfg_;
   /// No Reactor reference here, so the stamp lazily binds to the first

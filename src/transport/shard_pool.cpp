@@ -31,6 +31,7 @@ ShardPool::ShardPool(std::uint32_t shards, Mode mode,
     SpscRing<std::function<void()>>* ring = s.injector.get();
     s.wake = std::make_unique<WakeupFd>(*s.reactor, [ring] {
       std::function<void()> fn;
+      // @consumer(shard-injector)
       while (ring->try_pop(fn)) fn();
     });
   }
@@ -76,6 +77,7 @@ Status ShardPool::post(std::uint32_t shard, std::function<void()> fn) {
     s.reactor->post(std::move(fn));
     return Status::ok();
   }
+  // @producer(shard-injector)
   Status st = s.injector->try_push(std::move(fn));
   if (st.is_ok()) s.wake->notify();
   return st;

@@ -1,0 +1,156 @@
+// atomics-order fixture: SPSC endpoint discipline, torn relaxed publishes,
+// unpaired acquire/release, defaulted seq_cst on the hot path and false
+// sharing — each next to a sanctioned spelling that must stay silent.
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+namespace flexric {
+
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t) {}
+  bool try_push(T&& v);
+  bool try_pop(T& out);
+};
+
+// GOLDEN (x2): endpoint call sites without @producer/@consumer annotations.
+class BareEndpoints {
+ public:
+  void feed(int v) { (void)inbox_.try_push(std::move(v)); }
+  void drain() {
+    int v;
+    while (inbox_.try_pop(v)) {
+    }
+  }
+
+ private:
+  SpscRing<int> inbox_{16};
+};
+
+// GOLDEN (x2): ring 'dup-ring' has two producer sites — the single-producer
+// contract allows exactly one, even when both run on the same thread today.
+class DoubleProducer {
+ public:
+  void from_handler(int v) {
+    // @producer(dup-ring)
+    (void)duplex_.try_push(std::move(v));
+  }
+  void from_timer(int v) {
+    // @producer(dup-ring)
+    (void)duplex_.try_push(std::move(v));
+  }
+  void pump() {
+    int v;
+    // @consumer(dup-ring)
+    while (duplex_.try_pop(v)) {
+    }
+  }
+
+ private:
+  SpscRing<int> duplex_{16};
+};
+
+// GOLDEN: ring 'orphan-ring' has a producer but no consumer anywhere.
+class Orphan {
+ public:
+  void push(int v) {
+    // @producer(orphan-ring)
+    (void)lonely_.try_push(std::move(v));
+  }
+
+ private:
+  SpscRing<int> lonely_{16};
+};
+
+// Silent: one annotated site per end.
+class PairedRing {
+ public:
+  void push(int v) {
+    // @producer(paired-ring)
+    (void)pipe_.try_push(std::move(v));
+  }
+  void pop() {
+    int v;
+    // @consumer(paired-ring)
+    while (pipe_.try_pop(v)) {
+    }
+  }
+
+ private:
+  SpscRing<int> pipe_{16};
+};
+
+// GOLDEN: two fields published with relaxed stores and no release barrier —
+// a reader can observe rows_ new with bytes_ old.
+class TornPublish {
+ public:
+  void publish(std::uint64_t rows, std::uint64_t bytes) {
+    rows_.store(rows, std::memory_order_relaxed);
+    bytes_.store(bytes, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> rows_{0};
+  std::atomic<std::uint64_t> bytes_{0};
+};
+
+// Silent: the trailing release store orders the group for any acquire
+// reader (classic release-publish).
+class ReleasedPublish {
+ public:
+  void publish(std::uint64_t lo, std::uint64_t hi) {
+    lo_.store(lo, std::memory_order_relaxed);
+    hi_.store(hi, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::uint64_t> lo_{0};
+  std::atomic<std::uint64_t> hi_{0};
+};
+
+// GOLDEN: the reader acquire-loads ready_, but the writer only ever stores
+// it relaxed — the acquire never synchronizes with anything.
+class UnpairedFlag {
+ public:
+  void arm() { ready_.store(1, std::memory_order_relaxed); }
+  bool armed() const { return ready_.load(std::memory_order_acquire) != 0; }
+
+ private:
+  std::atomic<int> ready_{0};
+};
+
+// GOLDEN: defaulted (seq_cst) RMW inside a @hotpath function pays a full
+// fence per sample.
+class HotCounter {
+ public:
+  // @hotpath one increment per decoded frame
+  void bump() { hits_.fetch_add(1); }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+// GOLDEN: a mutable atomic in an @affine(shard) class without alignas(64)
+// false-shares its cache line across shard threads.
+// @affine(shard)
+class ShardTally {
+ public:
+  void add(std::uint64_t n) { seen_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> seen_{0};
+};
+
+// Silent: cache-line alignment spelled out.
+// @affine(shard)
+class AlignedTally {
+ public:
+  void add(std::uint64_t n) { seen2_.fetch_add(n, std::memory_order_relaxed); }
+
+ private:
+  alignas(64) std::atomic<std::uint64_t> seen2_{0};
+};
+
+}  // namespace flexric

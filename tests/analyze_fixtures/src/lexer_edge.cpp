@@ -1,9 +1,12 @@
 // Lexer edge cases: phase-2 line splicing, raw-string delimiters that
 // contain annotation-looking text, user-defined literals with digit
-// separators, and digraph punctuation. The ONLY golden finding from this
-// file is the unknown domain in the spliced annotation — every decoy
-// below it must stay silent.
+// separators, digraph punctuation, and template-heavy view spellings. The
+// golden findings from this file are the unknown domain in the spliced
+// annotation and the two view-escape members at the bottom (fixed-extent
+// span, alias template) — every other decoy must stay silent.
 #include <cstddef>
+#include <cstdint>
+#include <span>
 
 namespace flexric {
 
@@ -37,5 +40,23 @@ inline int digraph_sum(int a, int b) <%
   int arr<:2:> = <% a, b %>;
   return arr<:0:> + arr<:1:>;
 %>
+
+// Template-heavy view spellings: a fixed-extent span with a non-type
+// template argument, and an alias template that resolves to a span. Both
+// members below are stored borrows — two golden view-escape findings — and
+// the tokenizer must survive the nested '>'/'>>' closers to see them.
+template <class T>
+using CView = std::span<const T>;
+
+class FrameHead {
+ public:
+  [[nodiscard]] std::size_t window_len() const noexcept {
+    return window_.size();
+  }
+
+ private:
+  std::span<const std::uint8_t, 16> header_;
+  CView<std::uint32_t> window_;
+};
 
 }  // namespace flexric

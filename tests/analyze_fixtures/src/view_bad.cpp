@@ -1,0 +1,102 @@
+// view-escape fixture: every way a borrowed view can outlive its buffer,
+// next to the sanctioned spellings that must stay silent.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace flexric {
+
+void post(std::function<void()> fn);
+void sink(std::string_view s);
+
+// GOLDEN: view-typed member of a class that owns nothing — the classic
+// stored borrow.
+class Annotation {
+ public:
+  void set(std::string_view note) { note_ = note; }
+
+ private:
+  std::string_view note_;
+};
+
+// Silent: a declared borrow cursor — @view_of makes the class itself a view
+// type, so holding the borrow is its whole job.
+// @view_of(the config text handed to the parser)
+class ConfCursor {
+ public:
+  explicit ConfCursor(std::string_view text) : text_(text) {}
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// Silent: the owning buffer rides in the same object, declared with
+// @extends_lifetime.
+// @extends_lifetime
+class OwnedSlice {
+ private:
+  std::string storage_;
+  std::string_view slice_;  // always points into storage_
+};
+
+// Silent decoys: static string_view constants borrow static storage, and a
+// std::function member only mentions the view in its callable's signature.
+class SilentMembers {
+ private:
+  static constexpr std::string_view kName = "flexric";
+  std::function<void(std::string_view)> on_text_;
+};
+
+// GOLDEN: malformed annotation — @view_of must name the owner.
+// @view_of()
+class Anonymous {
+ private:
+  std::string_view v_;
+};
+
+// GOLDEN: a view captured by a reactor-posted lambda outlives the frame the
+// buffer lives in — both the named capture and the default capture.
+void capture_named(std::string_view payload) {
+  post([payload] { sink(payload); });
+}
+
+void capture_default(std::string_view payload) {
+  post([=] { sink(payload); });
+}
+
+// Silent: the posting site pins an owning copy alongside; the annotation
+// records that the lifetime is extended deliberately.
+void capture_extended(std::string_view payload) {
+  std::string owned(payload);
+  // @extends_lifetime the lambda owns the string; the view indexes into it
+  post([owned, payload] { sink(payload); });
+}
+
+// GOLDEN: an SpscRing whose payload type is a borrowed view hands dangling
+// pointers to another thread.
+template <typename T>
+class SpscRing {
+ public:
+  explicit SpscRing(std::size_t) {}
+};
+
+void ring_of_views() {
+  SpscRing<std::string_view> ring(8);
+  (void)ring;
+}
+
+// GOLDEN: returning a view of a local owning string — the storage unwinds
+// with the frame.
+std::string_view render_label(int id) {
+  std::string label = "shard-" + std::to_string(id);
+  return label;
+}
+
+// Silent: returning a view of a parameter the caller owns.
+std::string_view first_token(std::string_view line) {
+  return line.substr(0, line.find(' '));
+}
+
+}  // namespace flexric

@@ -6,6 +6,8 @@
 // interleaving order so multi-shard scenarios replay byte-identically.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <set>
 #include <string>
@@ -13,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/shard_stats.hpp"
 #include "common/spsc_ring.hpp"
 #include "server/sharding.hpp"
 #include "shard_world.hpp"
@@ -141,6 +144,128 @@ TEST(SpscRing, TwoThreadHammerLosesNothing) {
   EXPECT_TRUE(ordered) << "SPSC FIFO order violated across threads";
   EXPECT_EQ(sum, kItems * (kItems - 1) / 2);
   EXPECT_TRUE(ring.empty());
+}
+
+// Wrap-around torture: a capacity-4 ring cycled far past its index mask with
+// mixed batch sizes. FIFO order, occupancy and the rejected counter must be
+// exact at every capacity boundary, not just on the happy path.
+TEST(SpscRing, WrapAroundTortureKeepsCountsExact) {
+  SpscRing<std::uint64_t> ring(4);
+  ASSERT_EQ(ring.capacity(), 4u);
+  std::uint64_t pushed = 0, popped = 0, rejected = 0;
+  std::uint64_t next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    const int batch = 1 + round % 6;  // drives occupancy across the mask
+    for (int i = 0; i < batch; ++i) {
+      if (ring.try_push(std::uint64_t{pushed}).is_ok())
+        pushed++;
+      else
+        rejected++;
+    }
+    const int drains = 1 + round % 4;
+    std::uint64_t v = 0;
+    for (int i = 0; i < drains && ring.try_pop(v); ++i) {
+      ASSERT_EQ(v, next_out) << "FIFO broke at round " << round;
+      next_out = v + 1;
+      popped++;
+    }
+    ASSERT_EQ(ring.size(), pushed - popped);
+    ASSERT_EQ(ring.rejected(), rejected);
+  }
+  std::uint64_t v = 0;
+  while (ring.try_pop(v)) {
+    ASSERT_EQ(v, next_out);
+    next_out = v + 1;
+    popped++;
+  }
+  EXPECT_EQ(popped, pushed);
+  EXPECT_GT(rejected, 0u) << "torture must actually hit the full case";
+}
+
+// Two threads, producer never retries: every attempted push either lands or
+// is counted. popped + rejected == attempted exactly — overflow under a
+// hammer is auditable, never approximate.
+TEST(SpscRing, TwoThreadHammerRejectedCounterIsExact) {
+  SpscRing<std::uint64_t> ring(8);
+  constexpr std::uint64_t kAttempts = 200000;
+  std::atomic<bool> done{false};
+  std::uint64_t popped = 0;
+  std::thread consumer([&] {
+    std::uint64_t v = 0;
+    for (;;) {
+      if (ring.try_pop(v)) {
+        popped++;
+      } else if (done.load(std::memory_order_acquire)) {
+        while (ring.try_pop(v)) popped++;
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  std::uint64_t accepted = 0;
+  for (std::uint64_t i = 0; i < kAttempts; ++i)
+    if (ring.try_push(std::uint64_t{i}).is_ok()) accepted++;
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  EXPECT_EQ(popped, accepted);
+  EXPECT_EQ(ring.rejected(), kAttempts - accepted);
+  EXPECT_TRUE(ring.empty());
+}
+
+using SpscRingDeathTest = ::testing::Test;
+
+// Runtime half of the @producer/@consumer discipline: the first pushing
+// thread owns the producer end for the ring's lifetime; a push from any
+// other thread aborts in guarded builds, even with no concurrent access.
+TEST(SpscRingDeathTest, SecondProducerThreadAborts) {
+  if (!kAffinityGuardsEnabled)
+    GTEST_SKIP() << "FLEXRIC_AFFINITY_GUARDS off in this build";
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SpscRing<int> ring(4);
+        std::thread first([&] { (void)ring.try_push(1); });
+        first.join();
+        (void)ring.try_push(2);  // second producer thread: must abort
+      },
+      "SpscRing::try_push");
+}
+
+// ---------------------------------------------------------------------------
+// ShardCounterBoard seqlock
+// ---------------------------------------------------------------------------
+
+// Regression for the torn-publish finding the atomics-order pass flagged:
+// the writer only ever publishes ledgers satisfying msgs_rx == dispatched ==
+// frames, so a racing reader observing anything else caught a torn image
+// (13 independent relaxed stores would tear; the seqlock must not).
+TEST(ShardStats, BoardReadNeverTearsAcrossFields) {
+  ShardCounterBoard board(1);
+  constexpr std::uint64_t kRounds = 20000;
+  std::atomic<bool> stop{false};
+  std::uint64_t tears = 0, reads = 0;
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      ShardLedger v = board.read(0);
+      if (v.msgs_rx != v.dispatched || v.frames != v.msgs_rx) tears++;
+      reads++;
+    }
+  });
+  for (std::uint64_t i = 1; i <= kRounds; ++i) {
+    ShardLedger v;
+    v.msgs_rx = i;
+    v.dispatched = i;
+    v.frames = i;
+    v.cpu_ns = i * 3;
+    board.publish(0, v);
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(tears, 0u) << "seqlock tore across " << reads << " reads";
+  ShardLedger last = board.read(0);
+  EXPECT_EQ(last.msgs_rx, kRounds);
+  EXPECT_EQ(last.dispatched, kRounds);
 }
 
 // ---------------------------------------------------------------------------

@@ -167,7 +167,7 @@ TEST(TimeSeries, RollupsMatchNaiveRecomputation) {
   for (int i = 0; i < 5000; ++i) {
     t += kMilli;
     auto v = static_cast<double>(1 + rng.bounded(1000));
-    series.append(t, v);
+    series.push(t, v);
     log.push_back({t, v});
   }
 
@@ -198,7 +198,7 @@ TEST(TimeSeries, RawRingWrapsButRollupsRetainHistory) {
   layout.raw_capacity = 64;
   TimeSeries series(layout);
   for (int i = 0; i < 1000; ++i)
-    series.append((i + 1) * kMilli, static_cast<double>(i));
+    series.push((i + 1) * kMilli, static_cast<double>(i));
   EXPECT_EQ(series.total_samples(), 1000u);
   EXPECT_EQ(series.raw_count(), 64u);
   // Raw retains only the tail...
@@ -216,7 +216,7 @@ TEST(TimeSeries, CascadeDegradesTier1IntoTier2) {
   TimeSeries series(layout);
   // 30 s of samples at 10 ms: 3000 samples, 300 tier1 buckets, 30 tier2.
   for (int i = 0; i < 3000; ++i)
-    series.append((i + 1) * 10 * kMilli, 1.0);
+    series.push((i + 1) * 10 * kMilli, 1.0);
   EXPECT_EQ(series.rollup_count(1), 8u);
   EXPECT_EQ(series.rollup_count(2), 29u);  // 30th is the open bucket
   // Tier2 accounts for everything except the still-open tier1 bucket
@@ -229,7 +229,7 @@ TEST(TimeSeries, CascadeDegradesTier1IntoTier2) {
   // One far-future sample closes the open buckets; now all 3000 earlier
   // samples are accounted for at tier2 resolution (the flush sample itself
   // sits in the new open tier1 bucket).
-  series.append(40 * kSecond, 1.0);
+  series.push(40 * kSecond, 1.0);
   total = 0;
   for (const Rollup& r : series.rollup_range(2, 0, 41 * kSecond))
     total += r.count;
@@ -239,7 +239,7 @@ TEST(TimeSeries, CascadeDegradesTier1IntoTier2) {
 TEST(TimeSeries, LatestReturnsNewestInOrder) {
   TimeSeries series{SeriesLayout{}};
   for (int i = 1; i <= 20; ++i)
-    series.append(i * kMilli, static_cast<double>(i));
+    series.push(i * kMilli, static_cast<double>(i));
   auto tail = series.latest(3);
   ASSERT_EQ(tail.size(), 3u);
   EXPECT_EQ(tail[0].v, 18.0);

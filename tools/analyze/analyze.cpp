@@ -16,6 +16,10 @@
 //   flexric-analyze --fixtures <dir>       scan <dir> (category = first path
 //                                          component) and diff the findings
 //                                          against <dir>/expected.txt
+//   flexric-analyze --self <dir>           scan <dir>'s own C++ files under
+//                                          the full rule set as category
+//                                          "src"; the analyzer dogfoods its
+//                                          own discipline (zero findings)
 //
 // A full run (no --rule filter) also audits suppressions: every
 // `lint: allow(...)` naming an analyzer rule must carry a reason and must
@@ -205,9 +209,52 @@ bool load_baseline(const fs::path& p, std::map<std::string, int>* out) {
 
 }  // namespace
 
+namespace {
+
+/// Dogfood mode: run the full rule set over a flat directory (the analyzer's
+/// own sources) as category "src". No baseline, no fixtures — clean or fail.
+int run_self(const fs::path& dir, const std::set<std::string>& rules) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) {
+    std::fprintf(stderr, "flexric-analyze: no such dir: %s\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  Corpus corpus;
+  std::vector<fs::path> paths;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (it->is_regular_file() && has_cpp_ext(it->path()))
+      paths.push_back(it->path());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const auto& p : paths) {
+    FileUnit f;
+    f.rel = to_rel(p, dir);
+    f.category = "src";
+    f.lx = lex(slurp(p));
+    corpus.files.push_back(std::move(f));
+  }
+  build_registry(corpus);
+  auto findings = run_rules(corpus, rules);
+  for (const auto& f : findings)
+    std::printf("%s\n", render(f, true).c_str());
+  if (findings.empty()) {
+    std::printf("flexric-analyze: self-scan clean (%zu files)\n",
+                corpus.files.size());
+    return 0;
+  }
+  std::printf("flexric-analyze: self-scan: %zu finding(s)\n", findings.size());
+  return 1;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   fs::path root;
   fs::path fixtures;
+  fs::path self_dir;
   fs::path baseline_path;
   fs::path write_baseline_path;
   std::set<std::string> rules;
@@ -229,6 +276,8 @@ int main(int argc, char** argv) {
       root = need_val("--root");
     } else if (a == "--fixtures") {
       fixtures = need_val("--fixtures");
+    } else if (a == "--self") {
+      self_dir = need_val("--self");
     } else if (a == "--baseline") {
       baseline_path = need_val("--baseline");
     } else if (a == "--write-baseline") {
@@ -256,6 +305,7 @@ int main(int argc, char** argv) {
           "[--fix-suggestions] [--json]\n"
           "       [--baseline <file>] [--write-baseline <file>]\n"
           "       flexric-analyze --fixtures <dir> [--rule R]...\n"
+          "       flexric-analyze --self <dir>\n"
           "rules:\n");
       for (const char* k : kAllRules) std::printf("  %s\n", k);
       return 0;
@@ -269,9 +319,11 @@ int main(int argc, char** argv) {
     for (const char* k : kAllRules) rules.insert(k);
 
   if (!fixtures.empty()) return run_fixtures(fixtures, rules);
+  if (!self_dir.empty()) return run_self(self_dir, rules);
 
   if (root.empty()) {
-    std::fprintf(stderr, "flexric-analyze: --root (or --fixtures) required\n");
+    std::fprintf(stderr,
+                 "flexric-analyze: --root (or --fixtures / --self) required\n");
     return 2;
   }
   std::error_code ec;

@@ -62,6 +62,58 @@ std::size_t skip_template_args(const Tokens& t, std::size_t from) {
   return from;
 }
 
+std::size_t parse_captures(const Tokens& t, std::size_t open,
+                           std::vector<Capture>* out) {
+  std::size_t end = skip_balanced(t, open);  // index after ']'
+  std::size_t i = open + 1;
+  while (i < end - 1) {
+    Capture c;
+    if (is_punct(t[i], "&")) {
+      c.by_ref = true;
+      ++i;
+      if (i >= end - 1 || is_punct(t[i], ",")) c.def_ref = true;
+    } else if (is_punct(t[i], "*") && i + 1 < end &&
+               is_ident(t[i + 1], "this")) {
+      i += 2;  // *this copies the object: safe, not a this-capture
+      while (i < end - 1 && !is_punct(t[i], ",")) ++i;
+      ++i;
+      continue;
+    } else if (is_punct(t[i], "=")) {
+      c.def_copy = true;
+      ++i;
+      out->push_back(std::move(c));
+      while (i < end - 1 && !is_punct(t[i], ",")) ++i;
+      ++i;
+      continue;
+    }
+    if (i < end - 1 && is_ident(t[i], "this")) {
+      c.is_this = true;
+      ++i;
+    } else if (i < end - 1 && t[i].kind == Tok::identifier) {
+      c.name = t[i].text;
+      ++i;
+      if (i < end - 1 && is_punct(t[i], "=")) {
+        ++i;
+        int depth = 0;
+        while (i < end - 1 && (depth > 0 || !is_punct(t[i], ","))) {
+          if (is_punct(t[i], "(") || is_punct(t[i], "[") ||
+              is_punct(t[i], "{") || is_punct(t[i], "<"))
+            ++depth;
+          if (is_punct(t[i], ")") || is_punct(t[i], "]") ||
+              is_punct(t[i], "}") || is_punct(t[i], ">"))
+            --depth;
+          c.init.push_back(t[i]);
+          ++i;
+        }
+      }
+    }
+    out->push_back(std::move(c));
+    while (i < end - 1 && !is_punct(t[i], ",")) ++i;
+    if (i < end - 1) ++i;  // past ','
+  }
+  return end;
+}
+
 FileIndex build_file_index(const LexedFile& lx) {
   const Tokens& t = lx.tokens;
   FileIndex out;
@@ -266,6 +318,25 @@ bool annotation_near(const LexedFile& lx, int line, const char* needle) {
       return true;
   }
   return false;
+}
+
+std::string annotation_arg_near(const LexedFile& lx, int line,
+                                const char* key) {
+  const std::string pat = std::string(key) + "(";
+  for (int l = line - 2; l <= line; ++l) {
+    auto it = lx.comments.find(l);
+    if (it == lx.comments.end()) continue;
+    std::size_t pos = it->second.find(pat);
+    if (pos == std::string::npos) continue;
+    std::size_t at = pos + pat.size();
+    std::size_t close = it->second.find(')', at);
+    if (close == std::string::npos) return "";
+    std::string a = it->second.substr(at, close - at);
+    while (!a.empty() && a.front() == ' ') a.erase(a.begin());
+    while (!a.empty() && a.back() == ' ') a.pop_back();
+    return a;
+  }
+  return "";
 }
 
 bool is_known_domain(const std::string& d) {

@@ -13,7 +13,7 @@
 // Annotation grammar (DESIGN.md §12): a comment within two lines above (or on
 // the line of) a class or function declaration:
 //
-//   // @affine(<domain>)   domain ∈ {reactor, shard, any}
+//   // `@affine(<domain>)`  domain ∈ {reactor, shard, any}
 //   // @cross_domain       function is an approved domain-crossing conduit
 //   // @hotpath            function/class must not allocate (hotpath-alloc)
 //   // @coldpath           excluded from hot-path call-graph propagation
@@ -88,6 +88,22 @@ std::size_t skip_balanced(const Tokens& t, std::size_t open);
 /// levels). Returns the index after the closing '>', or `from` on failure.
 std::size_t skip_template_args(const Tokens& t, std::size_t from);
 
+/// One entry of a lambda capture list (shared by the lifetime rule and the
+/// view-escape pass).
+struct Capture {
+  std::string name;         // captured variable ("" for default captures)
+  bool by_ref = false;      // &x / & default
+  bool is_this = false;     // `this` (not `*this`, which copies)
+  bool def_copy = false;    // [=] default capture present on this entry
+  bool def_ref = false;     // [&] default capture present on this entry
+  std::vector<Token> init;  // init-capture tokens after '='
+};
+
+/// Parse the capture list starting at the '[' at `open`. Returns the index
+/// just after the ']' and fills `out`.
+std::size_t parse_captures(const Tokens& t, std::size_t open,
+                           std::vector<Capture>* out);
+
 // ---------------------------------------------------------------------------
 // Scope analysis + function spans.
 // ---------------------------------------------------------------------------
@@ -113,7 +129,7 @@ struct FuncSpan {
   std::size_t body_end = 0;   // index just after the matching '}'
   int line = 0;               // line of the '{'
   // Declaration-site annotations:
-  std::string domain;         // @affine(<domain>) on the function itself
+  std::string domain;         // `@affine(<domain>)` on the function itself
   bool cross_domain = false;  // @cross_domain
   bool hotpath = false;       // @hotpath
   bool coldpath = false;      // @coldpath
@@ -142,7 +158,7 @@ struct ClassInfo {
   std::string name;
   std::string file;       // file of the annotated declaration
   int line = 0;           // line of the class keyword
-  std::string domain;     // @affine(<domain>); "" if only @hotpath
+  std::string domain;     // `@affine(<domain>)`; "" if only @hotpath
   bool hotpath = false;   // class-level @hotpath: every method is hot
   std::map<std::string, FieldInfo> fields;
 };
@@ -154,6 +170,12 @@ std::string parse_affine_domain(const std::string& comment);
 
 /// True if any comment line in [line-2, line] contains `needle`.
 bool annotation_near(const LexedFile& lx, int line, const char* needle);
+
+/// The argument of `@<key>(<arg>)` in a comment within [line-2, line],
+/// trimmed; "" when the key is absent or the argument is empty (use
+/// annotation_near to distinguish a malformed empty argument from absence).
+std::string annotation_arg_near(const LexedFile& lx, int line,
+                                const char* key);
 
 /// The valid affinity domains.
 bool is_known_domain(const std::string& d);

@@ -185,62 +185,8 @@ bool is_post_fn(const Token& t) {
   return false;
 }
 
-struct Capture {
-  std::string name;            // captured variable ("" for default captures)
-  bool by_ref = false;         // &x / & default
-  bool is_this = false;        // `this` (not `*this`, which copies)
-  std::vector<Token> init;     // init-capture tokens after '='
-};
-
-/// Parse the capture list starting at the '[' at `open`. Returns the index
-/// just after the ']' and fills `out`.
-std::size_t parse_captures(const Tokens& t, std::size_t open,
-                           std::vector<Capture>* out) {
-  std::size_t end = skip_balanced(t, open);  // index after ']'
-  std::size_t i = open + 1;
-  while (i < end - 1) {
-    Capture c;
-    if (is_punct(t[i], "&")) {
-      c.by_ref = true;
-      ++i;
-    } else if (is_punct(t[i], "*") && i + 1 < end && is_ident(t[i + 1], "this")) {
-      i += 2;  // *this copies the object: safe, not a this-capture
-      while (i < end - 1 && !is_punct(t[i], ",")) ++i;
-      ++i;
-      continue;
-    } else if (is_punct(t[i], "=")) {
-      ++i;  // default copy capture
-      while (i < end - 1 && !is_punct(t[i], ",")) ++i;
-      ++i;
-      continue;
-    }
-    if (i < end - 1 && is_ident(t[i], "this")) {
-      c.is_this = true;
-      ++i;
-    } else if (i < end - 1 && t[i].kind == Tok::identifier) {
-      c.name = t[i].text;
-      ++i;
-      if (i < end - 1 && is_punct(t[i], "=")) {
-        ++i;
-        int depth = 0;
-        while (i < end - 1 && (depth > 0 || !is_punct(t[i], ","))) {
-          if (is_punct(t[i], "(") || is_punct(t[i], "[") ||
-              is_punct(t[i], "{") || is_punct(t[i], "<"))
-            ++depth;
-          if (is_punct(t[i], ")") || is_punct(t[i], "]") ||
-              is_punct(t[i], "}") || is_punct(t[i], ">"))
-            --depth;
-          c.init.push_back(t[i]);
-          ++i;
-        }
-      }
-    }
-    out->push_back(std::move(c));
-    while (i < end - 1 && !is_punct(t[i], ",")) ++i;
-    if (i < end - 1) ++i;  // past ','
-  }
-  return end;
-}
+// Capture / parse_captures live in index.hpp now (the view-escape pass
+// reuses the same lambda-capture parser).
 
 bool capture_is_alive_token(const Capture& c) {
   static const char* kAliveNames[] = {"alive", "alive_", "guard",  "guard_",
@@ -649,6 +595,14 @@ void build_registry(Corpus& corpus) {
   // Drop ambiguous names: a call site has no type info, so a name declared
   // both ways (serde writers vs readers) cannot be checked soundly.
   for (const auto& name : other_ret) corpus.nodiscard_fns.erase(name);
+  // View/atomics registries (view_pass.cpp, atomics_pass.cpp) run after the
+  // class registry so @hotpath class membership is known.
+  corpus.view_types = {"span", "string_view", "BytesView", "BufferView"};
+  for (std::size_t i = 0; i < corpus.files.size(); ++i) {
+    register_view_types(corpus.files[i], corpus.index[i], corpus);
+    register_atomics(corpus.files[i], corpus.index[i], corpus);
+  }
+  resolve_view_aliases(corpus);
 }
 
 std::vector<Finding> run_rules(const Corpus& corpus,
@@ -675,6 +629,10 @@ std::vector<Finding> run_rules(const Corpus& corpus,
       pass_wire_taint(corpus, f, ix, &out);
     if (rules.count("hotpath-alloc") && f.category == "src")
       pass_hotpath_alloc(corpus, f, ix, &out);
+    if (rules.count("view-escape") && f.category == "src")
+      pass_view_escape(corpus, f, ix, &out);
+    if (rules.count("atomics-order") && f.category == "src")
+      pass_atomics_order(corpus, f, ix, &out);
   }
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     if (a.file != b.file) return a.file < b.file;

@@ -52,6 +52,25 @@
 //                           Existing debt is enumerated per function in
 //                           tools/analyze/hotpath_baseline.txt; the gate
 //                           fails only on regressions.
+//   view-escape             borrowed-view types (std::span, std::string_view,
+//                           BytesView, classes annotated `@view_of(<owner>)`
+//                           and aliases of any of these) must not outlive the
+//                           buffer they borrow: storing one in a member field
+//                           of a non-view class, capturing one in a reactor-
+//                           posted lambda, carrying one through an SpscRing,
+//                           or returning one that refers to a local owning
+//                           object are findings. `@extends_lifetime` marks a
+//                           site/class that keeps an owning buffer alongside.
+//   atomics-order           lock-free discipline: every SpscRing try_push/
+//                           try_pop call site carries a `@producer(<ring>)` /
+//                           `@consumer(<ring>)` annotation, and each ring
+//                           name has exactly one site per end; a group of
+//                           relaxed stores with no release barrier is a torn
+//                           publish; a relaxed store to a field that another
+//                           site acquire-loads never pairs; defaulted
+//                           (seq_cst) atomic ops are flagged on `@hotpath`;
+//                           atomics in `@affine(shard)` classes need
+//                           alignas(64) against false sharing.
 //
 // Suppression: `lint: allow(<rule>) <reason>` in a comment on the finding's
 // line or the line directly above. The reason is mandatory (the gate run and
@@ -68,6 +87,45 @@
 
 namespace flexric::analyze {
 
+/// One declared `std::atomic<...>` data member or namespace-scope global,
+/// keyed by name in Corpus::atomic_fields (the analyzer has no type
+/// inference at use sites, so the join is name-based like nodiscard_fns).
+struct AtomicField {
+  std::string file;
+  int line = 0;
+  std::string owner;     ///< innermost enclosing type ("" for globals)
+  bool aligned = false;  ///< alignas on the member or its enclosing class
+};
+
+/// One atomic member operation (`field.store(...)`, `field.load(...)`, RMWs)
+/// or an `atomic_thread_fence(...)` (op == "fence", field empty). Joined
+/// against atomic_fields by name at pass time.
+struct AtomicUse {
+  std::string file;
+  int line = 0;
+  std::string field;
+  std::string op;     ///< load / store / fetch_add / ... / fence
+  std::string order;  ///< relaxed/acquire/release/acq_rel/seq_cst; "" = default
+  bool is_store = false;
+  bool is_load = false;
+  bool in_hot = false;    ///< enclosing function (or its class) is @hotpath
+  std::string fn_key;     ///< file|function|line of the enclosing span
+  std::string fn_label;   ///< Class::method for diagnostics
+};
+
+/// One SpscRing try_push/try_pop call site with its `@producer(<ring>)` /
+/// `@consumer(<ring>)` site annotation (ring empty when unannotated).
+struct RingSite {
+  std::string file;
+  int line = 0;
+  bool push = false;  ///< try_push (producer end) vs try_pop (consumer end)
+  std::string ring;
+  /// Receiver identifier (`injector` in `s.injector->try_push(...)`); the
+  /// site only counts when the name is declared as an SpscRing somewhere in
+  /// the corpus (rings live in headers, call sites in .cpp files).
+  std::string receiver;
+};
+
 struct Corpus {
   std::vector<FileUnit> files;
   /// Parallel to `files`: shared scope/function/annotation index, built once
@@ -80,6 +138,24 @@ struct Corpus {
   /// Annotated classes (`@affine(<domain>)` and/or `@hotpath`) with their
   /// domain and member-field table, keyed by class name.
   std::map<std::string, ClassInfo> classes;
+  /// Borrowed-view type names: std::span/string_view/BytesView seeds plus
+  /// classes annotated `@view_of(<owner>)` and aliases resolving to any of
+  /// these (resolve_view_aliases runs the alias set to a fixpoint).
+  std::set<std::string> view_types;
+  /// Classes annotated `@extends_lifetime`: they hold an owning buffer next
+  /// to their views, so view-typed members are sanctioned.
+  std::set<std::string> lifetime_classes;
+  /// `using X = <rhs>;` declarations at declaration scope (alias templates
+  /// included), as (name, rhs identifier texts) pending view resolution.
+  std::vector<std::pair<std::string, std::vector<std::string>>> type_aliases;
+  /// Declared atomics by field name; uses are joined by name.
+  std::map<std::string, AtomicField> atomic_fields;
+  std::vector<AtomicUse> atomic_uses;
+  /// Names declared with SpscRing type anywhere in the corpus (members,
+  /// locals, smart-pointer holders), for receiver-matching ring_sites.
+  std::set<std::string> spsc_names;
+  /// SpscRing endpoint call sites across the whole corpus.
+  std::vector<RingSite> ring_sites;
 };
 
 inline const char* const kAllRules[] = {
@@ -91,6 +167,8 @@ inline const char* const kAllRules[] = {
     "domain-ownership",
     "wire-taint",
     "hotpath-alloc",
+    "view-escape",
+    "atomics-order",
 };
 
 /// Populate corpus.index plus the symbol registries (nodiscard_fns,
@@ -119,6 +197,27 @@ void pass_wire_taint(const Corpus& corpus, const FileUnit& f,
 
 /// Hot-path allocation: allocation sites reachable from @hotpath functions.
 void pass_hotpath_alloc(const Corpus& corpus, const FileUnit& f,
+                        const FileIndex& ix, std::vector<Finding>* out);
+
+// --- view_pass.cpp ----------------------------------------------------------
+
+/// Registry half: `@view_of`/`@extends_lifetime` classes and type aliases.
+void register_view_types(const FileUnit& f, const FileIndex& ix,
+                         Corpus& corpus);
+/// Resolve `using X = <view>` aliases (transitively) into view_types.
+void resolve_view_aliases(Corpus& corpus);
+/// View escape: members, posted-lambda captures, ring payloads, returns.
+void pass_view_escape(const Corpus& corpus, const FileUnit& f,
+                      const FileIndex& ix, std::vector<Finding>* out);
+
+// --- atomics_pass.cpp -------------------------------------------------------
+
+/// Registry half: atomic field declarations, atomic op sites, fences, and
+/// SpscRing endpoint call sites with their @producer/@consumer annotations.
+void register_atomics(const FileUnit& f, const FileIndex& ix, Corpus& corpus);
+/// Lock-free discipline: SPSC endpoint exactness, relaxed group publish,
+/// acquire/release pairing, seq_cst-by-default on @hotpath, false sharing.
+void pass_atomics_order(const Corpus& corpus, const FileUnit& f,
                         const FileIndex& ix, std::vector<Finding>* out);
 
 }  // namespace flexric::analyze

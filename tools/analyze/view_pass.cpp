@@ -1,0 +1,360 @@
+// view-escape: borrow-lifetime discipline for wire-backed views (DESIGN.md
+// §14). A "borrowed view" type (std::span / std::string_view / BytesView, a
+// class annotated `@view_of(<owner>)`, or any alias of these) points into a
+// buffer it does not own. The pass flags the four ways such a view can
+// outlive its buffer in an event-driven RIC:
+//
+//   member   a view stored in a data member of a class that is not itself a
+//            declared borrow (`@view_of`) and does not keep the owning
+//            buffer alongside (`@extends_lifetime`)
+//   capture  a view captured by a lambda handed to post()/add_timer()/
+//            call_soon() — the task runs after the frame (and usually the
+//            message buffer) is gone
+//   ring     an SpscRing payload type that contains a view — the consumer
+//            thread dereferences a buffer the producer may have recycled
+//   return   a function with a view in its return type returning an
+//            expression that names a local owning object (std::string,
+//            Buffer, writer scratch) — dangling the moment the frame unwinds
+#include <algorithm>
+#include <cstddef>
+
+#include "rules.hpp"
+
+namespace flexric::analyze {
+
+namespace {
+
+bool is_view_tok(const Corpus& corpus, const Token& tok) {
+  return tok.kind == Tok::identifier && corpus.view_types.count(tok.text) != 0;
+}
+
+/// Innermost segment of a `A::B::C` type chain.
+std::string chain_tail(const std::string& chain) {
+  std::size_t pos = chain.rfind("::");
+  return pos == std::string::npos ? chain : chain.substr(pos + 2);
+}
+
+/// Owning types whose storage dies with the enclosing frame.
+bool is_owning_local_type(const std::string& s) {
+  return s == "string" || s == "Buffer" || s == "vector" ||
+         s == "ostringstream" || s == "stringstream" || s == "BufWriter" ||
+         s == "FlatWriter" || s == "array";
+}
+
+constexpr const char* kPostFns[] = {"post", "add_timer", "call_soon"};
+
+bool is_post_fn(const Token& t) {
+  for (const char* f : kPostFns)
+    if (is_ident(t, f)) return true;
+  return false;
+}
+
+/// Declared names with a view (or owning) head type in [lo, hi):
+/// `Type name` followed by one of `follow`. Template args and */& are
+/// skipped after the head; `auto` declarations are out of scope.
+void collect_decls(const Corpus& corpus, const Tokens& t, std::size_t lo,
+                   std::size_t hi, bool views, const char* const* follow,
+                   std::size_t nfollow, std::set<std::string>* out) {
+  for (std::size_t i = lo; i + 1 < hi && i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::identifier) continue;
+    bool head = views ? is_view_tok(corpus, t[i])
+                      : is_owning_local_type(t[i].text);
+    if (!head) continue;
+    std::size_t j = i + 1;
+    if (j < t.size() && is_punct(t[j], "<")) j = skip_template_args(t, j);
+    int guard = 0;
+    while (j < t.size() && guard++ < 3 &&
+           (is_punct(t[j], ">") || is_punct(t[j], ">>") ||
+            is_punct(t[j], "*") || is_punct(t[j], "&")))
+      ++j;
+    if (j + 1 >= t.size() || t[j].kind != Tok::identifier) continue;
+    bool ok = false;
+    for (std::size_t k = 0; k < nfollow; ++k)
+      if (is_punct(t[j + 1], follow[k])) ok = true;
+    if (ok) out->insert(t[j].text);
+  }
+}
+
+}  // namespace
+
+void register_view_types(const FileUnit& f, const FileIndex& ix,
+                         Corpus& corpus) {
+  if (f.category != "src") return;
+  const Tokens& t = f.lx.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    // `@view_of(<owner>)` / `@extends_lifetime` on a class declaration make
+    // the class a declared borrow cursor / a sanctioned owner-plus-view.
+    if ((is_ident(t[i], "class") || is_ident(t[i], "struct")) &&
+        t[i + 1].kind == Tok::identifier) {
+      if (annotation_near(f.lx, t[i].line, "@view_of("))
+        corpus.view_types.insert(t[i + 1].text);
+      if (annotation_near(f.lx, t[i].line, "@extends_lifetime"))
+        corpus.lifetime_classes.insert(t[i + 1].text);
+    }
+    // `using X = <rhs>;` at declaration scope (alias templates included).
+    if (is_ident(t[i], "using") && ix.scopes.func_depth[i] == 0 &&
+        t[i + 1].kind == Tok::identifier && i + 2 < t.size() &&
+        is_punct(t[i + 2], "=")) {
+      std::vector<std::string> rhs;
+      for (std::size_t j = i + 3; j < t.size() && !is_punct(t[j], ";"); ++j)
+        if (t[j].kind == Tok::identifier) rhs.push_back(t[j].text);
+      corpus.type_aliases.emplace_back(t[i + 1].text, std::move(rhs));
+    }
+  }
+}
+
+void resolve_view_aliases(Corpus& corpus) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, rhs] : corpus.type_aliases) {
+      if (corpus.view_types.count(name) != 0) continue;
+      // `using Handler = std::function<void(BytesView)>` is a callback whose
+      // *signature* mentions a view — it stores nothing borrowed.
+      bool callback = false;
+      for (const auto& id : rhs)
+        if (id == "function") callback = true;
+      if (callback) continue;
+      for (const auto& id : rhs)
+        if (corpus.view_types.count(id) != 0) {
+          corpus.view_types.insert(name);
+          changed = true;
+          break;
+        }
+    }
+  }
+}
+
+void pass_view_escape(const Corpus& corpus, const FileUnit& f,
+                      const FileIndex& ix, std::vector<Finding>* out) {
+  const Tokens& t = f.lx.tokens;
+  const ScopeInfo& scopes = ix.scopes;
+
+  auto report = [&](int line, const std::string& msg, const std::string& fix) {
+    if (suppressed(f, line, "view-escape")) return;
+    Finding fd;
+    fd.file = f.rel;
+    fd.line = line;
+    fd.rule = "view-escape";
+    fd.message = msg;
+    fd.suggestion = fix;
+    out->push_back(std::move(fd));
+  };
+
+  // (a) Malformed annotation: an anchored `@view_of(` comment must name the
+  // owner whose lifetime the view borrows.
+  for (auto it = f.lx.comments.begin(); it != f.lx.comments.end(); ++it) {
+    const std::string& text = it->second;
+    std::size_t pos = text.find("@view_of(");
+    if (pos == std::string::npos) continue;
+    bool anchored = true;
+    for (std::size_t k = 0; k < pos; ++k)
+      if (text[k] != ' ' && text[k] != '\t' && text[k] != '*' &&
+          text[k] != '/')
+        anchored = false;
+    if (!anchored) continue;
+    auto prev = f.lx.comments.find(it->first - 1);
+    if (prev != f.lx.comments.end() && prev->second == text) continue;
+    std::size_t close = text.find(')', pos + 9);
+    std::string arg =
+        close == std::string::npos ? "" : text.substr(pos + 9, close - pos - 9);
+    while (!arg.empty() && arg.front() == ' ') arg.erase(arg.begin());
+    if (!arg.empty()) continue;
+    report(it->first,
+           "malformed @view_of — name the owner the view borrows from",
+           "write `// @view_of(<owner>)`, e.g. `@view_of(the wire Buffer "
+           "passed to parse())`");
+  }
+
+  // (b) View-typed data member of a class that is neither a declared borrow
+  // (@view_of, transitively a view type itself) nor @extends_lifetime.
+  // `static`/`constexpr` members (string_view constants over literals) are
+  // exempt: the borrowed storage has static duration.
+  for (std::size_t i = 1; i + 1 < t.size(); ++i) {
+    if (scopes.func_depth[i] != 0) continue;
+    if (t[i].kind != Tok::identifier) continue;
+    if (!(is_punct(t[i + 1], ";") || is_punct(t[i + 1], "=") ||
+          is_punct(t[i + 1], "{")))
+      continue;
+    const std::string& chain = scopes.type_chain[i];
+    if (chain.empty()) continue;
+    std::size_t lo = 0;
+    for (std::size_t j = i; j-- > 0;) {
+      if (is_punct(t[j], ";") || is_punct(t[j], "}") || is_punct(t[j], "{")) {
+        lo = j + 1;
+        break;
+      }
+    }
+    bool member_shape = true, has_view = false, exempt = false;
+    for (std::size_t j = lo; j < i && member_shape; ++j) {
+      if (is_punct(t[j], "(") || is_ident(t[j], "class") ||
+          is_ident(t[j], "struct") || is_ident(t[j], "enum") ||
+          is_ident(t[j], "union") || is_ident(t[j], "using") ||
+          is_ident(t[j], "typedef") || is_ident(t[j], "friend") ||
+          is_ident(t[j], "namespace") || is_ident(t[j], "return"))
+        member_shape = false;
+      if (is_view_tok(corpus, t[j])) has_view = true;
+      // `std::function<Status(BytesView)> on_msg_;` stores a callback, not a
+      // borrow — the view only appears in the callable's signature.
+      if (is_ident(t[j], "static") || is_ident(t[j], "constexpr") ||
+          is_ident(t[j], "function"))
+        exempt = true;
+    }
+    if (!member_shape || !has_view || exempt) continue;
+    const std::string owner = chain_tail(chain);
+    if (corpus.view_types.count(owner) != 0 ||
+        corpus.lifetime_classes.count(owner) != 0)
+      continue;
+    if (annotation_near(f.lx, t[i].line, "@extends_lifetime")) continue;
+    report(t[i].line,
+           "view-typed member '" + t[i].text + "' of class " + owner +
+               " stores a borrow that can outlive its buffer",
+           "annotate the class `// @view_of(<owner>)` if it is a borrow "
+           "cursor, keep the owning Buffer in the same object and mark it "
+           "`// @extends_lifetime`, or copy into owned storage");
+  }
+
+  // (c) SpscRing payload containing a view crosses a thread boundary with a
+  // borrowed pointer.
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!is_ident(t[i], "SpscRing") || !is_punct(t[i + 1], "<")) continue;
+    std::size_t end = skip_template_args(t, i + 1);
+    for (std::size_t j = i + 2; j + 1 < end; ++j) {
+      if (!is_view_tok(corpus, t[j])) continue;
+      if (annotation_near(f.lx, t[i].line, "@extends_lifetime")) break;
+      report(t[i].line,
+             "SpscRing payload carries borrowed view type '" + t[j].text +
+                 "' across threads; the producer's buffer may be recycled "
+                 "before the consumer looks",
+             "make the ring element own its bytes (Buffer / value struct), "
+             "or mark the declaration `// @extends_lifetime` if a pooled "
+             "owner rides alongside");
+      break;
+    }
+  }
+
+  static const char* kLocalFollow[] = {"=", ";", "{", ",", ")"};
+  static const char* kOwnerFollow[] = {"=", ";", "{", "("};
+
+  for (const FuncSpan& sp : ix.funcs) {
+    const std::size_t end = std::min(sp.body_end, t.size());
+
+    // (d) View locals/params captured by a reactor-posted lambda.
+    std::set<std::string> view_vars;
+    collect_decls(corpus, t, sp.sig_begin, end, /*views=*/true, kLocalFollow,
+                  5, &view_vars);
+    if (!view_vars.empty()) {
+      for (std::size_t i = sp.body_begin; i + 1 < end; ++i) {
+        if (!is_post_fn(t[i]) || !is_punct(t[i + 1], "(")) continue;
+        if (annotation_near(f.lx, t[i].line, "@extends_lifetime")) continue;
+        std::size_t call_end = skip_balanced(t, i + 1);
+        for (std::size_t j = i + 2; j < call_end; ++j) {
+          if (!is_punct(t[j], "[") ||
+              !(is_punct(t[j - 1], "(") || is_punct(t[j - 1], ",")))
+            continue;
+          std::vector<Capture> caps;
+          std::size_t after = parse_captures(t, j, &caps);
+          bool def_capture = false;
+          std::string hit;
+          for (const Capture& c : caps) {
+            if (c.def_copy || c.def_ref) def_capture = true;
+            if (!c.name.empty() && view_vars.count(c.name) != 0) hit = c.name;
+            for (const Token& tok : c.init)
+              if (tok.kind == Tok::identifier &&
+                  view_vars.count(tok.text) != 0)
+                hit = tok.text;
+          }
+          if (hit.empty() && def_capture) {
+            // Default capture: the view escapes iff the body names it.
+            std::size_t k = after;
+            if (k < t.size() && is_punct(t[k], "(")) k = skip_balanced(t, k);
+            while (k < t.size() &&
+                   (is_ident(t[k], "mutable") || is_ident(t[k], "noexcept") ||
+                    is_punct(t[k], "->") || t[k].kind == Tok::identifier))
+              ++k;
+            if (k < t.size() && is_punct(t[k], "{")) {
+              std::size_t body_end = skip_balanced(t, k);
+              for (std::size_t b = k + 1; b + 1 < body_end; ++b) {
+                if (t[b].kind != Tok::identifier ||
+                    view_vars.count(t[b].text) == 0)
+                  continue;
+                if (is_punct(t[b - 1], ".") || is_punct(t[b - 1], "->"))
+                  continue;
+                hit = t[b].text;
+                break;
+              }
+            }
+          }
+          if (!hit.empty() &&
+              !suppressed(f, t[j].line, "view-escape")) {
+            report(t[j].line,
+                   "lambda passed to " + t[i].text + "() captures borrowed "
+                   "view '" + hit + "'; the buffer it points into may be "
+                   "gone when the task runs",
+                   "copy the bytes into an owning Buffer before posting, or "
+                   "mark the call `// @extends_lifetime` when a pooled "
+                   "owner is captured alongside");
+          }
+          j = after - 1;
+        }
+      }
+    }
+
+    // (e) Function whose return type names a view returning an expression
+    // that references a local owning object.
+    bool returns_view = false;
+    std::size_t sig_stop = sp.body_begin;
+    for (std::size_t i = sp.sig_begin; i < sp.body_begin && i < t.size(); ++i)
+      if (is_punct(t[i], "(")) {
+        sig_stop = i;
+        break;
+      }
+    // The zone is the return type only: peel the function name and its
+    // `Class::` qualifiers off the end (`Result<Buffer> PerReader::octets(`
+    // must not count PerReader — the *receiver* is a view, not the result).
+    std::size_t type_end = sig_stop;
+    if (type_end > sp.sig_begin && t[type_end - 1].kind == Tok::identifier) {
+      --type_end;
+      while (type_end >= sp.sig_begin + 2 && is_punct(t[type_end - 1], "::") &&
+             t[type_end - 2].kind == Tok::identifier)
+        type_end -= 2;
+    }
+    for (std::size_t i = sp.sig_begin; i < type_end; ++i)
+      if (is_view_tok(corpus, t[i])) returns_view = true;
+    if (!returns_view) continue;
+    std::set<std::string> owning_locals;
+    collect_decls(corpus, t, sp.body_begin, end, /*views=*/false,
+                  kOwnerFollow, 4, &owning_locals);
+    if (owning_locals.empty()) continue;
+    for (std::size_t i = sp.body_begin; i + 1 < end; ++i) {
+      if (!is_ident(t[i], "return")) continue;
+      std::size_t e = i + 1;
+      int depth = 0;
+      while (e < end && (depth > 0 || !is_punct(t[e], ";"))) {
+        if (is_punct(t[e], "(") || is_punct(t[e], "{") ||
+            is_punct(t[e], "["))
+          ++depth;
+        if (is_punct(t[e], ")") || is_punct(t[e], "}") ||
+            is_punct(t[e], "]"))
+          --depth;
+        ++e;
+      }
+      for (std::size_t b = i + 1; b < e; ++b) {
+        if (t[b].kind != Tok::identifier ||
+            owning_locals.count(t[b].text) == 0)
+          continue;
+        if (is_punct(t[b - 1], ".") || is_punct(t[b - 1], "->")) continue;
+        report(t[b].line,
+               "returning a view that borrows local owner '" + t[b].text +
+                   "' from '" + (sp.name.empty() ? "(anonymous)" : sp.name) +
+                   "' — the storage dies with this frame",
+               "return an owning type (std::string / Buffer), or take the "
+               "owner as a parameter so the caller controls its lifetime");
+        break;
+      }
+      i = e;
+    }
+  }
+}
+
+}  // namespace flexric::analyze
