@@ -44,6 +44,16 @@
 #               corpus and self-scan the analyzer's own sources. Fast enough
 #               for a pre-push hook; the default run executes the same lane
 #               after the plain leg, so findings gate CI either way.
+#   --supervise standalone shard-supervision lane (DESIGN.md §15): the
+#               watchdog/quarantine/recovery suite (test_supervision) on the
+#               plain build AND under TSan — heartbeat publishes, health
+#               reads, epoch-guarded counter publishes and the rebuild
+#               handoff are exactly where a latent race would hide. The
+#               suite's 12-seed chaos soak (wedge/crash faults over 1/2/4
+#               shards) runs every seed twice and the traces must match
+#               byte-for-byte; MTTR and ledger exactness are asserted per
+#               seed. The default matrix already runs test_supervision in
+#               both ctest legs as the smoke tier; this lane adds TSan.
 #   --shard     standalone sharded-RIC lane (DESIGN.md §13): TSan build of the
 #               sharding suite, then (1) test_sharding — partitioner, SPSC
 #               rings (incl. the two-thread hammer, a real race under TSan),
@@ -64,6 +74,7 @@ overload=0
 tidy=0
 analyze=0
 shard=0
+supervise=0
 for arg in "$@"; do
   case "$arg" in
     --quick) fuzz_iters=1000 ;;
@@ -72,6 +83,7 @@ for arg in "$@"; do
     --tidy) tidy=1 ;;
     --analyze) analyze=1 ;;
     --shard) shard=1 ;;
+    --supervise) supervise=1 ;;
     *) jobs=$arg ;;
   esac
 done
@@ -166,6 +178,23 @@ run_shard_lane() {
   "$bin" --fixtures "$root/tests/analyze_fixtures"
 }
 
+run_supervise_lane() {
+  plain_dir=$1
+  tsan_dir=$2
+  echo "==== [supervise] plain build ===="
+  cmake -B "$plain_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFLEXRIC_SANITIZE=""
+  cmake --build "$plain_dir" -j "$jobs" --target test_supervision
+  echo "==== [supervise] suite + 12-seed soak (plain, double-run determinism) ===="
+  "$plain_dir/tests/test_supervision" --gtest_brief=1
+  echo "==== [supervise] tsan build ===="
+  cmake -B "$tsan_dir" -S "$root" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DFLEXRIC_FUZZ_ITERS="$fuzz_iters" -DFLEXRIC_SANITIZE="thread"
+  cmake --build "$tsan_dir" -j "$jobs" --target test_supervision
+  echo "==== [supervise] suite + 12-seed soak (tsan) ===="
+  "$tsan_dir/tests/test_supervision" --gtest_brief=1
+}
+
 # --analyze is a standalone lane: run it and exit without the full matrix.
 if [ "$analyze" -eq 1 ]; then
   run_analyze_lane "$root/build"
@@ -177,6 +206,13 @@ fi
 if [ "$shard" -eq 1 ]; then
   run_shard_lane "$root/build-tsan"
   echo "==== ci.sh: shard lane passed ===="
+  exit 0
+fi
+
+# --supervise: the watchdog/quarantine/recovery suite, plain + TSan.
+if [ "$supervise" -eq 1 ]; then
+  run_supervise_lane "$root/build" "$root/build-tsan"
+  echo "==== ci.sh: supervise lane passed ===="
   exit 0
 fi
 

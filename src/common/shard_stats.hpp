@@ -16,8 +16,10 @@
 //   sum(emitted) == sum(delivered) + sum(agent_shed) + sum(server_shed)
 //
 // where server_shed = rate_shed + flood_shed + queue_shed + fanout_shed
-// (fanout_shed counts cross-shard indication-ring overflow — a bounded ring
-// sheds with a counted reason, never silently, same rule as BoundedQueue).
+// + orphan_indications (fanout_shed counts cross-shard indication-ring
+// overflow, orphan_indications counts indications with no matching
+// subscription — a bounded ring or a restarted shard sheds with a counted
+// reason, never silently, same rule as BoundedQueue).
 //
 // Sanctioned use of <atomic> outside src/transport/ (tools/lint.py
 // THREAD_OK_FILES): publishing counters across shard threads is impossible
@@ -44,12 +46,94 @@ struct ShardLedger {
   std::uint64_t fanout_shed = 0;     ///< cross-shard indication ring overflow
   std::uint64_t reply_shed = 0;      ///< northbound reply ring overflow
   std::uint64_t dir_events_lost = 0; ///< directory event ring overflow (triggers resync)
+  std::uint64_t orphan_indications = 0;  ///< no matching subscription (counted drop)
   std::uint64_t frames = 0;          ///< frames dispatched (throughput axis)
   std::uint64_t cpu_ns = 0;          ///< shard-thread CPU burned (bench)
 
   [[nodiscard]] std::uint64_t server_shed() const noexcept {
-    return rate_shed + flood_shed + queue_shed + fanout_shed;
+    return rate_shed + flood_shed + queue_shed + fanout_shed +
+           orphan_indications;
   }
+
+  /// Field-wise accumulate — the merge-on-query sum, and how the ledger of
+  /// a torn-down shard incarnation folds into its retired total (§15).
+  void add(const ShardLedger& v) noexcept {
+    msgs_rx += v.msgs_rx;
+    dispatched += v.dispatched;
+    indications_rx += v.indications_rx;
+    rate_shed += v.rate_shed;
+    flood_shed += v.flood_shed;
+    queue_shed += v.queue_shed;
+    queued += v.queued;
+    agent_reported_sheds += v.agent_reported_sheds;
+    fanout_shed += v.fanout_shed;
+    reply_shed += v.reply_shed;
+    dir_events_lost += v.dir_events_lost;
+    orphan_indications += v.orphan_indications;
+    frames += v.frames;
+    cpu_ns += v.cpu_ns;
+  }
+};
+
+/// Cache-aligned per-shard liveness board (DESIGN.md §15).
+///
+/// Each shard loop publishes a cheap heartbeat — a loop-turn counter plus
+/// the reactor timestamp of its last observed progress — into its own
+/// 64-byte slot; the home-side watchdog reads the slots and classifies
+/// shards (healthy / degraded / quarantined / recovering) from the age of
+/// the newest beat. Same single-writer-per-slot discipline as the counter
+/// board below: the shard is the only writer of its slot, any thread reads.
+///
+/// The two fields are published progress-first / turns-last with a release
+/// store on `turns`, and read turns-first with an acquire load, so a reader
+/// that observes turn N also observes (at least) the progress timestamp
+/// that accompanied it. A torn pair is still monotone in both fields, so
+/// the watchdog can only under-estimate freshness — the safe direction.
+class ShardHealthBoard {
+ public:
+  struct Beat {
+    std::uint64_t turns = 0;   ///< loop-turn counter (heartbeat ticks)
+    std::int64_t progress_ns = 0;  ///< reactor time of the last beat
+  };
+
+  explicit ShardHealthBoard(std::uint32_t shards)
+      : shards_(shards), slots_(std::make_unique<Slot[]>(shards)) {}
+
+  [[nodiscard]] std::uint32_t shards() const noexcept { return shards_; }
+
+  /// Shard-side: one heartbeat. Wait-free, two stores, no rmw.
+  void beat(std::uint32_t shard, std::int64_t now_ns) noexcept {
+    Slot& s = slots_[shard];
+    const std::uint64_t t = s.turns.load(std::memory_order_relaxed);
+    s.progress_ns.store(now_ns, std::memory_order_relaxed);
+    s.turns.store(t + 1, std::memory_order_release);
+  }
+
+  /// Watchdog-side: the freshest beat this reader can prove.
+  [[nodiscard]] Beat read(std::uint32_t shard) const noexcept {
+    const Slot& s = slots_[shard];
+    Beat b;
+    b.turns = s.turns.load(std::memory_order_acquire);
+    b.progress_ns = s.progress_ns.load(std::memory_order_relaxed);
+    return b;
+  }
+
+  /// Recovery: a replacement shard starts its heartbeat history fresh so
+  /// hysteresis counts beats of the new loop, not the corpse's.
+  void reset(std::uint32_t shard) noexcept {
+    Slot& s = slots_[shard];
+    s.progress_ns.store(0, std::memory_order_relaxed);
+    s.turns.store(0, std::memory_order_release);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> turns{0};
+    std::atomic<std::int64_t> progress_ns{0};
+  };
+
+  std::uint32_t shards_;
+  std::unique_ptr<Slot[]> slots_;
 };
 
 class ShardCounterBoard {
@@ -60,6 +144,10 @@ class ShardCounterBoard {
     /// retry until they observe the same even value before and after the
     /// field loads, so a ledger image is never torn across fields.
     std::atomic<std::uint64_t> seq{0};
+    /// Incarnation epoch (DESIGN.md §15): a publish stamped with a stale
+    /// epoch is dropped, so a force-restarted shard's leaked corpse loop
+    /// cannot scribble over the replacement's slot if it ever un-wedges.
+    std::atomic<std::uint64_t> epoch{0};
     std::atomic<std::uint64_t> msgs_rx{0};
     std::atomic<std::uint64_t> dispatched{0};
     std::atomic<std::uint64_t> indications_rx{0};
@@ -71,6 +159,7 @@ class ShardCounterBoard {
     std::atomic<std::uint64_t> fanout_shed{0};
     std::atomic<std::uint64_t> reply_shed{0};
     std::atomic<std::uint64_t> dir_events_lost{0};
+    std::atomic<std::uint64_t> orphan_indications{0};
     std::atomic<std::uint64_t> frames{0};
     std::atomic<std::uint64_t> cpu_ns{0};
   };
@@ -87,7 +176,18 @@ class ShardCounterBoard {
   /// the §11 reconciliation invariant holds across fields, not just within
   /// each one.
   void publish(std::uint32_t shard, const ShardLedger& v) noexcept {
+    publish(shard, v, epoch_of(shard));
+  }
+
+  /// Epoch-stamped publish: writers born before the last bump_epoch() are
+  /// silently dropped. The residual race — a writer that passed the check
+  /// and then stalled mid-publish — is confined to threaded force-restart
+  /// (the caller also retires that incarnation's rings, so the slot is the
+  /// only shared cell, and the replacement's next publish overwrites it).
+  void publish(std::uint32_t shard, const ShardLedger& v,
+               std::uint64_t epoch) noexcept {
     Slot& s = slots_[shard];
+    if (epoch != s.epoch.load(std::memory_order_acquire)) return;
     const std::uint64_t s0 = s.seq.load(std::memory_order_relaxed);
     s.seq.store(s0 + 1, std::memory_order_relaxed);
     std::atomic_thread_fence(std::memory_order_release);
@@ -103,6 +203,8 @@ class ShardCounterBoard {
     s.fanout_shed.store(v.fanout_shed, std::memory_order_relaxed);
     s.reply_shed.store(v.reply_shed, std::memory_order_relaxed);
     s.dir_events_lost.store(v.dir_events_lost, std::memory_order_relaxed);
+    s.orphan_indications.store(v.orphan_indications,
+                               std::memory_order_relaxed);
     s.frames.store(v.frames, std::memory_order_relaxed);
     s.cpu_ns.store(v.cpu_ns, std::memory_order_relaxed);
     s.seq.store(s0 + 2, std::memory_order_release);
@@ -128,6 +230,8 @@ class ShardCounterBoard {
       v.fanout_shed = s.fanout_shed.load(std::memory_order_relaxed);
       v.reply_shed = s.reply_shed.load(std::memory_order_relaxed);
       v.dir_events_lost = s.dir_events_lost.load(std::memory_order_relaxed);
+      v.orphan_indications =
+          s.orphan_indications.load(std::memory_order_relaxed);
       v.frames = s.frames.load(std::memory_order_relaxed);
       v.cpu_ns = s.cpu_ns.load(std::memory_order_relaxed);
       std::atomic_thread_fence(std::memory_order_acquire);
@@ -135,25 +239,18 @@ class ShardCounterBoard {
     }
   }
 
+  [[nodiscard]] std::uint64_t epoch_of(std::uint32_t shard) const noexcept {
+    return slots_[shard].epoch.load(std::memory_order_acquire);
+  }
+  /// Retire the current writer incarnation of `shard`'s slot (recovery).
+  void bump_epoch(std::uint32_t shard) noexcept {
+    slots_[shard].epoch.fetch_add(1, std::memory_order_acq_rel);
+  }
+
   /// Merge-on-query: the global ledger is the field-wise sum of the slots.
   [[nodiscard]] ShardLedger sum() const noexcept {
     ShardLedger total;
-    for (std::uint32_t i = 0; i < shards_; ++i) {
-      const ShardLedger v = read(i);
-      total.msgs_rx += v.msgs_rx;
-      total.dispatched += v.dispatched;
-      total.indications_rx += v.indications_rx;
-      total.rate_shed += v.rate_shed;
-      total.flood_shed += v.flood_shed;
-      total.queue_shed += v.queue_shed;
-      total.queued += v.queued;
-      total.agent_reported_sheds += v.agent_reported_sheds;
-      total.fanout_shed += v.fanout_shed;
-      total.reply_shed += v.reply_shed;
-      total.dir_events_lost += v.dir_events_lost;
-      total.frames += v.frames;
-      total.cpu_ns += v.cpu_ns;
-    }
+    for (std::uint32_t i = 0; i < shards_; ++i) total.add(read(i));
     return total;
   }
 

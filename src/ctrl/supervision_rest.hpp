@@ -1,0 +1,35 @@
+// Northbound export of shard supervision state (DESIGN.md §15) over the
+// controller's REST interface — the operator's view of the watchdog: which
+// shards are healthy, which are quarantined or recovering, and how fast the
+// last recovery was.
+//
+// Routes (all JSON, GET):
+//   GET /shards       per-shard health: state, beat age (ms), accepting,
+//                     restarts, retired-ledger frame count
+//   GET /supervision  aggregate counters: supervisor_quarantines,
+//                     supervisor_restarts, supervisor_recoveries,
+//                     mttr_last_ms, supervisor_shed, queries_failed
+#pragma once
+
+#include "ctrl/rest.hpp"
+#include "server/sharded_server.hpp"
+#include "server/supervisor.hpp"
+
+namespace flexric::ctrl {
+
+class SupervisionRest {
+ public:
+  /// Registers the routes on `http`. `ric` must outlive the server, and the
+  /// handlers run on the reactor serving `http` — which must be the home
+  /// thread that owns the supervisor (the usual controller layout: one home
+  /// reactor runs pump_home, the watchdog and the REST server).
+  SupervisionRest(HttpServer& http, const server::ShardedE2Server& ric);
+
+ private:
+  void handle_shards(const HttpRequest& req, HttpResponse& resp) const;
+  void handle_supervision(const HttpRequest& req, HttpResponse& resp) const;
+
+  const server::ShardedE2Server& ric_;
+};
+
+}  // namespace flexric::ctrl

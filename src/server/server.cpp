@@ -563,6 +563,7 @@ void E2Server::handle(AgentId id, const e2ap::Indication& m) {
   // destined and forwards it through the provided callback (§4.2.2).
   auto it = subs_.find(SubHandle{id, m.request});
   if (it == subs_.end()) {
+    stats_.orphan_indications++;
     LOG_DEBUG("server", "indication for unknown subscription (agent %u)", id);
     return;
   }

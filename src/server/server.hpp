@@ -208,6 +208,12 @@ class E2Server {
     /// Setup requests from agents whose GlobalNodeId hashes to another
     /// shard (sharded deployments only; the connection is closed).
     std::uint64_t misrouted = 0;
+    /// Indications for a subscription this server does not know — e.g. an
+    /// agent flushing its buffered backlog against a restarted shard whose
+    /// replacement allocated different request ids (DESIGN.md §15). A
+    /// counted drop, never a silent one: the global reconciliation
+    /// invariant folds this in as a server-side shed.
+    std::uint64_t orphan_indications = 0;
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 

@@ -1,6 +1,7 @@
 #include "server/sharded_server.hpp"
 
 #include "common/log.hpp"
+#include "server/supervisor.hpp"
 
 namespace flexric::server {
 
@@ -19,6 +20,7 @@ class ShardedE2Server::Relay final : public IApp {
       : shard_(shard),
         cell_(cell),
         board_(board),
+        epoch_(board.epoch_of(shard)),
         publish_period_(publish_period) {}
 
   ~Relay() override { *alive_ = false; }
@@ -55,7 +57,8 @@ class ShardedE2Server::Relay final : public IApp {
     if (!push_event(std::move(ev))) note_event_lost();
   }
 
-  /// Arm cross-shard fan-out (home thread, before agents connect).
+  /// Arm cross-shard fan-out (home thread, before agents connect — or
+  /// during a rebuild, before the replacement server starts).
   void set_fanout(std::uint16_t fn_id, Buffer trigger,
                   std::vector<e2ap::Action> actions) {
     fanout_fn_ = fn_id;
@@ -73,9 +76,10 @@ class ShardedE2Server::Relay final : public IApp {
 
   void note_reply_shed() { reply_shed_++; }
 
-  /// Copy the shard's ledger into its cache-aligned board slot. Runs on the
-  /// shard thread (timer); the board is the cross-thread-readable face.
-  void publish() {
+  /// One untorn ledger image of this shard right now. Shard-thread normally;
+  /// the home thread may call it during a manual-mode rebuild harvest (the
+  /// corpse loop is provably not running — one thread owns every domain).
+  [[nodiscard]] ShardLedger collect() const {
     const E2Server::Stats& st = server_->stats();
     ShardLedger v;
     v.msgs_rx = st.msgs_rx;
@@ -89,8 +93,16 @@ class ShardedE2Server::Relay final : public IApp {
     v.fanout_shed = fanout_shed_;
     v.reply_shed = reply_shed_;
     v.dir_events_lost = events_lost_;
+    v.orphan_indications = st.orphan_indications;
     v.frames = st.dispatched;
-    board_.publish(shard_, v);
+    return v;
+  }
+
+  /// Copy the shard's ledger into its cache-aligned board slot. Runs on the
+  /// shard thread (timer); the board is the cross-thread-readable face. The
+  /// epoch stamp keeps a retired incarnation off the replacement's slot.
+  void publish() {
+    board_.publish(shard_, collect(), epoch_);
     if (pending_resync_) try_resync();
   }
 
@@ -149,6 +161,7 @@ class ShardedE2Server::Relay final : public IApp {
   std::uint32_t shard_;
   Cell& cell_;
   ShardCounterBoard& board_;
+  std::uint64_t epoch_;
   Nanos publish_period_;
   bool fanout_armed_ = false;
   std::uint16_t fanout_fn_ = 0;
@@ -170,28 +183,46 @@ class ShardedE2Server::Relay final : public IApp {
 ShardedE2Server::ShardedE2Server(ShardPool& pool, ShardedConfig cfg)
     : pool_(pool),
       cfg_(std::move(cfg)),
+      cells_(pool.size()),
       ports_(pool.size(), 0),
-      board_(pool.size()) {
-  cells_.reserve(pool_.size());
-  for (std::uint32_t i = 0; i < pool_.size(); ++i) {
+      board_(pool.size()),
+      accepting_(pool.size(), 1),
+      retired_ledgers_(pool.size()) {
+  for (std::uint32_t i = 0; i < pool_.size(); ++i)
+    build_cell(i, /*fresh_rings=*/true);
+  if (cfg_.supervise.enabled && cfg_.supervise.heartbeat_period > 0)
+    pool_.enable_heartbeat(cfg_.supervise.heartbeat_period);
+  supervisor_ =
+      std::make_unique<ShardSupervisor>(pool_, *this, cfg_.supervise);
+}
+
+ShardedE2Server::~ShardedE2Server() {
+  // Cells of force-restarted threaded shards may still be visited by their
+  // wedged (detached) loop thread: leak them deliberately, mirroring
+  // ShardPool's retired reactors. The OS reclaims at process exit.
+  for (auto& c : retired_cells_) (void)c.release();
+}
+
+void ShardedE2Server::build_cell(std::uint32_t i, bool fresh_rings) {
+  if (fresh_rings || !cells_[i]) {
     auto cell = std::make_unique<Cell>();
     cell->events = std::make_unique<SpscRing<DirEvent>>(cfg_.event_ring);
     cell->fanout =
         std::make_unique<SpscRing<FanoutIndication>>(cfg_.fanout_ring);
-    cell->replies =
-        std::make_unique<SpscRing<std::function<void()>>>(cfg_.reply_ring);
-    E2Server::Config scfg = cfg_.server;
-    scfg.shard = i;
-    scfg.num_shards = pool_.size();
-    cell->server = std::make_unique<E2Server>(pool_.reactor(i), scfg);
-    cell->relay =
-        std::make_shared<Relay>(i, *cell, board_, cfg_.publish_period);
-    cell->server->add_iapp(cell->relay);
-    cells_.push_back(std::move(cell));
+    cell->replies = std::make_unique<SpscRing<QueryReply>>(cfg_.reply_ring);
+    cells_[i] = std::move(cell);
   }
+  Cell& cell = *cells_[i];
+  E2Server::Config scfg = cfg_.server;
+  scfg.shard = i;
+  scfg.num_shards = pool_.size();
+  cell.server = std::make_unique<E2Server>(pool_.reactor(i), scfg);
+  cell.relay = std::make_shared<Relay>(i, cell, board_, cfg_.publish_period);
+  if (fanout_armed_)
+    cell.relay->set_fanout(fanout_fn_, fanout_trigger_, fanout_actions_);
+  cell.server->add_iapp(cell.relay);
+  for (const IAppFactory& f : factories_) cell.server->add_iapp(f(i));
 }
-
-ShardedE2Server::~ShardedE2Server() = default;
 
 Status ShardedE2Server::listen_all(std::uint16_t base_port) {
   for (std::uint32_t i = 0; i < num_shards(); ++i) {
@@ -205,6 +236,7 @@ Status ShardedE2Server::listen_all(std::uint16_t base_port) {
 }
 
 void ShardedE2Server::add_iapp_factory(const IAppFactory& factory) {
+  factories_.push_back(factory);
   for (std::uint32_t i = 0; i < num_shards(); ++i)
     cells_[i]->server->add_iapp(factory(i));
 }
@@ -214,9 +246,61 @@ void ShardedE2Server::subscribe_fanout(std::uint16_t fn_id, Buffer trigger,
                                        FanoutHandler handler) {
   FLEXRIC_ASSERT_AFFINITY(home_);
   fanout_handler_ = std::move(handler);
+  // Kept home-side too, so a rebuilt shard's replacement relay re-arms.
+  fanout_armed_ = true;
+  fanout_fn_ = fn_id;
+  fanout_trigger_ = trigger;
+  fanout_actions_ = actions;
   // Pre-start configuration: the shards' loops are not running yet (the
   // documented call order), so setting relay state directly is safe.
   for (auto& cell : cells_) cell->relay->set_fanout(fn_id, trigger, actions);
+}
+
+int ShardedE2Server::drain_events(std::uint32_t shard) {
+  int handled = 0;
+  DirEvent ev;
+  // @consumer(shard-dir-events)
+  while (cells_[shard]->events->try_pop(ev)) {
+    apply_dir_event(shard, ev);
+    handled++;
+  }
+  return handled;
+}
+
+int ShardedE2Server::drain_fanout(std::uint32_t shard, bool deliver) {
+  int handled = 0;
+  FanoutIndication fi;
+  // @consumer(shard-fanout)
+  while (cells_[shard]->fanout->try_pop(fi)) {
+    if (deliver) {
+      if (fanout_handler_) fanout_handler_(fi);
+    } else {
+      // Recovery drain: indications parked by a condemned incarnation are
+      // shed with exact accounting, never delivered stale post-restart.
+      supervisor_shed_++;
+    }
+    handled++;
+  }
+  return handled;
+}
+
+int ShardedE2Server::drain_replies(std::uint32_t shard, bool deliver) {
+  int handled = 0;
+  QueryReply qr;
+  // @consumer(shard-replies)
+  while (cells_[shard]->replies->try_pop(qr)) {
+    auto it = pending_.find(qr.id);
+    if (it != pending_.end()) {
+      if (deliver) {
+        QueryDone done = std::move(it->second.done);
+        pending_.erase(it);
+        if (done) done(Result<std::string>(std::move(qr.payload)));
+      }
+      // !deliver: leave the entry; containment fails it with a cause.
+    }
+    handled++;
+  }
+  return handled;
 }
 
 int ShardedE2Server::pump_home() {
@@ -224,31 +308,12 @@ int ShardedE2Server::pump_home() {
   int handled = 0;
   // Fixed drain order — shard 0 first, directory before fan-out before
   // replies — is part of the deterministic scheduling contract (§13).
-  for (std::uint32_t i = 0; i < num_shards(); ++i) {
-    DirEvent ev;
-    // @consumer(shard-dir-events)
-    while (cells_[i]->events->try_pop(ev)) {
-      apply_dir_event(i, ev);
-      handled++;
-    }
-  }
-  for (std::uint32_t i = 0; i < num_shards(); ++i) {
-    FanoutIndication fi;
-    // @consumer(shard-fanout)
-    while (cells_[i]->fanout->try_pop(fi)) {
-      if (fanout_handler_) fanout_handler_(fi);
-      handled++;
-    }
-  }
-  for (std::uint32_t i = 0; i < num_shards(); ++i) {
-    std::function<void()> reply;
-    // @consumer(shard-replies)
-    while (cells_[i]->replies->try_pop(reply)) {
-      reply();
-      handled++;
-    }
-  }
-  const std::uint64_t lost = board_.sum().dir_events_lost;
+  for (std::uint32_t i = 0; i < num_shards(); ++i) handled += drain_events(i);
+  for (std::uint32_t i = 0; i < num_shards(); ++i)
+    handled += drain_fanout(i, /*deliver=*/true);
+  for (std::uint32_t i = 0; i < num_shards(); ++i)
+    handled += drain_replies(i, /*deliver=*/true);
+  const std::uint64_t lost = global_ledger().dir_events_lost;
   if (lost > seen_events_lost_) request_resyncs();
   return handled;
 }
@@ -271,8 +336,8 @@ void ShardedE2Server::apply_dir_event(std::uint32_t shard, DirEvent& ev) {
       break;
     case DirEvent::Kind::snapshot: {
       // Rebuild this shard's slice of the merged view from scratch: the
-      // incremental stream was lossy (ring overflow), the snapshot is
-      // authoritative.
+      // incremental stream was lossy (ring overflow) or the shard was
+      // restarted; the snapshot is authoritative.
       resyncs_++;
       for (AgentId gid : directory_.agents())
         if (shard_of_global(gid) == shard) directory_.remove_agent(gid);
@@ -293,30 +358,137 @@ void ShardedE2Server::apply_dir_event(std::uint32_t shard, DirEvent& ev) {
 void ShardedE2Server::request_resyncs() {
   bool all_posted = true;
   for (std::uint32_t i = 0; i < num_shards(); ++i) {
+    if (!accepting_[i]) continue;  // a quarantined shard resyncs on rebuild
     Relay* relay = cells_[i]->relay.get();
     if (!pool_.post(i, [relay] { relay->request_resync(); }).is_ok())
       all_posted = false;
   }
   // Only acknowledge the loss once every shard accepted the resync request;
   // a full injector ring just means we retry on the next pump.
-  if (all_posted) seen_events_lost_ = board_.sum().dir_events_lost;
+  if (all_posted) seen_events_lost_ = global_ledger().dir_events_lost;
 }
 
 Status ShardedE2Server::query(std::uint32_t shard,
                               std::function<std::string(E2Server&)> job,
-                              std::function<void(std::string)> done) {
+                              QueryDone done) {
   FLEXRIC_ASSERT_AFFINITY(home_);
+  if (!accepting_[shard]) {
+    queries_failed_++;
+    return Status{Errc::rejected, "shard quarantined"};
+  }
+  const std::uint64_t id = ++next_query_id_;
   Cell* cell = cells_[shard].get();
-  return pool_.post(
-      shard, [cell, job = std::move(job), done = std::move(done)] {
-        std::string result = job(*cell->server);
+  Status st =
+      pool_.post(shard, [cell, id, job = std::move(job)] {
+        QueryReply qr;
+        qr.id = id;
+        qr.payload = job(*cell->server);
         // @producer(shard-replies)
-        Status st = cell->replies->try_push(
-            [done, result = std::move(result)]() mutable {
-              done(std::move(result));
-            });
-        if (!st.is_ok()) cell->relay->note_reply_shed();
+        if (!cell->replies->try_push(std::move(qr)).is_ok())
+          cell->relay->note_reply_shed();
       });
+  if (!st.is_ok()) return st;
+  pending_.emplace(id, PendingQuery{shard, std::move(done)});
+  return Status::ok();
+}
+
+void ShardedE2Server::fail_pending_queries(std::uint32_t shard) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.shard != shard) {
+      ++it;
+      continue;
+    }
+    QueryDone done = std::move(it->second.done);
+    it = pending_.erase(it);
+    queries_failed_++;
+    // Transport-style cause: to the caller this is indistinguishable from
+    // the connection to that shard being reset under the query.
+    if (done)
+      done(Result<std::string>(Errc::io,
+                               "shard quarantined: connection reset"));
+  }
+}
+
+void ShardedE2Server::contain_shard(std::uint32_t shard) {
+  FLEXRIC_ASSERT_AFFINITY(home_);
+  accepting_[shard] = 0;
+  fail_pending_queries(shard);
+}
+
+void ShardedE2Server::rebuild_shard(std::uint32_t shard) {
+  FLEXRIC_ASSERT_AFFINITY(home_);
+  accepting_[shard] = 0;
+  fail_pending_queries(shard);
+  // Parked directory events are authoritative lifecycle facts: deliver
+  // them before the slice is wiped. Parked fan-out indications belong to a
+  // condemned incarnation: shed with exact accounting (supervisor_shed).
+  // Parked replies answer queries containment already failed: drop.
+  drain_events(shard);
+  drain_fanout(shard, /*deliver=*/false);
+  drain_replies(shard, /*deliver=*/false);
+  // Harvest the corpse's ledger into the retired total so the global
+  // ledger stays monotone across the restart. Manual mode reads the server
+  // directly — exact, the loop is provably not running (one thread owns
+  // every domain; the home_ guard above is that proof). Threaded mode
+  // settles for the last published image, at most one publish period
+  // stale.
+  const bool manual = pool_.mode() == ShardPool::Mode::manual;
+  ShardLedger harvest;
+  if (manual && cells_[shard]->relay) {
+    harvest = cells_[shard]->relay->collect();
+  } else {
+    harvest = board_.read(shard);
+  }
+  // Frames admitted but still queued die with the ingest queue: that loss
+  // is supervision's doing, so it lands in supervisor_shed, keeping
+  //   Σemitted == Σdelivered + Σagent_shed + Σserver_shed + Σsupervisor_shed
+  // exact across the recovery.
+  supervisor_shed_ += harvest.queued;
+  harvest.queued = 0;
+  retired_ledgers_[shard].add(harvest);
+  // Retire the slot's writer incarnation before the teardown: a leaked
+  // corpse loop that un-wedges later publishes into the void.
+  board_.bump_epoch(shard);
+  if (manual) {
+    // Destroy the dead cell in place; the rings survive and are reseeded.
+    cells_[shard]->server.reset();
+    cells_[shard]->relay.reset();
+    board_.publish(shard, ShardLedger{});
+  } else {
+    // A wedged loop thread may still be inside the cell: retire it whole
+    // (leaked at destruction) and give the replacement fresh rings.
+    retired_cells_.push_back(std::move(cells_[shard]));
+  }
+  pool_.restart_shard(shard);
+  if (manual) {
+    // Reseed the shard->home conduits for the replacement loop. This is
+    // the one sanctioned reset_endpoints path — the analyzer's
+    // atomics-order pass flags any caller without a @recovery annotation.
+    cells_[shard]->events->reset_endpoints();   // @recovery
+    cells_[shard]->fanout->reset_endpoints();   // @recovery
+    cells_[shard]->replies->reset_endpoints();  // @recovery
+  }
+  build_cell(shard, /*fresh_rings=*/!manual);
+  if (ports_[shard] != 0) {
+    // Re-listen on the same shard port so re-homing agents dial the same
+    // address. If the OS still holds it, fall back to an ephemeral port
+    // rather than staying dark.
+    Status st = cells_[shard]->server->listen(ports_[shard]);
+    if (!st.is_ok()) {
+      LOG_WARN("sharded", "shard %u: re-listen on port %u failed (%s)", shard,
+               ports_[shard], st.to_string().c_str());
+      (void)cells_[shard]->server->listen(0);
+    }
+    ports_[shard] = cells_[shard]->server->port();
+  }
+  // Wipe the stale slice of the merged directory now; the authoritative
+  // snapshot resync from the replacement confirms (and repopulates as
+  // agents re-home through the PR-3 reconnect machinery).
+  for (AgentId gid : directory_.agents())
+    if (shard_of_global(gid) == shard) directory_.remove_agent(gid);
+  Relay* relay = cells_[shard]->relay.get();
+  (void)pool_.post(shard, [relay] { relay->request_resync(); });
+  accepting_[shard] = 1;
 }
 
 }  // namespace flexric::server

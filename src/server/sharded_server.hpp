@@ -28,6 +28,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -35,9 +36,12 @@
 #include "common/spsc_ring.hpp"
 #include "server/server.hpp"
 #include "server/sharding.hpp"
+#include "transport/resilience.hpp"
 #include "transport/shard_pool.hpp"
 
 namespace flexric::server {
+
+class ShardSupervisor;
 
 struct ShardedConfig {
   /// Per-shard E2Server template; `shard`/`num_shards` are filled in per
@@ -48,6 +52,9 @@ struct ShardedConfig {
   std::size_t reply_ring = 1024;   ///< query replies, per shard
   /// Cadence of each shard's ledger publish into the counter board.
   Nanos publish_period = 10 * kMilli;
+  /// Watchdog + quarantine + stateful-restart knobs (DESIGN.md §15). The
+  /// shard heartbeat is armed on the pool at construction when enabled.
+  SupervisionConfig supervise;
 };
 
 class ShardedE2Server {
@@ -128,34 +135,97 @@ class ShardedE2Server {
   }
 
   /// Merge-on-query global ledger: field-wise sum of the per-shard board
-  /// slots. Readable from any thread at any time; exact once the shards'
-  /// publish timers have fired after quiescence.
+  /// slots plus every retired incarnation's harvested ledger (a restarted
+  /// shard starts its slot from zero; the corpse's counts live on in the
+  /// retired total, so Σ stays monotone across recovery). Exact once the
+  /// shards' publish timers have fired after quiescence.
   [[nodiscard]] ShardLedger global_ledger() const noexcept {
-    return board_.sum();
+    ShardLedger total = board_.sum();
+    for (const ShardLedger& r : retired_ledgers_) total.add(r);
+    return total;
   }
   [[nodiscard]] ShardLedger shard_ledger(std::uint32_t shard) const noexcept {
-    return board_.read(shard);
+    ShardLedger v = board_.read(shard);
+    v.add(retired_ledgers_[shard]);
+    return v;
+  }
+  /// Harvested ledger of `shard`'s dead incarnations alone (home thread).
+  [[nodiscard]] const ShardLedger& retired_ledger(
+      std::uint32_t shard) const noexcept {
+    return retired_ledgers_[shard];
   }
   [[nodiscard]] const ShardCounterBoard& board() const noexcept {
     return board_;
   }
 
   /// Run `job` on `shard`'s loop with its E2Server; `done` runs back on the
-  /// home thread (next pump_home) with the result string. The northbound
-  /// REST/telemetry query path: request over the injector ring, reply over
-  /// the reply ring, no shared state. Errc::capacity when the injector ring
-  /// is full.
+  /// home thread (next pump_home) with the result, or with a transport-style
+  /// error if the shard is quarantined while the query is in flight. The
+  /// northbound REST/telemetry query path: request over the injector ring,
+  /// reply over the reply ring, no shared state. Errc::capacity when the
+  /// injector ring is full; Errc::rejected immediately when the shard is
+  /// already quarantined (fail fast, don't enqueue into a dead loop).
+  using QueryDone = std::function<void(Result<std::string>)>;
   Status query(std::uint32_t shard, std::function<std::string(E2Server&)> job,
-               std::function<void(std::string)> done);
+               QueryDone done);
 
   /// Run an arbitrary job on a shard's loop (fire-and-forget).
+  /// Errc::rejected when the shard is quarantined.
   Status post_to_shard(std::uint32_t shard, std::function<void()> job) {
+    if (!accepting_[shard])
+      return Status{Errc::rejected, "shard quarantined"};
     return pool_.post(shard, std::move(job));
   }
 
   /// Directory resyncs performed after event-ring overflow (home thread).
   [[nodiscard]] std::uint64_t directory_resyncs() const noexcept {
     return resyncs_;
+  }
+
+  // -- supervision & recovery (DESIGN.md §15) -------------------------------
+
+  /// The watchdog that owns the healthy/degraded/quarantined/recovering
+  /// classification. Poll it from the home loop (ShardSupervisor::poll).
+  [[nodiscard]] ShardSupervisor& supervisor() noexcept { return *supervisor_; }
+  [[nodiscard]] const ShardSupervisor& supervisor() const noexcept {
+    return *supervisor_;
+  }
+
+  /// Is `shard` accepting new agents and queries? False from containment
+  /// until its rebuild completes — the sharded equivalent of the listener
+  /// socket being down while a process restarts.
+  [[nodiscard]] bool accepting(std::uint32_t shard) const noexcept {
+    return accepting_[shard] != 0;
+  }
+
+  /// Containment half of quarantine (home thread; normally driven by the
+  /// supervisor): stop accepting agents/queries for `shard` and fail every
+  /// in-flight cross-shard query against it with a transport-style cause.
+  void contain_shard(std::uint32_t shard);
+
+  /// Stateful restart (home thread; normally driven by the supervisor):
+  /// deliver the shard's parked directory events, shed its parked fan-out
+  /// indications with exact accounting (supervisor_shed), harvest its
+  /// ledger into the retired total, tear the server + reactor down, spin a
+  /// replacement under the same domain name (re-listening on the same
+  /// port), reseed the ring endpoints via the sanctioned @recovery path,
+  /// re-instantiate the iApp factories and fan-out subscription, and wipe +
+  /// resync this shard's slice of the merged directory. Agents re-home
+  /// through their own PR-3 reconnect machinery once accepting() is true
+  /// again.
+  void rebuild_shard(std::uint32_t shard);
+
+  /// Indications/frames destroyed by supervision itself (fan-out parked in
+  /// a dead shard's ring, frames stranded in a dead ingest queue): the
+  /// fourth shed term of the global invariant
+  ///   Σemitted == Σdelivered + Σagent_shed + Σserver_shed + Σsupervisor_shed
+  [[nodiscard]] std::uint64_t supervisor_shed() const noexcept {
+    return supervisor_shed_;
+  }
+  /// In-flight cross-shard queries failed by containment plus queries
+  /// refused while quarantined.
+  [[nodiscard]] std::uint64_t queries_failed() const noexcept {
+    return queries_failed_;
   }
 
  private:
@@ -169,6 +239,14 @@ class ShardedE2Server {
 
   class Relay;  // per-shard @affine(shard) bridge iApp (defined in .cpp)
 
+  /// One northbound query reply crossing shard -> home: the id keys the
+  /// home-side pending registry, so containment can fail a query whose
+  /// shard died before replying.
+  struct QueryReply {
+    std::uint64_t id = 0;
+    std::string payload;
+  };
+
   /// Everything owned by one shard plus its shard->home conduits. The
   /// server/relay cells are @affine(shard); the rings are the conduits.
   struct Cell {
@@ -176,15 +254,30 @@ class ShardedE2Server {
     std::shared_ptr<Relay> relay;
     std::unique_ptr<SpscRing<DirEvent>> events;
     std::unique_ptr<SpscRing<FanoutIndication>> fanout;
-    std::unique_ptr<SpscRing<std::function<void()>>> replies;
+    std::unique_ptr<SpscRing<QueryReply>> replies;
   };
 
+  struct PendingQuery {
+    std::uint32_t shard = 0;
+    QueryDone done;
+  };
+
+  void build_cell(std::uint32_t shard, bool fresh_rings);
   void apply_dir_event(std::uint32_t shard, DirEvent& ev);
   void request_resyncs();
+  void fail_pending_queries(std::uint32_t shard);
+  int drain_events(std::uint32_t shard);
+  int drain_fanout(std::uint32_t shard, bool deliver);
+  int drain_replies(std::uint32_t shard, bool deliver);
 
   ShardPool& pool_;
   ShardedConfig cfg_;
   std::vector<std::unique_ptr<Cell>> cells_;
+  /// Cells of force-restarted shards in threaded mode: their loop thread
+  /// may still be wedged inside them, so they are parked here and leaked
+  /// at destruction (mirror of ShardPool's retired universes). Manual-mode
+  /// rebuilds reuse the cell and its rings via reset_endpoints instead.
+  std::vector<std::unique_ptr<Cell>> retired_cells_;
   std::vector<std::uint16_t> ports_;
   ShardCounterBoard board_;
 
@@ -195,6 +288,20 @@ class ShardedE2Server {
   FanoutHandler fanout_handler_;
   std::uint64_t seen_events_lost_ = 0;
   std::uint64_t resyncs_ = 0;
+  // Supervision state (home thread).
+  std::unique_ptr<ShardSupervisor> supervisor_;
+  std::vector<std::uint8_t> accepting_;
+  std::vector<ShardLedger> retired_ledgers_;
+  std::map<std::uint64_t, PendingQuery> pending_;  ///< ordered: deterministic
+  std::uint64_t next_query_id_ = 0;
+  std::uint64_t supervisor_shed_ = 0;
+  std::uint64_t queries_failed_ = 0;
+  // Fan-out subscription args kept home-side so a rebuilt shard re-arms.
+  bool fanout_armed_ = false;
+  std::uint16_t fanout_fn_ = 0;
+  Buffer fanout_trigger_;
+  std::vector<e2ap::Action> fanout_actions_;
+  std::vector<IAppFactory> factories_;
 };
 
 }  // namespace flexric::server

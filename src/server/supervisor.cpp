@@ -1,0 +1,119 @@
+#include "server/supervisor.hpp"
+
+#include "server/sharded_server.hpp"
+#include "transport/shard_pool.hpp"
+
+namespace flexric::server {
+
+const char* shard_health_name(ShardHealth h) noexcept {
+  switch (h) {
+    case ShardHealth::healthy: return "healthy";
+    case ShardHealth::degraded: return "degraded";
+    case ShardHealth::quarantined: return "quarantined";
+    case ShardHealth::recovering: return "recovering";
+  }
+  return "unknown";
+}
+
+ShardSupervisor::ShardSupervisor(ShardPool& pool, ShardedE2Server& server,
+                                 SupervisionConfig cfg)
+    : pool_(pool), server_(server), cfg_(cfg), states_(pool.size()) {}
+
+void ShardSupervisor::transition(std::uint32_t shard, ShardHealth to) {
+  ShardState& st = states_[shard];
+  const ShardHealth from = st.health;
+  if (from == to) return;
+  st.health = to;
+  if (on_transition_) on_transition_(shard, from, to);
+}
+
+void ShardSupervisor::quarantine(std::uint32_t shard, Nanos now) {
+  ShardState& st = states_[shard];
+  st.quarantined_at = now;
+  st.fresh_polls = 0;
+  stats_.quarantines++;
+  // Containment before anything else: no new agents, no new queries, and
+  // every in-flight cross-shard query fails fast with a transport cause.
+  server_.contain_shard(shard);
+  transition(shard, ShardHealth::quarantined);
+  const bool budget_left =
+      cfg_.max_restarts == 0 || st.restarts < cfg_.max_restarts;
+  if (cfg_.auto_restart && budget_left) restart(shard);
+}
+
+void ShardSupervisor::restart(std::uint32_t shard) {
+  ShardState& st = states_[shard];
+  if (st.health != ShardHealth::quarantined) return;
+  server_.rebuild_shard(shard);
+  st.restarts++;
+  stats_.restarts++;
+  // The replacement starts a fresh heartbeat history: baseline its age at
+  // the rebuild instant so it gets a full quarantine_after of grace.
+  st.last_turns = 0;
+  st.last_beat = last_now_;
+  st.fresh_polls = 0;
+  transition(shard, ShardHealth::recovering);
+}
+
+void ShardSupervisor::poll(Nanos now) {
+  if (!cfg_.enabled) return;
+  last_now_ = now;
+  stats_.polls++;
+  for (std::uint32_t i = 0; i < states_.size(); ++i) {
+    ShardState& st = states_[i];
+    const ShardHealthBoard::Beat b = pool_.health().read(i);
+    if (b.turns != st.last_turns) {
+      st.last_turns = b.turns;
+      st.last_beat = b.progress_ns;
+    } else if (st.last_turns == 0 && st.last_beat == 0) {
+      // Never beaten and never observed: grace starts at first sight, not
+      // at the epoch, or a freshly built pool would be condemned at once.
+      st.last_beat = now;
+    }
+    const Nanos age = now - st.last_beat;
+    st.last_age = age;
+    const bool fresh = age <= cfg_.degraded_after;
+    switch (st.health) {
+      case ShardHealth::healthy:
+        if (age > cfg_.quarantine_after) {
+          quarantine(i, now);
+        } else if (age > cfg_.degraded_after) {
+          st.fresh_polls = 0;
+          stats_.degradations++;
+          transition(i, ShardHealth::degraded);
+        }
+        break;
+      case ShardHealth::degraded:
+        if (age > cfg_.quarantine_after) {
+          quarantine(i, now);
+        } else if (fresh) {
+          if (++st.fresh_polls >= cfg_.recover_hysteresis)
+            transition(i, ShardHealth::healthy);
+        } else {
+          st.fresh_polls = 0;
+        }
+        break;
+      case ShardHealth::quarantined:
+        // Contained and out of restart budget (or auto_restart off):
+        // nothing to watch until restart() is called.
+        break;
+      case ShardHealth::recovering:
+        if (age > cfg_.quarantine_after) {
+          // The replacement wedged too — quarantine again; the restart
+          // budget decides whether another rebuild is attempted.
+          quarantine(i, now);
+        } else if (fresh) {
+          if (++st.fresh_polls >= cfg_.recover_hysteresis) {
+            stats_.recoveries++;
+            stats_.mttr_last = now - st.quarantined_at;
+            transition(i, ShardHealth::healthy);
+          }
+        } else {
+          st.fresh_polls = 0;
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace flexric::server

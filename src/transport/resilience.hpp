@@ -66,6 +66,43 @@ struct ResilienceConfig {
   bool reestablish = true;
 };
 
+/// Knobs of the shard supervision layer (DESIGN.md §15): shard loops beat
+/// into a ShardHealthBoard, a home-side watchdog classifies each shard
+/// through healthy -> degraded -> quarantined -> recovering from the age of
+/// its newest beat, and a quarantined shard is contained and restarted in
+/// place. Like ResilienceConfig above, every duration is a reactor-clock
+/// duration, so with a VirtualClock the whole state machine is
+/// bit-deterministic in the manual harness.
+struct SupervisionConfig {
+  /// Cadence of each shard loop's heartbeat into the health board. Must be
+  /// comfortably below degraded_after or a healthy shard flaps.
+  Nanos heartbeat_period = 10 * kMilli;
+  /// Beat older than this => degraded (watch, don't act yet — hysteresis
+  /// against one slow handler or a scheduler hiccup).
+  Nanos degraded_after = 50 * kMilli;
+  /// Beat older than this => quarantined: contain + (auto_restart) rebuild.
+  Nanos quarantine_after = 200 * kMilli;
+  /// Cadence of the home-side watchdog poll (a reactor timer in threaded
+  /// mode; the manual harness polls explicitly each quantum). Detection
+  /// latency is bounded by quarantine_after + watchdog_period.
+  Nanos watchdog_period = 20 * kMilli;
+  /// A recovering shard must deliver this many consecutive fresh polls
+  /// before it is trusted healthy again (and a degraded shard must do the
+  /// same to clear) — the hysteresis that stops a limping shard from
+  /// flapping healthy/degraded every poll.
+  std::uint32_t recover_hysteresis = 3;
+  /// Rebuild a quarantined shard immediately (the supervised default).
+  /// false = contain only; the operator (or a test) calls restart itself.
+  bool auto_restart = true;
+  /// Give up restarting a shard after this many rebuilds (0 = never give
+  /// up). A shard past its budget stays quarantined — contained, visible
+  /// in the health metrics, but no longer thrashing.
+  std::uint32_t max_restarts = 0;
+  /// Master switch: false leaves the watchdog dormant (classification
+  /// stays healthy, nothing is ever contained or restarted).
+  bool enabled = true;
+};
+
 /// Decorrelated-jitter backoff: first delay is `base`, then
 /// uniform(base, min(cap, 3 * previous)). Spreads reconnect storms while
 /// still growing roughly exponentially; fully determined by the Rng state.

@@ -17,40 +17,79 @@ const char* ShardPool::domain_name(std::uint32_t shard) noexcept {
 
 ShardPool::ShardPool(std::uint32_t shards, Mode mode,
                      const VirtualClock* clock)
-    : mode_(mode) {
+    : mode_(mode), clock_(clock), health_(shards) {
   FLEXRIC_ASSERT(shards >= 1 && shards <= kMaxShards,
                  "shard count out of range");
   shards_.resize(shards);
-  for (std::uint32_t i = 0; i < shards; ++i) {
-    Shard& s = shards_[i];
-    s.reactor = std::make_unique<Reactor>(domain_name(i));
-    if (clock != nullptr) s.reactor->set_time_source(clock);
-    s.injector =
-        std::make_unique<SpscRing<std::function<void()>>>(kInjectorCapacity);
-    // Drain runs on the shard's loop thread; the ring is the conduit.
-    SpscRing<std::function<void()>>* ring = s.injector.get();
-    s.wake = std::make_unique<WakeupFd>(*s.reactor, [ring] {
-      std::function<void()> fn;
-      // @consumer(shard-injector)
-      while (ring->try_pop(fn)) fn();
-    });
+  for (std::uint32_t i = 0; i < shards; ++i) init_shard(i);
+}
+
+ShardPool::~ShardPool() {
+  stop();
+  // Universes retired by a forced restart may still be visited by their
+  // wedged (detached) thread: leak them deliberately — the OS reclaims at
+  // process exit, which is the only point the runaway thread is provably
+  // gone. Cooperatively-restarted shards were joined and already freed.
+  for (Shard& s : retired_) {
+    (void)s.wake.release();
+    (void)s.injector.release();
+    (void)s.reactor.release();
   }
 }
 
-ShardPool::~ShardPool() { stop(); }
+void ShardPool::init_shard(std::uint32_t i) {
+  Shard& s = shards_[i];
+  s.reactor = std::make_unique<Reactor>(domain_name(i));
+  if (clock_ != nullptr) s.reactor->set_time_source(clock_);
+  s.injector =
+      std::make_unique<SpscRing<std::function<void()>>>(kInjectorCapacity);
+  // Drain runs on the shard's loop thread; the ring is the conduit.
+  SpscRing<std::function<void()>>* ring = s.injector.get();
+  s.wake = std::make_unique<WakeupFd>(*s.reactor, [ring] {
+    std::function<void()> fn;
+    // @consumer(shard-injector)
+    while (ring->try_pop(fn)) fn();
+  });
+  s.live = std::make_shared<std::atomic<bool>>(true);
+  if (heartbeat_period_ > 0) arm_heartbeat(i);
+}
+
+void ShardPool::arm_heartbeat(std::uint32_t i) {
+  Shard& s = shards_[i];
+  Reactor* r = s.reactor.get();
+  ShardHealthBoard* health = &health_;
+  s.reactor->add_timer(
+      heartbeat_period_,
+      [r, health, i, live = s.live] {
+        // A retired loop keeps firing its timers until the process exits;
+        // the incarnation flag keeps it off the replacement's board slot.
+        if (!live->load(std::memory_order_relaxed)) return;
+        health->beat(i, r->now());
+      },
+      /*periodic=*/true);
+}
+
+void ShardPool::spawn_shard(std::uint32_t i) {
+  Shard& s = shards_[i];
+  Reactor* r = s.reactor.get();
+  Nanos* cpu_out = &s.cpu_ns;
+  s.thread = std::thread([r, cpu_out] {
+    const Nanos cpu0 = thread_cpu_now();
+    r->run();
+    *cpu_out = thread_cpu_now() - cpu0;
+  });
+}
+
+void ShardPool::enable_heartbeat(Nanos period) {
+  heartbeat_period_ = period;
+  if (period <= 0) return;
+  for (std::uint32_t i = 0; i < size(); ++i) arm_heartbeat(i);
+}
 
 void ShardPool::start() {
   if (mode_ != Mode::threaded || started_) return;
   started_ = true;
-  for (Shard& s : shards_) {
-    Reactor* r = s.reactor.get();
-    Nanos* cpu_out = &s.cpu_ns;
-    s.thread = std::thread([r, cpu_out] {
-      const Nanos cpu0 = thread_cpu_now();
-      r->run();
-      *cpu_out = thread_cpu_now() - cpu0;
-    });
-  }
+  for (std::uint32_t i = 0; i < size(); ++i) spawn_shard(i);
 }
 
 void ShardPool::stop() {
@@ -84,16 +123,53 @@ Status ShardPool::post(std::uint32_t shard, std::function<void()> fn) {
 }
 
 int ShardPool::pump(int rounds) {
+  int handled = 0;
+  if (mode_ != Mode::manual) return handled;
+  for (std::uint32_t i = 0; i < size(); ++i)
+    handled += pump_shard(i, rounds);
+  return handled;
+}
+
+int ShardPool::pump_shard(std::uint32_t shard, int rounds) {
   FLEXRIC_ASSERT_AFFINITY(owner_);
   int handled = 0;
   if (mode_ != Mode::manual) return handled;
-  for (Shard& s : shards_)
-    for (int i = 0; i < rounds; ++i) {
-      int n = s.reactor->run_once(0);
-      handled += n;
-      if (n == 0) break;
-    }
+  Shard& s = shards_[shard];
+  for (int i = 0; i < rounds; ++i) {
+    int n = s.reactor->run_once(0);
+    handled += n;
+    if (n == 0) break;
+  }
   return handled;
+}
+
+void ShardPool::restart_shard(std::uint32_t shard) {
+  FLEXRIC_ASSERT_AFFINITY(owner_);
+  Shard& s = shards_[shard];
+  // Silence the dying incarnation's heartbeat before the replacement
+  // claims the board slot (single writer per slot).
+  if (s.live) s.live->store(false, std::memory_order_relaxed);
+  if (mode_ == Mode::threaded && started_ && s.thread.joinable()) {
+    // A loop the watchdog condemned cannot be joined — joining a wedged
+    // thread blocks forever, and std::thread has no timed join. Detach it
+    // and retire its whole universe; ~ShardPool leaks retirees
+    // deliberately. (A *planned* restart of a healthy pool goes through
+    // stop()/start(), which does join.)
+    s.thread.detach();
+    retired_.push_back(std::move(s));
+    s = Shard{};
+  } else {
+    // Manual mode (or not yet started): destroy the dead universe in
+    // place. Order matters — the wake fd unregisters from the reactor it
+    // watches.
+    s.wake.reset();
+    s.injector.reset();
+    s.reactor.reset();
+  }
+  health_.reset(shard);
+  init_shard(shard);
+  if (mode_ == Mode::threaded && started_) spawn_shard(shard);
+  restarts_++;
 }
 
 }  // namespace flexric

@@ -18,6 +18,7 @@
 // stats — flows shard->home through the rings owned by ShardedE2Server.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -25,6 +26,7 @@
 
 #include "common/affinity.hpp"
 #include "common/clock.hpp"
+#include "common/shard_stats.hpp"
 #include "common/spsc_ring.hpp"
 #include "transport/reactor.hpp"
 #include "transport/wakeup.hpp"
@@ -85,6 +87,37 @@ class ShardPool {
   /// number of work items handled. This fixed interleave is the scheduling
   /// order the deterministic harness replays byte-identically.
   int pump(int rounds = 8);
+  /// Pump a single shard (manual mode). The supervision harness uses this
+  /// to wedge one shard — stop pumping it — while the rest of the world
+  /// keeps turning; pump() above is the all-shards loop over this.
+  int pump_shard(std::uint32_t shard, int rounds = 8);
+
+  /// Arm a periodic liveness beat on every shard loop: each period the
+  /// shard's reactor timer publishes (loop-turn counter, reactor now) into
+  /// its health-board slot. A wedged loop stops beating — that staleness is
+  /// exactly what the ShardSupervisor watchdog detects (DESIGN.md §15).
+  /// Call before start(); restart_shard() re-arms on the replacement loop.
+  void enable_heartbeat(Nanos period);
+  [[nodiscard]] const ShardHealthBoard& health() const noexcept {
+    return health_;
+  }
+
+  /// Stateful shard restart (DESIGN.md §15): replace `shard`'s universe —
+  /// reactor, injector ring, wake fd — with a fresh one under the same
+  /// affinity-domain name, and re-arm the heartbeat. Owner-thread only.
+  ///
+  ///   * manual mode — the dead loop is destroyed in place (its queued
+  ///     tasks and timers die with it; the caller accounts for anything it
+  ///     drained first).
+  ///   * threaded mode — a wedged loop thread cannot be joined; the old
+  ///     Shard is detached and retired, and its universe is deliberately
+  ///     leaked at pool destruction (the OS reclaims it at process exit —
+  ///     the only safe disposal for memory a runaway thread may still
+  ///     touch). A *cooperative* restart of a healthy loop (stop + join +
+  ///     rebuild, no leak) happens when the loop drains its stop task.
+  void restart_shard(std::uint32_t shard);
+  /// Restarts performed so far (all shards).
+  [[nodiscard]] std::uint64_t restarts() const noexcept { return restarts_; }
 
   /// CPU burned by `shard`'s loop thread (threaded mode; valid after
   /// stop()). The bench uses this for per-shard frames-per-CPU-second.
@@ -99,11 +132,27 @@ class ShardPool {
     std::unique_ptr<WakeupFd> wake;
     std::thread thread;
     Nanos cpu_ns = 0;  ///< written by the shard thread after run() returns
+    /// Incarnation guard: restart_shard() flips it false so a retired
+    /// loop's heartbeat timer goes silent instead of racing the
+    /// replacement for the health-board slot (single writer per slot).
+    std::shared_ptr<std::atomic<bool>> live;
   };
 
+  void init_shard(std::uint32_t shard);
+  void spawn_shard(std::uint32_t shard);
+  void arm_heartbeat(std::uint32_t shard);
+
   std::vector<Shard> shards_;
+  /// Universes of force-restarted threaded shards: a wedged, detached
+  /// thread may still be inside them, so they are retired here and leaked
+  /// on destruction rather than freed under its feet.
+  std::vector<Shard> retired_;
   Mode mode_;
   bool started_ = false;
+  const VirtualClock* clock_ = nullptr;
+  Nanos heartbeat_period_ = 0;  ///< 0 = heartbeat disabled
+  ShardHealthBoard health_;
+  std::uint64_t restarts_ = 0;
   /// Single-producer end of every injector ring: the pool owner's thread.
   DomainAffinity owner_{"reactor"};
 };

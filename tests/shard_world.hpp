@@ -29,11 +29,34 @@
 #include "common/clock.hpp"
 #include "common/overload.hpp"
 #include "server/sharded_server.hpp"
+#include "server/supervisor.hpp"
 #include "transport/faulty.hpp"
 #include "transport/resilience.hpp"
 #include "transport/shard_pool.hpp"
 
 namespace flexric::test {
+
+/// Deterministic shard-fault knob (DESIGN.md §15): one planned failure of
+/// one shard, injected by the harness at a virtual instant. Seeded soaks
+/// derive a plan of these from the seed, so a chaos run replays
+/// byte-identically.
+///
+///   * wedge  — the shard loop stops turning (a handler wedged); its
+///     established links backpressure (tx_credit 0), exactly as TCP would
+///     against a stuck reader, so mid-wedge emissions buffer agent-side or
+///     shed with a counted reason — never vanish.
+///   * stop_pump — the loop is starved by the scheduler; observationally
+///     identical to wedge from outside the shard (same backpressure), kept
+///     as a distinct kind so fault plans read like the failure they model.
+///   * crash — process death: every link to the shard resets immediately
+///     (FaultyTransport::kill) and the loop never turns again.
+struct ShardFault {
+  enum class Kind { wedge, stop_pump, crash };
+  Kind kind = Kind::wedge;
+  std::uint32_t shard = 0;
+  Nanos at = 0;           ///< virtual time of injection
+  std::uint32_t nth = 0;  ///< crash-on-nth-event: emissions seen first
+};
 
 /// Shard count for one soak iteration: derived from the seed so the
 /// default 12-seed set sweeps 1/2/4 shards, overridable to a fixed count
@@ -91,10 +114,15 @@ class ShardStubFn final : public agent::RanFunction {
     ind.sn = emitted;
     ind.message = {0xAB};
     emitted++;
-    (void)services_->send_indication(origin, ind);
+    // A synchronous failure (dead link mid-crash: Errc::io) is a counted
+    // outcome -- the producer was told, so the ledger charges it here.
+    // Backpressure (Errc::capacity) is absorbed into the agent's pending
+    // buffer by send_indication itself and is NOT a refusal.
+    if (!services_->send_indication(origin, ind).is_ok()) refused++;
   }
 
   std::uint32_t emitted = 0;
+  std::uint32_t refused = 0;  ///< sends rejected synchronously (link dead)
   e2ap::SubscriptionRequest last_sub;
 
  private:
@@ -128,15 +156,47 @@ struct ShardWorld {
     return cfg;
   }
 
-  explicit ShardWorld(std::uint32_t shards, server::ShardedConfig cfg = {})
+  /// `supervised` switches the world into the §15 failure-injection shape:
+  /// agents live on a separate RAN-side reactor (so their timers keep
+  /// running while a shard is wedged or torn down), dials are refused at
+  /// downed shards, and every advance() quantum ends with a watchdog poll.
+  explicit ShardWorld(std::uint32_t shards, server::ShardedConfig cfg = {},
+                      bool supervised = false)
       : pool(shards, ShardPool::Mode::manual, &clock),
-        ric(pool, flat(std::move(cfg))) {
-    for (std::uint32_t i = 0; i < shards; ++i) {
-      auto ev = std::make_shared<ShardEventLog>();
-      ric.shard_server(i).add_iapp(ev);
-      events.push_back(ev);
+        ric(pool, flat(std::move(cfg))),
+        supervised_(supervised),
+        wedged_(shards, 0) {
+    for (std::uint32_t i = 0; i < shards; ++i)
+      events.push_back(std::make_shared<ShardEventLog>());
+    // Installed via factory so a rebuilt shard re-gets the SAME log object:
+    // its lifecycle history spans incarnations.
+    ric.add_iapp_factory(
+        [this](std::uint32_t i) { return events[i]; });
+    if (supervised_) {
+      ran_ = std::make_unique<Reactor>("reactor");
+      ran_->set_time_source(&clock);
+      ric.supervisor().set_on_transition(
+          [this](std::uint32_t s, server::ShardHealth from,
+                 server::ShardHealth to) {
+            using server::ShardHealth;
+            if (to == ShardHealth::quarantined) detect_at = clock.now();
+            // The rebuild replaced the wedged loop with a live one: resume
+            // pumping it (the fault is over by construction).
+            if (to == ShardHealth::recovering) wedged_[s] = 0;
+            std::ostringstream e;
+            e << "t=" << clock.now() / kMilli << "ms s" << s << " "
+              << server::shard_health_name(from) << "->"
+              << server::shard_health_name(to);
+            transitions.push_back(e.str());
+            if (on_transition) on_transition(s, from, to);
+          });
     }
   }
+
+  /// Agents cancel their timers on destruction; tear them down while the
+  /// RAN-side reactor (declared below them, hence destroyed before them)
+  /// is still alive.
+  ~ShardWorld() { nodes.clear(); }
 
   struct Node {
     std::unique_ptr<agent::E2Agent> agent;
@@ -156,6 +216,20 @@ struct ShardWorld {
     std::uint64_t seed = 1;
   };
 
+  /// One pump round of the whole world in fixed order: every non-wedged
+  /// shard (shard 0 first), the RAN-side reactor, the home rings, then the
+  /// watchdog. A wedged shard is simply never pumped — the loop "stops
+  /// turning", which is exactly what its heartbeat goes silent over.
+  void pump_world(int rounds = 8) {
+    for (std::uint32_t i = 0; i < pool.size(); ++i)
+      if (!wedged_[i]) pool.pump_shard(i, rounds);
+    if (ran_)
+      for (int r = 0; r < rounds; ++r)
+        if (ran_->run_once(0) == 0) break;
+    ric.pump_home();
+    if (supervised_) ric.supervisor().poll(clock.now());
+  }
+
   /// One deterministic scheduling quantum: step the shared clock, pump the
   /// shards in fixed order, drain the home rings. THE interleave contract.
   void advance(Nanos dt, Nanos step = kMilli) {
@@ -163,16 +237,73 @@ struct ShardWorld {
       Nanos d = dt < step ? dt : step;
       clock.advance(d);
       dt -= d;
-      pool.pump(8);
-      ric.pump_home();
+      pump_world(8);
     }
   }
   /// Settle without moving time (drain in-flight deliveries).
   void settle(int iters = 10) {
-    for (int i = 0; i < iters; ++i) {
-      pool.pump(8);
-      ric.pump_home();
-    }
+    for (int i = 0; i < iters; ++i) pump_world(8);
+  }
+
+  // -- §15 fault injection (supervised worlds) ------------------------------
+
+  /// A handler on `shard` wedges (or its loop is starved): the loop stops
+  /// turning and, like TCP against a stuck reader, every established link
+  /// to the shard backpressures. Settle first so nothing is in flight —
+  /// the harness injects faults only at quiescent quantum boundaries,
+  /// keeping the global ledger exact (nothing is dropped uncounted inside
+  /// a doomed reactor's task queue).
+  void wedge_shard(std::uint32_t shard) {
+    settle();
+    wedged_[shard] = 1;
+    for (auto& n : nodes)
+      if (n->dialed == shard && n->link) n->link->set_tx_credit(0);
+  }
+
+  /// Process death: every link to the shard resets now, the loop never
+  /// turns again. Same quiescence discipline as wedge_shard.
+  void crash_shard(std::uint32_t shard) {
+    settle();
+    wedged_[shard] = 1;
+    for (auto& n : nodes)
+      if (n->dialed == shard && n->link) n->link->kill();
+  }
+
+  void inject(const ShardFault& f) {
+    if (f.kind == ShardFault::Kind::crash) crash_shard(f.shard);
+    else wedge_shard(f.shard);
+  }
+
+  /// Wedge WITHOUT the quiescence settle: condemns whatever is in flight
+  /// (e.g. fan-out parked in the shard's ring) so the rebuild must shed it
+  /// with exact accounting. The ledger stays exact — the supervisor_shed
+  /// counter is precisely how; this is the path that proves it.
+  void wedge_shard_raw(std::uint32_t shard) {
+    wedged_[shard] = 1;
+    for (auto& n : nodes)
+      if (n->dialed == shard && n->link) n->link->set_tx_credit(0);
+  }
+
+  /// The fault cleared on its own (handler un-wedged) — resume pumping.
+  /// Rebuild-driven un-wedging happens automatically via the transition
+  /// hook; this is for degraded-then-recovered scenarios without a restart.
+  void unwedge_shard(std::uint32_t shard) { wedged_[shard] = 0; }
+
+  /// Arm cross-shard fan-out with a counting handler — the delivery path
+  /// supervision tests measure (it re-arms itself through a rebuild, unlike
+  /// a direct shard-server subscription, which dies with the incarnation).
+  /// Call before agents connect. Records MTTR's second half: the first
+  /// delivery after a quarantine detection.
+  void enable_fanout() {
+    ric.subscribe_fanout(
+        200, Buffer{0x01}, {{1, e2ap::ActionType::report, {}}},
+        [this](const server::ShardedE2Server::FanoutIndication& fi) {
+          fanout_delivered++;
+          fanout_sns.push_back({fi.agent, fi.ind.sn});
+          if (detect_at != 0 && first_redelivery_at == 0 &&
+              clock.now() > detect_at)
+            first_redelivery_at = clock.now();
+        });
   }
 
   /// Connect an agent homed on `shard` (dialing `dial_shard`'s server — a
@@ -194,14 +325,25 @@ struct ShardWorld {
     n->seed = seed;
     n->fn = std::make_shared<ShardStubFn>(200);
     agent::E2Agent::Config acfg{{1, n->nb_id, type}, WireFormat::flat, aov};
-    n->agent = std::make_unique<agent::E2Agent>(pool.reactor(shard), acfg);
+    // Supervised worlds home the agent on the RAN-side reactor: its timers
+    // (heartbeat, reconnect backoff, pending flush) must keep running while
+    // the shard it dialed is wedged or mid-rebuild. The transport pair still
+    // lives on the *dialed* shard's reactor, so a wedged shard blackholes
+    // traffic exactly like a stuck server process behind a live socket.
+    Reactor& agent_r = supervised_ ? *ran_ : pool.reactor(shard);
+    n->agent = std::make_unique<agent::E2Agent>(agent_r, acfg);
     EXPECT_TRUE(n->agent->register_function(n->fn).is_ok());
     ResilienceConfig rc = agent_rc;  // template; per-node seed below
     rc.seed = seed + n->nb_id * 7919;
     auto cid = n->agent->add_controller(
         [this, np]() -> Result<std::shared_ptr<MsgTransport>> {
+          if (supervised_ &&
+              (wedged_[np->dialed] || !ric.accepting(np->dialed)))
+            return Result<std::shared_ptr<MsgTransport>>(
+                Errc::io, "dial refused: shard down");
           np->dials++;
-          Reactor& r = pool.reactor(np->shard);
+          Reactor& r = supervised_ ? pool.reactor(np->dialed)
+                                   : pool.reactor(np->shard);
           auto [a_side, s_side] = LocalTransport::make_pair(r);
           FaultProfile p = np->profile;
           p.seed = np->seed + static_cast<std::uint64_t>(np->dials) * 7919;
@@ -229,18 +371,27 @@ struct ShardWorld {
     }
     if (!established(n)) return false;
     settle();
-    // Discover the server-side id by the node's own GlobalNodeId — robust
-    // no matter how many agents converged in the meantime.
+    refresh_ids(n);
+    EXPECT_NE(n.id, 0u);
+    return true;
+  }
+
+  /// (Re-)discover a node's server-side id by its own GlobalNodeId — robust
+  /// no matter how many agents converged in the meantime. A LIVE server
+  /// allocates a fresh id per attach, so a churned-and-re-homed agent's id
+  /// drifts; only a rebuilt shard's allocator starts over deterministically.
+  /// Call after churn, before comparing gids against the directory.
+  void refresh_ids(Node& n) {
     for (server::AgentId id :
          ric.shard_server(n.shard).ran_db().agents()) {
-      const server::AgentInfo* info = ric.shard_server(n.shard).ran_db().agent(id);
+      const server::AgentInfo* info =
+          ric.shard_server(n.shard).ran_db().agent(id);
       if (info != nullptr && info->node.plmn == 1 &&
-          info->node.nb_id == n.nb_id && info->node.type == n.type)
+          info->node.nb_id == n.nb_id && info->node.type == n.type) {
         n.id = id;
+        n.gid = server::global_agent_id(n.shard, id);
+      }
     }
-    EXPECT_NE(n.id, 0u);
-    n.gid = server::global_agent_id(n.shard, n.id);
-    return true;
   }
 
   /// Subscribe the harness to a node's RAN function on its shard server;
@@ -270,7 +421,7 @@ struct ShardWorld {
       if (n->shard != n->dialed) continue;  // misrouted: never subscribed
       emitted += n->fn->emitted;
       delivered += static_cast<std::uint64_t>(n->indications);
-      agent_shed += n->agent->stats().indications_shed;
+      agent_shed += n->agent->stats().indications_shed + n->fn->refused;
     }
     std::uint64_t server_shed = 0;
     for (std::uint32_t i = 0; i < pool.size(); ++i) {
@@ -290,6 +441,40 @@ struct ShardWorld {
         << "an indication vanished without a shed counter";
   }
 
+  /// Global exact-accounting across a supervised world (§11 ⊗ §15): every
+  /// indication ever emitted is delivered (cross-shard fan-out at home),
+  /// still buffered agent-side, or shed with a counted reason — including
+  /// the sheds supervision itself caused:
+  ///
+  ///   Σemitted == Σdelivered + Σbuffered + Σagent_shed + Σserver_shed
+  ///                          + Σsupervisor_shed
+  ///
+  /// where agent_shed includes sends synchronously refused by a dead link
+  /// (the producer was told: Errc::io during a crash window), server_shed
+  /// spans live AND retired incarnations (global_ledger folds the harvested
+  /// ledgers in), and supervisor_shed counts fan-out parked in a condemned
+  /// ring plus frames stranded in a dead ingest queue. Call at quiescence
+  /// (after settle()).
+  void expect_supervised_reconciles() {
+    std::uint64_t emitted = 0, agent_shed = 0, buffered = 0, refused = 0;
+    for (const auto& n : nodes) {
+      emitted += n->fn->emitted;
+      agent_shed += n->agent->stats().indications_shed;
+      refused += n->fn->refused;
+      if (const auto* q = n->agent->pending_indications(n->ctrl))
+        buffered += q->size();
+    }
+    const ShardLedger g = ric.global_ledger();
+    EXPECT_EQ(g.queued, 0u) << "not quiescent: frames still queued";
+    EXPECT_EQ(emitted, fanout_delivered + buffered + agent_shed + refused +
+                           g.server_shed() + ric.supervisor_shed())
+        << "an indication vanished without a shed counter (delivered="
+        << fanout_delivered << " buffered=" << buffered
+        << " agent_shed=" << agent_shed << " refused=" << refused
+        << " server_shed=" << g.server_shed()
+        << " supervisor_shed=" << ric.supervisor_shed() << ")";
+  }
+
   /// Trace line for double-run determinism: per-shard stats + event logs in
   /// fixed shard order, then the home-side merge state.
   [[nodiscard]] std::string trace() {
@@ -305,6 +490,17 @@ struct ShardWorld {
     }
     out << "dir=" << ric.directory().num_agents()
         << " resyncs=" << ric.directory_resyncs();
+    if (supervised_) {
+      const auto& st = ric.supervisor().stats();
+      out << " sup{q=" << st.quarantines << " r=" << st.restarts
+          << " rec=" << st.recoveries << " shed=" << ric.supervisor_shed()
+          << " qfail=" << ric.queries_failed()
+          << " fan=" << fanout_delivered << " tr=";
+      for (const auto& t : transitions) out << t << ";";
+      out << "} sns=";
+      for (const auto& [gid, sn] : fanout_sns)
+        out << gid << ":" << sn << ";";
+    }
     return out.str();
   }
 
@@ -325,7 +521,19 @@ struct ShardWorld {
   std::vector<std::shared_ptr<ShardEventLog>> events;
   std::vector<std::unique_ptr<Node>> nodes;
 
+  // -- supervision-harness state (populated when supervised) --
+  /// Chained after the harness's own transition bookkeeping.
+  server::ShardSupervisor::TransitionHook on_transition;
+  std::vector<std::string> transitions;  ///< "t=<ms> s<i> from->to"
+  std::uint64_t fanout_delivered = 0;
+  std::vector<std::pair<server::AgentId, std::uint32_t>> fanout_sns;
+  Nanos detect_at = 0;            ///< newest ->quarantined edge (virtual)
+  Nanos first_redelivery_at = 0;  ///< first fan-out delivery after it
+
  private:
+  bool supervised_ = false;
+  std::vector<std::uint8_t> wedged_;
+  std::unique_ptr<Reactor> ran_;
   std::uint32_t next_nb_ = 1;
 };
 

@@ -342,6 +342,59 @@ TEST(Resilience, HeartbeatMissesForceReconnectThroughPartition) {
   EXPECT_GE(w.agent->stats().reconnects, 1u);
 }
 
+// The miss-threshold boundary is exact: the agent holds the link through
+// N-1 unanswered heartbeats and declares the connection dead on the tick
+// that records the Nth miss — not a tick earlier, not a tick later. This
+// pins the `hb_missed >= threshold` comparison: an off-by-one in either
+// direction (detect at N-1, or require N+1) moves a whole heartbeat period
+// of detection latency and shows up in supervision MTTR.
+TEST(Resilience, HeartbeatMissBoundaryDetectsAtExactlyThreshold) {
+  ChaosWorld w;
+  auto rc = ChaosWorld::agent_defaults(17);
+  const std::uint32_t n = rc.heartbeat_miss_threshold;  // 3 by default
+  ASSERT_GE(n, 2u);
+  w.start_agent(17, rc);
+  ASSERT_TRUE(w.converge());
+
+  // Phase-align to just past a heartbeat tick whose probe got acked, so
+  // every subsequent advance of one period lands exactly one tick.
+  const std::uint64_t tx0 = w.agent->stats().heartbeats_tx;
+  for (Nanos t = 0; w.agent->stats().heartbeats_tx == tx0; t += kMilli) {
+    ASSERT_LT(t, 2 * rc.heartbeat_period) << "heartbeat never ticked";
+    advance(w.reactor, w.clock, kMilli);
+  }
+  advance(w.reactor, w.clock, kMilli);  // let the ack land
+
+  w.link->set_partitioned(true);
+  const std::uint64_t base = w.agent->stats().heartbeat_misses;
+  const int dials_before = w.dials;
+
+  // Tick 1 sends a probe into the void: nothing chargeable yet.
+  advance(w.reactor, w.clock, rc.heartbeat_period);
+  EXPECT_EQ(w.agent->stats().heartbeat_misses, base);
+  EXPECT_TRUE(w.established());
+
+  // Ticks 2..N record misses 1..N-1: the link must be held at every one.
+  for (std::uint32_t m = 1; m < n; ++m) {
+    advance(w.reactor, w.clock, rc.heartbeat_period);
+    EXPECT_EQ(w.agent->stats().heartbeat_misses, base + m);
+    EXPECT_TRUE(w.established())
+        << "gave up at " << m << " misses (threshold " << n << ")";
+    EXPECT_EQ(w.dials, dials_before);
+  }
+
+  // The next tick records miss N: detection fires on THIS tick, tearing
+  // the partitioned link down and re-dialing a fresh one.
+  advance(w.reactor, w.clock, rc.heartbeat_period);
+  EXPECT_EQ(w.agent->stats().heartbeat_misses, base + n)
+      << "detection must not eat or double-charge the Nth miss";
+  EXPECT_FALSE(w.established())
+      << "did not give up at exactly " << n << " misses";
+  ASSERT_TRUE(w.converge());
+  EXPECT_GT(w.dials, dials_before);  // fresh (unpartitioned) link
+  EXPECT_GE(w.agent->stats().reconnects, 1u);
+}
+
 TEST(Resilience, ServerQuarantinesThenExpiresSilentAgent) {
   ResilienceConfig srv = ChaosWorld::server_defaults();
   srv.quarantine_after = kSecond;

@@ -479,7 +479,10 @@ TEST(ShardedQuery, JobRunsOnShardAndReplyLandsOnHome) {
                       [](server::E2Server& srv) {
                         return std::to_string(srv.ran_db().num_agents());
                       },
-                      [&](std::string r) { replies.push_back(std::move(r)); })
+                      [&](Result<std::string> r) {
+                        ASSERT_TRUE(r.is_ok());
+                        replies.push_back(std::move(r.value()));
+                      })
                   .is_ok());
   EXPECT_TRUE(replies.empty()) << "the reply must wait for pump_home";
   w.settle();

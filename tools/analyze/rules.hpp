@@ -126,6 +126,16 @@ struct RingSite {
   std::string receiver;
 };
 
+/// One SpscRing::reset_endpoints() call site. Re-arming a ring's endpoints
+/// forgets in-flight entries, so it is only legal from a supervised shard
+/// rebuild — a `// @recovery` site annotation marks the sanctioned path.
+struct ResetSite {
+  std::string file;
+  int line = 0;
+  std::string receiver;
+  bool sanctioned = false;  ///< carries `// @recovery`
+};
+
 struct Corpus {
   std::vector<FileUnit> files;
   /// Parallel to `files`: shared scope/function/annotation index, built once
@@ -156,6 +166,8 @@ struct Corpus {
   std::set<std::string> spsc_names;
   /// SpscRing endpoint call sites across the whole corpus.
   std::vector<RingSite> ring_sites;
+  /// SpscRing::reset_endpoints() call sites (b6: recovery-only).
+  std::vector<ResetSite> reset_sites;
 };
 
 inline const char* const kAllRules[] = {
